@@ -1,0 +1,75 @@
+//! The `inetd` trigger path.
+//!
+//! Jitsu is described as "the Xen equivalent of the venerable inetd service
+//! on Unix" (§3). The Docker baseline in Figure 9b is triggered the classic
+//! way: `inetd` listens on the service port and forks a handler (here,
+//! `docker run`) per incoming connection. This model accounts for the
+//! super-server's accept/fork/exec overhead so baseline latencies include
+//! the same trigger cost the paper measured.
+
+use jitsu_sim::SimDuration;
+use platform::Board;
+
+/// The inetd super-server model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inetd {
+    /// Cost of accepting the connection and looking up the service entry.
+    pub accept_cost: SimDuration,
+    /// Cost of fork+exec of the configured handler.
+    pub spawn_cost: SimDuration,
+    connections_handled: u64,
+}
+
+impl Inetd {
+    /// The calibrated model for a board (≈0.5 ms accept + ≈2 ms fork/exec on
+    /// the x86 reference, scaled).
+    pub fn for_board(board: &Board) -> Inetd {
+        Inetd {
+            accept_cost: board.scale_cpu(SimDuration::from_micros(500)),
+            spawn_cost: board.scale_cpu(SimDuration::from_micros(2_000)),
+            connections_handled: 0,
+        }
+    }
+
+    /// Handle one incoming connection, returning the trigger overhead that
+    /// elapses before the handler process starts doing real work.
+    pub fn trigger(&mut self) -> SimDuration {
+        self.connections_handled += 1;
+        self.accept_cost + self.spawn_cost
+    }
+
+    /// Number of connections handled so far.
+    pub fn connections_handled(&self) -> u64 {
+        self.connections_handled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform::BoardKind;
+
+    #[test]
+    fn trigger_overhead_is_milliseconds_on_arm() {
+        let mut inetd = Inetd::for_board(&BoardKind::Cubieboard2.board());
+        let t = inetd.trigger();
+        assert!((10..30).contains(&t.as_millis()), "t={t}");
+        assert_eq!(inetd.connections_handled(), 1);
+        inetd.trigger();
+        assert_eq!(inetd.connections_handled(), 2);
+    }
+
+    #[test]
+    fn x86_trigger_is_faster() {
+        let mut arm = Inetd::for_board(&BoardKind::Cubieboard2.board());
+        let mut x86 = Inetd::for_board(&BoardKind::X86Server.board());
+        assert!(x86.trigger() < arm.trigger());
+    }
+
+    #[test]
+    fn trigger_is_negligible_compared_to_container_start() {
+        // The inetd overhead is not what makes Figure 9b slow.
+        let mut inetd = Inetd::for_board(&BoardKind::Cubieboard2.board());
+        assert!(inetd.trigger() < SimDuration::from_millis(50));
+    }
+}

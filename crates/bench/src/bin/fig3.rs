@@ -1,0 +1,8 @@
+//! Regenerates Figure 3: parallel VM start/stop under the three XenStore
+//! transaction engines.
+fn main() {
+    let sweep = bench::fig3::default_sweep();
+    let figure = bench::fig3::figure(&sweep);
+    println!("{}", figure.render());
+    println!("CSV:\n{}", figure.to_csv());
+}

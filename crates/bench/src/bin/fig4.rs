@@ -1,0 +1,7 @@
+//! Regenerates Figure 4: domain build time vs VM memory for each toolstack
+//! optimisation step (plus the ARM→x86 switch).
+fn main() {
+    let figure = bench::fig4::figure(5);
+    println!("{}", figure.render());
+    println!("CSV:\n{}", figure.to_csv());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 8: ICMP RTT vs payload size for the four datapath
+//! targets.
+fn main() {
+    let figure = bench::fig8::figure(200, 0x51CA);
+    println!("{}", figure.render());
+    println!("CSV:\n{}", figure.to_csv());
+}

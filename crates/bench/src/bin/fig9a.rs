@@ -1,0 +1,6 @@
+//! Regenerates Figure 9a: HTTP response-time CDFs for Jitsu cold starts.
+fn main() {
+    let figure = bench::fig9a::figure(40, 0x9A);
+    println!("{}", figure.render());
+    println!("CSV:\n{}", figure.to_csv());
+}

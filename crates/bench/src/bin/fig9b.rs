@@ -1,0 +1,6 @@
+//! Regenerates Figure 9b: Docker container start-time CDFs.
+fn main() {
+    let figure = bench::fig9b::figure(150, 0x9B);
+    println!("{}", figure.render());
+    println!("CSV:\n{}", figure.to_csv());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 1: power usage, plus the battery-runtime estimate.
+fn main() {
+    println!("{}", bench::table1::table().render());
+    println!(
+        "Battery experiment (§4): a Cubieboard2 + Ethernet on a typical USB power bank runs ≈{:.1} hours (paper observed 9 hours).",
+        bench::table1::battery_runtime_hours()
+    );
+}

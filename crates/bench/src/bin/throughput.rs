@@ -1,0 +1,5 @@
+//! Regenerates the §4 throughput results (HTTP persistent queue, iperf
+//! parity).
+fn main() {
+    println!("{}", bench::throughput::table().render());
+}

@@ -1,0 +1,107 @@
+//! Figure 4: domain build time vs VM memory size, per toolstack
+//! optimisation step.
+
+use jitsu_sim::{Figure, Series, SimDuration};
+use platform::BoardKind;
+use xen_sim::domain::DomainConfig;
+use xen_sim::toolstack::{BootOptimisations, Toolstack};
+use xenstore::EngineKind;
+
+/// The memory sizes swept on the x axis (MiB).
+pub const MEMORY_SWEEP: [u32; 5] = [16, 32, 64, 128, 256];
+
+/// Measure the mean VM construction time for one configuration.
+pub fn measure(board: BoardKind, opts: BootOptimisations, memory_mib: u32, samples: u32) -> SimDuration {
+    let mut toolstack = Toolstack::new(board.board(), EngineKind::JitsuMerge, 0xF19u64 + memory_mib as u64);
+    let mut total = SimDuration::ZERO;
+    for _ in 0..samples.max(1) {
+        let config = DomainConfig::unikernel("figure4-sweep").with_memory_mib(memory_mib);
+        total += toolstack.measure_create(config, opts).expect("board has capacity");
+    }
+    total / samples.max(1) as u64
+}
+
+/// Build Figure 4: the five cumulative ARM optimisation steps plus the
+/// "switch from ARM to x86" final series.
+pub fn figure(samples: u32) -> Figure {
+    let mut figure = Figure::new(
+        "Figure 4: Optimising Xen/ARM domain build times",
+        "VM memory size / MiB",
+        "Time / seconds",
+    );
+    for (label, opts) in BootOptimisations::figure4_steps() {
+        let mut series = Series::new(label);
+        for mem in MEMORY_SWEEP {
+            series.push(
+                mem as f64,
+                measure(BoardKind::Cubieboard2, opts, mem, samples).as_secs_f64(),
+            );
+        }
+        figure.add_series(series);
+    }
+    let mut x86 = Series::new("Switch from ARM to x86");
+    for mem in MEMORY_SWEEP {
+        x86.push(
+            mem as f64,
+            measure(BoardKind::X86Server, BootOptimisations::jitsu(), mem, samples).as_secs_f64(),
+        );
+    }
+    figure.add_series(x86);
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_16mib_is_around_650ms_and_256mib_around_a_second() {
+        let t16 = measure(BoardKind::Cubieboard2, BootOptimisations::vanilla(), 16, 3);
+        let t256 = measure(BoardKind::Cubieboard2, BootOptimisations::vanilla(), 256, 3);
+        assert!((550..760).contains(&t16.as_millis()), "t16={t16}");
+        assert!((850..1250).contains(&t256.as_millis()), "t256={t256}");
+    }
+
+    #[test]
+    fn fully_optimised_is_about_120ms_arm_and_20ms_x86() {
+        let arm = measure(BoardKind::Cubieboard2, BootOptimisations::jitsu(), 16, 3);
+        let x86 = measure(BoardKind::X86Server, BootOptimisations::jitsu(), 16, 3);
+        assert!((90..160).contains(&arm.as_millis()), "arm={arm}");
+        assert!((12..35).contains(&x86.as_millis()), "x86={x86}");
+        // "around 6 times faster" (§3.1).
+        let ratio = arm.as_secs_f64() / x86.as_secs_f64();
+        assert!((4.0..8.0).contains(&ratio), "ratio={ratio:.1}");
+    }
+
+    #[test]
+    fn each_optimisation_step_helps_at_16mib() {
+        let steps = BootOptimisations::figure4_steps();
+        let mut last = SimDuration::MAX;
+        for (label, opts) in steps {
+            let t = measure(BoardKind::Cubieboard2, opts, 16, 3);
+            assert!(
+                t <= last + SimDuration::from_millis(15),
+                "{label}: {t} should not regress over {last}"
+            );
+            last = t;
+        }
+    }
+
+    #[test]
+    fn build_time_grows_with_memory_for_every_series() {
+        let fig = figure(3);
+        assert_eq!(fig.series().len(), 6);
+        for series in fig.series() {
+            // Memory zeroing dominates the slope, but the hotplug-script
+            // jitter can wiggle adjacent points by a few milliseconds, so
+            // compare the endpoints and the midpoint rather than requiring
+            // strict monotonicity.
+            let y16 = series.y_at(16.0).unwrap();
+            let y128 = series.y_at(128.0).unwrap();
+            let y256 = series.y_at(256.0).unwrap();
+            assert!(y256 > y16, "{}: 256MiB ({y256:.3}s) must exceed 16MiB ({y16:.3}s)", series.label);
+            assert!(y256 > y128, "{}: 256MiB must exceed 128MiB", series.label);
+            assert_eq!(series.len(), MEMORY_SWEEP.len());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 9a: HTTP response-time CDFs for Jitsu cold starts.
+//!
+//! Three configurations: cold start without Synjitsu (the first SYN is lost
+//! and the client's 1 s retransmission dominates), cold start with Synjitsu
+//! over the vanilla toolstack, and cold start with Synjitsu over the
+//! optimised toolstack. Every sample runs the full machinery — DNS query,
+//! real domain construction and boot timelines, the real SYN proxying and
+//! TCB handoff through XenStore, and a real HTTP response parsed by the
+//! client.
+
+use jitsu::config::{JitsuConfig, ServiceConfig};
+use jitsu::jitsud::{ColdStartMode, Jitsud};
+use jitsu_sim::{Cdf, Figure, Series};
+use netstack::ipv4::Ipv4Addr;
+use platform::BoardKind;
+
+fn config_for(mode: ColdStartMode, index: u32) -> JitsuConfig {
+    let service = ServiceConfig::http_site(
+        "alice.family.name",
+        Ipv4Addr::new(192, 168, 1, 20u8.wrapping_add((index % 200) as u8)),
+    );
+    let base = JitsuConfig::new("family.name").with_service(service);
+    match mode {
+        ColdStartMode::NoSynjitsu => base.without_synjitsu(),
+        ColdStartMode::SynjitsuVanillaToolstack => base.with_vanilla_toolstack(),
+        ColdStartMode::SynjitsuOptimised => base,
+    }
+}
+
+/// Run `samples` independent cold starts for a mode and return the response
+/// times in milliseconds.
+pub fn cold_start_samples(mode: ColdStartMode, samples: usize, seed: u64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let mut jitsud = Jitsud::new(
+            config_for(mode, i as u32),
+            BoardKind::Cubieboard2.board(),
+            seed.wrapping_add(i as u64),
+        );
+        let report = jitsud
+            .cold_start_request("alice.family.name", Ipv4Addr::new(192, 168, 1, 100), "/")
+            .expect("cold start succeeds");
+        assert_eq!(report.http_status, 200, "every request must be served");
+        out.push(report.http_response_time.as_millis_f64());
+    }
+    out
+}
+
+/// Build Figure 9a as CDF series (x = time in ms, y = cumulative fraction).
+pub fn figure(samples: usize, seed: u64) -> Figure {
+    let mut figure = Figure::new(
+        "Figure 9a: HTTP response times for Jitsu cold starts",
+        "Time in milliseconds",
+        "Cumulative fraction of requests",
+    );
+    for mode in ColdStartMode::ALL {
+        let mut cdf = Cdf::from_values(cold_start_samples(mode, samples, seed));
+        let series = Series::from_points(mode.label(), cdf.grid(0.0, 1600.0, 32));
+        figure.add_series(series);
+    }
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitsu_sim::metrics::percentile;
+
+    #[test]
+    fn optimised_cold_starts_cluster_around_300ms() {
+        let samples = cold_start_samples(ColdStartMode::SynjitsuOptimised, 12, 7);
+        let median = percentile(&samples, 50.0);
+        assert!((250.0..400.0).contains(&median), "median={median:.0} ms");
+        assert!(samples.iter().all(|&x| x < 600.0));
+    }
+
+    #[test]
+    fn no_synjitsu_cold_starts_exceed_one_second() {
+        let samples = cold_start_samples(ColdStartMode::NoSynjitsu, 8, 7);
+        assert!(samples.iter().all(|&x| x > 1000.0), "samples={samples:?}");
+    }
+
+    #[test]
+    fn vanilla_toolstack_sits_between_the_other_two() {
+        let optimised = percentile(&cold_start_samples(ColdStartMode::SynjitsuOptimised, 8, 3), 50.0);
+        let vanilla = percentile(
+            &cold_start_samples(ColdStartMode::SynjitsuVanillaToolstack, 8, 3),
+            50.0,
+        );
+        let none = percentile(&cold_start_samples(ColdStartMode::NoSynjitsu, 8, 3), 50.0);
+        assert!(optimised < vanilla, "{optimised:.0} vs {vanilla:.0}");
+        assert!(vanilla < none, "{vanilla:.0} vs {none:.0}");
+    }
+
+    #[test]
+    fn figure_cdfs_are_monotone_and_reach_one() {
+        let fig = figure(6, 11);
+        assert_eq!(fig.series().len(), 3);
+        for series in fig.series() {
+            assert!(series.is_monotone_nondecreasing(), "{}", series.label);
+            assert!((series.max_y().unwrap() - 1.0).abs() < 1e-9 || series.label.contains("no synjitsu"),
+                "{} should reach 1.0 within the plotted range", series.label);
+        }
+    }
+}

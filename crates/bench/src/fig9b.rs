@@ -1,0 +1,83 @@
+//! Figure 9b: Docker container start-time CDFs on the Cubieboard2.
+
+use baselines::docker::{start_latencies, DockerConfig};
+use baselines::inetd::Inetd;
+use jitsu_sim::{Cdf, Figure, Series, SimRng};
+use platform::BoardKind;
+
+/// Run `samples` inetd-triggered container starts for one configuration and
+/// return `(latencies in ms, failed starts)`.
+pub fn container_samples(config: &DockerConfig, samples: usize, seed: u64) -> (Vec<f64>, usize) {
+    let board = BoardKind::Cubieboard2.board();
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut inetd = Inetd::for_board(&board);
+    let (latencies, failures) = start_latencies(config, &board, samples, &mut rng);
+    let out = latencies
+        .into_iter()
+        .map(|l| (l + inetd.trigger()).as_millis_f64())
+        .collect();
+    (out, failures)
+}
+
+/// Build Figure 9b as CDF series.
+pub fn figure(samples: usize, seed: u64) -> Figure {
+    let mut figure = Figure::new(
+        "Figure 9b: HTTP response times when spawning Docker containers",
+        "Time in milliseconds",
+        "Cumulative fraction of requests",
+    );
+    for (label, config) in DockerConfig::figure9b_variants() {
+        let (latencies, _) = container_samples(&config, samples, seed);
+        let mut cdf = Cdf::from_values(latencies);
+        figure.add_series(Series::from_points(label, cdf.grid(0.0, 1600.0, 32)));
+    }
+    figure
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitsu_sim::metrics::percentile;
+
+    #[test]
+    fn sd_card_starts_exceed_1100ms_tmpfs_exceeds_500ms() {
+        let variants = DockerConfig::figure9b_variants();
+        let (tmpfs, _) = container_samples(&variants[0].1, 40, 1);
+        let (sd, _) = container_samples(&variants[1].1, 40, 1);
+        assert!(percentile(&sd, 50.0) > 1000.0, "sd median {:.0}", percentile(&sd, 50.0));
+        assert!(percentile(&tmpfs, 50.0) > 450.0, "tmpfs median {:.0}", percentile(&tmpfs, 50.0));
+        assert!(percentile(&tmpfs, 50.0) < percentile(&sd, 50.0));
+    }
+
+    #[test]
+    fn xen_dom0_is_slightly_slower_than_native() {
+        let variants = DockerConfig::figure9b_variants();
+        let (native, _) = container_samples(&variants[1].1, 40, 2);
+        let (dom0, _) = container_samples(&variants[2].1, 40, 2);
+        assert!(percentile(&dom0, 50.0) > percentile(&native, 50.0));
+    }
+
+    #[test]
+    fn tmpfs_configuration_shows_failures() {
+        let variants = DockerConfig::figure9b_variants();
+        let (_, failures) = container_samples(&variants[0].1, 200, 3);
+        assert!(failures > 0, "the tmpfs workaround fails a fraction of starts");
+    }
+
+    #[test]
+    fn every_container_start_is_slower_than_an_optimised_jitsu_cold_start() {
+        // The comparison the paper draws: even the fastest container
+        // configuration is slower than Jitsu's ~300-350 ms cold start.
+        let fig = figure(20, 4);
+        for series in fig.series() {
+            // No series should have any mass below 350 ms.
+            let below = series
+                .points
+                .iter()
+                .filter(|p| p.x <= 350.0)
+                .map(|p| p.y)
+                .fold(0.0f64, f64::max);
+            assert!(below < 1e-9, "{} has mass below 350 ms", series.label);
+        }
+    }
+}

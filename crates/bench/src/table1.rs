@@ -1,0 +1,59 @@
+//! Table 1: power usage of the evaluation boards, plus the battery-runtime
+//! observation of §4.
+
+use jitsu_sim::Table;
+use platform::{Battery, BoardKind, PowerComponent, PowerModel, PowerState};
+
+/// Build Table 1.
+pub fn table() -> Table {
+    let mut table = Table::new(
+        "Table 1: Power usage of the ARM boards when running Xen (W, 5V)",
+        &["Idle", "Spinning and active components", "Board Model"],
+    );
+    for board in [BoardKind::Cubieboard2, BoardKind::Cubietruck] {
+        let model = PowerModel::for_board(board);
+        for (idle, spin, label) in model.table1_rows() {
+            table.add_row(&[format!("{idle:.2}"), format!("{spin:.2}"), label]);
+        }
+    }
+    let nuc = PowerModel::for_board(BoardKind::IntelNuc);
+    table.add_row(&[
+        format!("{:.2}", nuc.watts(PowerState::Idle, &[])),
+        format!("{:.2}", nuc.watts(PowerState::Spinning, &[])),
+        "Intel Haswell NUC".to_string(),
+    ]);
+    table
+}
+
+/// The battery-runtime estimate for the §4 experiment (a Cubieboard2 with
+/// Ethernet, mostly idle, on a typical USB power bank). Returns hours.
+pub fn battery_runtime_hours() -> f64 {
+    Battery::typical_power_bank().runtime_hours_duty_cycle(
+        BoardKind::Cubieboard2,
+        &[PowerComponent::Ethernet],
+        0.05,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_nine_rows_matching_the_paper() {
+        let t = table();
+        assert_eq!(t.row_count(), 9, "4 Cubieboard2 + 4 Cubietruck + NUC");
+        let rendered = t.render();
+        assert!(rendered.contains("1.43"));
+        assert!(rendered.contains("2.61"));
+        assert!(rendered.contains("Cubietruck +SSD+Ethernet"));
+        assert!(rendered.contains("Intel Haswell NUC"));
+        assert!(rendered.contains("27.02"));
+    }
+
+    #[test]
+    fn battery_runtime_is_around_nine_hours() {
+        let hours = battery_runtime_hours();
+        assert!((7.0..16.0).contains(&hours), "hours={hours:.1}");
+    }
+}

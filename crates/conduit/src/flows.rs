@@ -1,0 +1,169 @@
+//! The `/conduit/flows` metadata table.
+//!
+//! Figure 5 shows a `flows` subtree holding one entry per conduit connection
+//! with its lifecycle state and free-form metadata, readable by management
+//! tools. Flow entries are written by the server side as connections are
+//! accepted and updated as they progress.
+
+use xenstore::{DomId, Result as XsResult, XenStore};
+
+/// Lifecycle states of a flow, as stored in the flows table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowState {
+    /// The client has enqueued a connection request.
+    Connecting,
+    /// The shared-memory endpoints are established.
+    Established,
+    /// The flow has been torn down.
+    Closed,
+}
+
+impl FlowState {
+    /// Token used in the store value.
+    pub fn token(self) -> &'static str {
+        match self {
+            FlowState::Connecting => "connecting",
+            FlowState::Established => "established",
+            FlowState::Closed => "closed",
+        }
+    }
+
+    /// Parse a token.
+    pub fn from_token(s: &str) -> Option<FlowState> {
+        Some(match s {
+            "connecting" => FlowState::Connecting,
+            "established" => FlowState::Established,
+            "closed" => FlowState::Closed,
+            _ => return None,
+        })
+    }
+}
+
+/// Manager of the `/conduit/flows` subtree.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    next_id: u64,
+}
+
+impl FlowTable {
+    /// The root path of the table.
+    pub const ROOT: &'static str = "/conduit/flows";
+
+    /// Create a manager (ids restart at 1 per host lifetime, as in the
+    /// paper's example tree).
+    pub fn new() -> FlowTable {
+        FlowTable { next_id: 1 }
+    }
+
+    fn path(id: u64) -> String {
+        format!("{}/{}", Self::ROOT, id)
+    }
+
+    /// Allocate a flow id and record it in the given state with free-form
+    /// metadata (an s-expression string in the paper's example).
+    pub fn create(
+        &mut self,
+        xs: &mut XenStore,
+        actor: DomId,
+        state: FlowState,
+        metadata: &str,
+    ) -> XsResult<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let value = format!("({} ({metadata}))", state.token());
+        xs.write(actor, None, &Self::path(id), value.as_bytes())?;
+        Ok(id)
+    }
+
+    /// Update the state of a flow, preserving its metadata.
+    pub fn set_state(
+        xs: &mut XenStore,
+        actor: DomId,
+        id: u64,
+        state: FlowState,
+    ) -> XsResult<()> {
+        let current = xs.read_string(actor, None, &Self::path(id))?;
+        let metadata = current
+            .split_once(' ')
+            .map(|(_, rest)| rest.trim_end_matches(')').to_string())
+            .unwrap_or_default();
+        let value = format!("({} {metadata})", state.token());
+        xs.write(actor, None, &Self::path(id), value.as_bytes())
+    }
+
+    /// Read the state of a flow.
+    pub fn state(xs: &mut XenStore, actor: DomId, id: u64) -> XsResult<Option<FlowState>> {
+        let value = xs.read_string(actor, None, &Self::path(id))?;
+        let token = value
+            .trim_start_matches('(')
+            .split_whitespace()
+            .next()
+            .unwrap_or_default()
+            .to_string();
+        Ok(FlowState::from_token(&token))
+    }
+
+    /// List all flow ids currently recorded.
+    pub fn list(xs: &mut XenStore, actor: DomId) -> Vec<u64> {
+        xs.directory(actor, None, Self::ROOT)
+            .unwrap_or_default()
+            .into_iter()
+            .filter_map(|s| s.parse().ok())
+            .collect()
+    }
+
+    /// Remove a flow entry.
+    pub fn remove(xs: &mut XenStore, actor: DomId, id: u64) -> XsResult<()> {
+        xs.rm(actor, None, &Self::path(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xenstore::EngineKind;
+
+    #[test]
+    fn tokens_round_trip() {
+        for s in [FlowState::Connecting, FlowState::Established, FlowState::Closed] {
+            assert_eq!(FlowState::from_token(s.token()), Some(s));
+        }
+        assert_eq!(FlowState::from_token("nope"), None);
+    }
+
+    #[test]
+    fn create_update_list_remove() {
+        let mut xs = XenStore::new(EngineKind::JitsuMerge);
+        let mut flows = FlowTable::new();
+        let id1 = flows
+            .create(&mut xs, DomId::DOM0, FlowState::Connecting, "client http_client domid 7")
+            .unwrap();
+        let id2 = flows
+            .create(&mut xs, DomId::DOM0, FlowState::Established, "client http_client domid 9")
+            .unwrap();
+        assert_eq!(id1, 1);
+        assert_eq!(id2, 2);
+        assert_eq!(FlowTable::list(&mut xs, DomId::DOM0), vec![1, 2]);
+        assert_eq!(
+            FlowTable::state(&mut xs, DomId::DOM0, id1).unwrap(),
+            Some(FlowState::Connecting)
+        );
+        FlowTable::set_state(&mut xs, DomId::DOM0, id1, FlowState::Established).unwrap();
+        assert_eq!(
+            FlowTable::state(&mut xs, DomId::DOM0, id1).unwrap(),
+            Some(FlowState::Established)
+        );
+        // Metadata survives state changes.
+        let raw = xs.read_string(DomId::DOM0, None, "/conduit/flows/1").unwrap();
+        assert!(raw.contains("domid 7"), "raw={raw}");
+        FlowTable::remove(&mut xs, DomId::DOM0, id1).unwrap();
+        assert_eq!(FlowTable::list(&mut xs, DomId::DOM0), vec![2]);
+    }
+
+    #[test]
+    fn missing_flow_is_an_error() {
+        let mut xs = XenStore::new(EngineKind::JitsuMerge);
+        assert!(FlowTable::state(&mut xs, DomId::DOM0, 42).is_err());
+        assert!(FlowTable::remove(&mut xs, DomId::DOM0, 42).is_err());
+    }
+}

@@ -1,0 +1,346 @@
+//! vchan: a point-to-point byte stream over grant-shared rings.
+//!
+//! A vchan is "a point-to-point link that uses Xen grant tables to map
+//! shared memory pages between two VMs, using Xen event channels to
+//! synchronise access to these pages" (§3.2.1). Each direction is a
+//! single-producer single-consumer byte ring living in one granted page;
+//! writing data sets the peer's event channel pending so it knows to poll
+//! the ring. Establishing a vchan needs only the two domain ids — no
+//! XenStore — which is why it works early in boot and inside disaggregated
+//! systems; the higher-level rendezvous is layered on top by
+//! [`crate::rendezvous`].
+
+use xen_sim::event_channel::{EventChannelTable, Port};
+use xen_sim::grant_table::{GrantRef, GrantTable};
+use xen_sim::memory::PAGE_SIZE;
+use xenstore::DomId;
+
+/// Errors from vchan operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VchanError {
+    /// The ring is full; the caller should wait for the peer to drain it.
+    WouldBlock,
+    /// The peer has closed its end.
+    Closed,
+    /// A grant or event-channel operation failed during setup.
+    Setup(String),
+}
+
+/// Ring sizes: one page per direction, minus a small header area.
+const RING_CAPACITY: usize = PAGE_SIZE - 16;
+
+/// One direction of the channel: a byte ring with read/write cursors.
+#[derive(Debug, Clone)]
+struct Ring {
+    buf: Vec<u8>,
+    read: usize,
+    write: usize,
+    len: usize,
+}
+
+impl Ring {
+    fn new() -> Ring {
+        Ring {
+            buf: vec![0u8; RING_CAPACITY],
+            read: 0,
+            write: 0,
+            len: 0,
+        }
+    }
+
+    fn free(&self) -> usize {
+        RING_CAPACITY - self.len
+    }
+
+    fn push(&mut self, data: &[u8]) -> usize {
+        let n = data.len().min(self.free());
+        for &b in &data[..n] {
+            self.buf[self.write] = b;
+            self.write = (self.write + 1) % RING_CAPACITY;
+        }
+        self.len += n;
+        n
+    }
+
+    fn pop(&mut self, max: usize) -> Vec<u8> {
+        let n = max.min(self.len);
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.buf[self.read]);
+            self.read = (self.read + 1) % RING_CAPACITY;
+        }
+        self.len -= n;
+        out
+    }
+}
+
+/// The shared state of an established vchan (both directions).
+///
+/// In the real system each ring lives in a granted page mapped by both
+/// domains; here the [`VchanPair`] owns the rings and each [`Vchan`]
+/// endpoint addresses them by direction, with the grant references and event
+/// channel ports recorded so the setup path exercises the same hypervisor
+/// interfaces.
+#[derive(Debug)]
+pub struct VchanPair {
+    server: DomId,
+    client: DomId,
+    /// Ring carrying bytes from client to server.
+    to_server: Ring,
+    /// Ring carrying bytes from server to client.
+    to_client: Ring,
+    /// Grant of the server→client page (granted by the server).
+    pub server_ring_gref: GrantRef,
+    /// Grant of the client→server page (granted by the server).
+    pub client_ring_gref: GrantRef,
+    /// Server-side event channel port.
+    pub server_port: Port,
+    /// Client-side event channel port.
+    pub client_port: Port,
+    server_open: bool,
+    client_open: bool,
+}
+
+/// Which end of the channel a [`Vchan`] handle represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The listening/granting side.
+    Server,
+    /// The connecting side.
+    Client,
+}
+
+impl VchanPair {
+    /// Establish a vchan between `server` and `client`: the server grants
+    /// the two ring pages to the client and allocates an unbound event
+    /// channel which the client binds.
+    pub fn establish(
+        grants: &mut GrantTable,
+        evtchn: &mut EventChannelTable,
+        server: DomId,
+        client: DomId,
+    ) -> Result<VchanPair, VchanError> {
+        let server_ring_gref = grants
+            .grant(server, client, false)
+            .map_err(|e| VchanError::Setup(format!("grant failed: {e:?}")))?;
+        let client_ring_gref = grants
+            .grant(server, client, false)
+            .map_err(|e| VchanError::Setup(format!("grant failed: {e:?}")))?;
+        grants
+            .map(server, server_ring_gref, client)
+            .map_err(|e| VchanError::Setup(format!("map failed: {e:?}")))?;
+        grants
+            .map(server, client_ring_gref, client)
+            .map_err(|e| VchanError::Setup(format!("map failed: {e:?}")))?;
+        let server_port = evtchn.alloc_unbound(server, client);
+        let client_port = evtchn
+            .bind_interdomain(client, server, server_port)
+            .map_err(|e| VchanError::Setup(format!("event channel bind failed: {e:?}")))?;
+        Ok(VchanPair {
+            server,
+            client,
+            to_server: Ring::new(),
+            to_client: Ring::new(),
+            server_ring_gref,
+            client_ring_gref,
+            server_port,
+            client_port,
+            server_open: true,
+            client_open: true,
+        })
+    }
+
+    /// The server-side endpoint handle.
+    pub fn server_end(&self) -> Vchan {
+        Vchan {
+            side: Side::Server,
+            dom: self.server,
+        }
+    }
+
+    /// The client-side endpoint handle.
+    pub fn client_end(&self) -> Vchan {
+        Vchan {
+            side: Side::Client,
+            dom: self.client,
+        }
+    }
+
+    fn rings(&mut self, side: Side) -> (&mut Ring, &mut Ring, bool) {
+        // Returns (tx ring, rx ring, peer_open) for the given side.
+        match side {
+            Side::Server => (&mut self.to_client, &mut self.to_server, self.client_open),
+            Side::Client => (&mut self.to_server, &mut self.to_client, self.server_open),
+        }
+    }
+
+    /// Write bytes from `side`; returns how many were accepted. Notifies the
+    /// peer's event channel when data was written.
+    pub fn write(
+        &mut self,
+        side: Side,
+        data: &[u8],
+        evtchn: &mut EventChannelTable,
+    ) -> Result<usize, VchanError> {
+        let notify_from = match side {
+            Side::Server => (self.server, self.server_port),
+            Side::Client => (self.client, self.client_port),
+        };
+        let (tx, _rx, peer_open) = self.rings(side);
+        if !peer_open {
+            return Err(VchanError::Closed);
+        }
+        if tx.free() == 0 {
+            return Err(VchanError::WouldBlock);
+        }
+        let n = tx.push(data);
+        if n > 0 {
+            let _ = evtchn.notify(notify_from.0, notify_from.1);
+        }
+        Ok(n)
+    }
+
+    /// Read up to `max` bytes available to `side`.
+    pub fn read(&mut self, side: Side, max: usize) -> Result<Vec<u8>, VchanError> {
+        let (_tx, rx, peer_open) = self.rings(side);
+        if rx.len == 0 {
+            return if peer_open {
+                Ok(Vec::new())
+            } else {
+                Err(VchanError::Closed)
+            };
+        }
+        Ok(rx.pop(max))
+    }
+
+    /// Bytes currently readable by `side`.
+    pub fn readable(&self, side: Side) -> usize {
+        match side {
+            Side::Server => self.to_server.len,
+            Side::Client => self.to_client.len,
+        }
+    }
+
+    /// Close one side of the channel.
+    pub fn close(&mut self, side: Side) {
+        match side {
+            Side::Server => self.server_open = false,
+            Side::Client => self.client_open = false,
+        }
+    }
+
+    /// True while both ends are open.
+    pub fn is_open(&self) -> bool {
+        self.server_open && self.client_open
+    }
+
+    /// The ring capacity per direction.
+    pub fn capacity() -> usize {
+        RING_CAPACITY
+    }
+}
+
+/// A lightweight endpoint handle (which side of which channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vchan {
+    /// Which side this handle is.
+    pub side: Side,
+    /// The domain holding this end.
+    pub dom: DomId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (GrantTable, EventChannelTable, VchanPair) {
+        let mut grants = GrantTable::new();
+        let mut evtchn = EventChannelTable::new();
+        let pair = VchanPair::establish(&mut grants, &mut evtchn, DomId(3), DomId(7)).unwrap();
+        (grants, evtchn, pair)
+    }
+
+    #[test]
+    fn establish_allocates_grants_and_ports() {
+        let (grants, _evtchn, pair) = setup();
+        assert_ne!(pair.server_ring_gref, pair.client_ring_gref);
+        assert_eq!(grants.grants_of(DomId(3)), 2, "server granted both rings");
+        assert!(pair.is_open());
+        assert_eq!(pair.server_end().dom, DomId(3));
+        assert_eq!(pair.client_end().dom, DomId(7));
+    }
+
+    #[test]
+    fn bytes_flow_both_ways_with_notification() {
+        let (_grants, mut evtchn, mut pair) = setup();
+        let n = pair.write(Side::Client, b"hello server", &mut evtchn).unwrap();
+        assert_eq!(n, 12);
+        // The server's event channel is pending.
+        assert!(evtchn.take_pending(DomId(3), pair.server_port).is_ok());
+        assert_eq!(pair.readable(Side::Server), 12);
+        assert_eq!(pair.read(Side::Server, 64).unwrap(), b"hello server");
+        assert_eq!(pair.readable(Side::Server), 0);
+
+        pair.write(Side::Server, b"hello client", &mut evtchn).unwrap();
+        assert_eq!(pair.read(Side::Client, 5).unwrap(), b"hello");
+        assert_eq!(pair.read(Side::Client, 64).unwrap(), b" client");
+        assert_eq!(pair.read(Side::Client, 64).unwrap(), b"");
+    }
+
+    #[test]
+    fn ring_wraps_correctly_over_many_messages() {
+        let (_grants, mut evtchn, mut pair) = setup();
+        // Push far more data than one ring holds, in chunks, draining as we go.
+        let chunk = vec![0xAB; 1000];
+        let mut total_read = 0usize;
+        for _ in 0..20 {
+            let n = pair.write(Side::Client, &chunk, &mut evtchn).unwrap();
+            assert!(n > 0);
+            let got = pair.read(Side::Server, 4096).unwrap();
+            assert!(got.iter().all(|&b| b == 0xAB));
+            total_read += got.len();
+        }
+        total_read += pair.read(Side::Server, usize::MAX).unwrap().len();
+        assert_eq!(total_read, 20 * 1000);
+    }
+
+    #[test]
+    fn full_ring_blocks_then_drains() {
+        let (_grants, mut evtchn, mut pair) = setup();
+        let big = vec![1u8; VchanPair::capacity() + 500];
+        let accepted = pair.write(Side::Client, &big, &mut evtchn).unwrap();
+        assert_eq!(accepted, VchanPair::capacity());
+        assert_eq!(
+            pair.write(Side::Client, b"more", &mut evtchn),
+            Err(VchanError::WouldBlock)
+        );
+        // Drain some and retry.
+        let drained = pair.read(Side::Server, 100).unwrap();
+        assert_eq!(drained.len(), 100);
+        assert_eq!(pair.write(Side::Client, b"more", &mut evtchn).unwrap(), 4);
+    }
+
+    #[test]
+    fn close_propagates_to_peer() {
+        let (_grants, mut evtchn, mut pair) = setup();
+        pair.write(Side::Server, b"bye", &mut evtchn).unwrap();
+        pair.close(Side::Server);
+        assert!(!pair.is_open());
+        // The client can still read buffered data...
+        assert_eq!(pair.read(Side::Client, 16).unwrap(), b"bye");
+        // ...then sees Closed.
+        assert_eq!(pair.read(Side::Client, 16), Err(VchanError::Closed));
+        // And cannot write to a closed peer.
+        assert_eq!(
+            pair.write(Side::Client, b"x", &mut evtchn),
+            Err(VchanError::Closed)
+        );
+    }
+
+    #[test]
+    fn zero_length_write_does_not_notify() {
+        let (_grants, mut evtchn, mut pair) = setup();
+        pair.write(Side::Client, b"", &mut evtchn).unwrap();
+        assert!(!evtchn.take_pending(DomId(3), pair.server_port).unwrap());
+    }
+}

@@ -1,0 +1,164 @@
+//! Service configuration.
+//!
+//! "In our current implementation, the Jitsu services are statically
+//! configured via OCaml code to map their unikernel with an IP address,
+//! protocol and port" (§3.3.2). The Rust equivalent: a [`ServiceConfig`] per
+//! service and a [`JitsuConfig`] for the host (DNS zone, TTL, boot
+//! optimisations, idle policy).
+
+use jitsu_sim::SimDuration;
+use netstack::ipv4::Ipv4Addr;
+use netstack::MacAddr;
+use unikernel::image::UnikernelImage;
+use xen_sim::toolstack::BootOptimisations;
+use xenstore::EngineKind;
+
+/// The transport protocol a service speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// TCP (HTTP sites, the persistent queue, SSL/TLS endpoints).
+    Tcp,
+    /// UDP (DNS and similar request/response services).
+    Udp,
+}
+
+/// One service Jitsu is responsible for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Fully-qualified DNS name, e.g. `alice.family.name`.
+    pub name: String,
+    /// The unikernel image to summon.
+    pub image: UnikernelImage,
+    /// The external IP assigned on the bridge.
+    pub ip: Ipv4Addr,
+    /// Protocol.
+    pub protocol: Protocol,
+    /// Listening port.
+    pub port: u16,
+}
+
+impl ServiceConfig {
+    /// A typical HTTP site service.
+    pub fn http_site(name: &str, ip: Ipv4Addr) -> ServiceConfig {
+        ServiceConfig {
+            name: name.to_string(),
+            image: UnikernelImage::mirage(name),
+            ip,
+            protocol: Protocol::Tcp,
+            port: 80,
+        }
+    }
+
+    /// The deterministic MAC address the service's vif will use (derived
+    /// from its IP so Synjitsu can answer ARP for it before the unikernel
+    /// exists).
+    pub fn mac(&self) -> MacAddr {
+        MacAddr([0x06, 0x16, 0x3e, self.ip.0[1], self.ip.0[2], self.ip.0[3]])
+    }
+}
+
+/// Host-wide Jitsu configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JitsuConfig {
+    /// The DNS zone this host is authoritative for (e.g. `family.name`).
+    pub zone: String,
+    /// TTL handed out in DNS answers.
+    pub dns_ttl: u32,
+    /// Toolstack optimisations to use when summoning.
+    pub boot: BootOptimisations,
+    /// XenStore transaction engine.
+    pub engine: EngineKind,
+    /// Whether Synjitsu connection proxying is enabled.
+    pub use_synjitsu: bool,
+    /// Retire a unikernel after this much idle time (none = never).
+    pub idle_timeout: Option<SimDuration>,
+    /// The services this host manages.
+    pub services: Vec<ServiceConfig>,
+}
+
+impl JitsuConfig {
+    /// The default configuration: fully optimised toolstack, Jitsu XenStore
+    /// engine, Synjitsu enabled, 2-minute idle timeout.
+    pub fn new(zone: &str) -> JitsuConfig {
+        JitsuConfig {
+            zone: zone.trim_matches('.').to_string(),
+            dns_ttl: 30,
+            boot: BootOptimisations::jitsu(),
+            engine: EngineKind::JitsuMerge,
+            use_synjitsu: true,
+            idle_timeout: Some(SimDuration::from_secs(120)),
+            services: Vec::new(),
+        }
+    }
+
+    /// Add a service (builder style).
+    pub fn with_service(mut self, service: ServiceConfig) -> JitsuConfig {
+        self.services.push(service);
+        self
+    }
+
+    /// Disable Synjitsu (the "cold start, no synjitsu" line of Figure 9a).
+    pub fn without_synjitsu(mut self) -> JitsuConfig {
+        self.use_synjitsu = false;
+        self
+    }
+
+    /// Use the vanilla (unoptimised) toolstack.
+    pub fn with_vanilla_toolstack(mut self) -> JitsuConfig {
+        self.boot = BootOptimisations::vanilla();
+        self.engine = EngineKind::Serial;
+        self
+    }
+
+    /// Find a service by DNS name.
+    pub fn service(&self, name: &str) -> Option<&ServiceConfig> {
+        let name = name.trim_matches('.');
+        self.services.iter().find(|s| s.name == name)
+    }
+
+    /// The nameserver's own name (`ns.<zone>`), as registered in the public
+    /// DNS (§3.3.2).
+    pub fn nameserver_name(&self) -> String {
+        format!("ns.{}", self.zone)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn http_site_defaults() {
+        let s = ServiceConfig::http_site("alice.family.name", Ipv4Addr::new(192, 168, 1, 20));
+        assert_eq!(s.port, 80);
+        assert_eq!(s.protocol, Protocol::Tcp);
+        assert_eq!(s.image.memory_mib, 16);
+        let mac = s.mac();
+        assert_eq!(mac.0[0] & 0x01, 0, "unicast");
+        assert_eq!(&mac.0[3..], &[168, 1, 20]);
+    }
+
+    #[test]
+    fn config_builder_and_lookup() {
+        let cfg = JitsuConfig::new("family.name.")
+            .with_service(ServiceConfig::http_site("alice.family.name", Ipv4Addr::new(192, 168, 1, 20)))
+            .with_service(ServiceConfig::http_site("bob.family.name", Ipv4Addr::new(192, 168, 1, 21)));
+        assert_eq!(cfg.zone, "family.name");
+        assert_eq!(cfg.nameserver_name(), "ns.family.name");
+        assert!(cfg.service("alice.family.name").is_some());
+        assert!(cfg.service("alice.family.name.").is_some());
+        assert!(cfg.service("carol.family.name").is_none());
+        assert!(cfg.use_synjitsu);
+        assert_eq!(cfg.engine, EngineKind::JitsuMerge);
+    }
+
+    #[test]
+    fn figure9a_variant_constructors() {
+        let base = JitsuConfig::new("family.name");
+        let no_syn = base.clone().without_synjitsu();
+        assert!(!no_syn.use_synjitsu);
+        let vanilla = base.with_vanilla_toolstack();
+        assert_eq!(vanilla.engine, EngineKind::Serial);
+        assert_eq!(vanilla.boot, BootOptimisations::vanilla());
+    }
+}

@@ -1,0 +1,278 @@
+//! The Jitsu directory service: DNS-triggered summoning.
+//!
+//! "A Jitsu VM is launched at boot time with access to the external network
+//! and handles name resolution ... If a name resolution request is received
+//! that maps onto a running unikernel, Jitsu just returns an appropriate IP
+//! address or vchan endpoint. If the name requested does not correspond to a
+//! running unikernel, Jitsu launches the desired unikernel while
+//! simultaneously returning an appropriate endpoint" (§3.3). Resource
+//! exhaustion is reported as `SERVFAIL` so clients fail over to another
+//! board.
+
+use crate::config::JitsuConfig;
+use jitsu_sim::SimTime;
+use netstack::dns::{DnsMessage, Rcode};
+use netstack::ipv4::Ipv4Addr;
+use std::collections::HashMap;
+
+/// What the directory decided to do with a query, beyond answering it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectoryAction {
+    /// The name maps to an already-running unikernel; nothing to do.
+    AlreadyRunning {
+        /// The service name.
+        name: String,
+    },
+    /// The name is known but not running: a launch has been requested.
+    Launch {
+        /// The service name to summon.
+        name: String,
+    },
+    /// The name is not in our zone or not configured; no action.
+    None,
+    /// The host lacks resources; the client was told to go elsewhere.
+    ResourceExhausted {
+        /// The service name that could not be summoned.
+        name: String,
+    },
+}
+
+/// The directory service state: configured services plus which are running.
+#[derive(Debug)]
+pub struct DirectoryService {
+    config: JitsuConfig,
+    /// Running services and when they last served a request (for the idle
+    /// retirement policy).
+    running: HashMap<String, SimTime>,
+    queries_handled: u64,
+    launches_triggered: u64,
+}
+
+impl DirectoryService {
+    /// Create the directory for a host configuration.
+    pub fn new(config: JitsuConfig) -> DirectoryService {
+        DirectoryService {
+            config,
+            running: HashMap::new(),
+            queries_handled: 0,
+            launches_triggered: 0,
+        }
+    }
+
+    /// The host configuration.
+    pub fn config(&self) -> &JitsuConfig {
+        &self.config
+    }
+
+    /// Record that a service is now running (called by the launcher when the
+    /// unikernel is ready, or immediately at launch time so repeat queries
+    /// do not double-launch).
+    pub fn mark_running(&mut self, name: &str, now: SimTime) {
+        self.running.insert(name.trim_matches('.').to_string(), now);
+    }
+
+    /// Record that a service served a request (refreshes the idle clock).
+    pub fn touch(&mut self, name: &str, now: SimTime) {
+        if let Some(t) = self.running.get_mut(name.trim_matches('.')) {
+            *t = now;
+        }
+    }
+
+    /// Record that a service has been retired.
+    pub fn mark_stopped(&mut self, name: &str) {
+        self.running.remove(name.trim_matches('.'));
+    }
+
+    /// Is the service currently running?
+    pub fn is_running(&self, name: &str) -> bool {
+        self.running.contains_key(name.trim_matches('.'))
+    }
+
+    /// Services idle for longer than the configured timeout at `now`.
+    pub fn idle_services(&self, now: SimTime) -> Vec<String> {
+        let Some(timeout) = self.config.idle_timeout else {
+            return Vec::new();
+        };
+        self.running
+            .iter()
+            .filter(|(_, last)| now.duration_since(**last) >= timeout)
+            .map(|(name, _)| name.clone())
+            .collect()
+    }
+
+    /// Handle a DNS query, given whether the host currently has resources to
+    /// summon another unikernel. Returns the response to send immediately
+    /// and the action the caller (jitsud) should take.
+    pub fn handle_query(
+        &mut self,
+        query: &DnsMessage,
+        now: SimTime,
+        resources_available: bool,
+    ) -> (DnsMessage, DirectoryAction) {
+        self.queries_handled += 1;
+        let Some(name) = query.queried_name().map(|s| s.trim_matches('.').to_string()) else {
+            return (DnsMessage::error(query, Rcode::ServFail), DirectoryAction::None);
+        };
+        // The nameserver's own record.
+        if name == self.config.nameserver_name() {
+            return (
+                DnsMessage::answer(query, Ipv4Addr::new(192, 168, 1, 1), self.config.dns_ttl),
+                DirectoryAction::None,
+            );
+        }
+        let Some(service) = self.config.service(&name).cloned() else {
+            // Inside our zone but unknown → NXDOMAIN; outside → refuse with
+            // SERVFAIL (we are not a recursive resolver in this model).
+            let rcode = if name.ends_with(&self.config.zone) {
+                Rcode::NxDomain
+            } else {
+                Rcode::ServFail
+            };
+            return (DnsMessage::error(query, rcode), DirectoryAction::None);
+        };
+        if self.is_running(&service.name) {
+            self.touch(&service.name, now);
+            return (
+                DnsMessage::answer(query, service.ip, self.config.dns_ttl),
+                DirectoryAction::AlreadyRunning { name: service.name },
+            );
+        }
+        if !resources_available {
+            return (
+                DnsMessage::error(query, Rcode::ServFail),
+                DirectoryAction::ResourceExhausted { name: service.name },
+            );
+        }
+        // Launch while simultaneously answering with the (future) address.
+        self.launches_triggered += 1;
+        self.mark_running(&service.name, now);
+        (
+            DnsMessage::answer(query, service.ip, self.config.dns_ttl),
+            DirectoryAction::Launch { name: service.name },
+        )
+    }
+
+    /// Counters: `(queries handled, launches triggered)`.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.queries_handled, self.launches_triggered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+    use jitsu_sim::SimDuration;
+
+    fn config() -> JitsuConfig {
+        JitsuConfig::new("family.name")
+            .with_service(ServiceConfig::http_site(
+                "alice.family.name",
+                Ipv4Addr::new(192, 168, 1, 20),
+            ))
+            .with_service(ServiceConfig::http_site(
+                "bob.family.name",
+                Ipv4Addr::new(192, 168, 1, 21),
+            ))
+    }
+
+    #[test]
+    fn unknown_name_in_zone_is_nxdomain_outside_is_servfail() {
+        let mut dir = DirectoryService::new(config());
+        let (resp, action) =
+            dir.handle_query(&DnsMessage::query(1, "carol.family.name"), SimTime::ZERO, true);
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+        assert_eq!(action, DirectoryAction::None);
+        let (resp, action) =
+            dir.handle_query(&DnsMessage::query(2, "example.com"), SimTime::ZERO, true);
+        assert_eq!(resp.rcode, Rcode::ServFail);
+        assert_eq!(action, DirectoryAction::None);
+    }
+
+    #[test]
+    fn first_query_triggers_launch_and_answers_immediately() {
+        let mut dir = DirectoryService::new(config());
+        let (resp, action) =
+            dir.handle_query(&DnsMessage::query(1, "alice.family.name"), SimTime::ZERO, true);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(resp.answers[0].addr, Ipv4Addr::new(192, 168, 1, 20));
+        assert_eq!(
+            action,
+            DirectoryAction::Launch {
+                name: "alice.family.name".into()
+            }
+        );
+        assert!(dir.is_running("alice.family.name"));
+        assert_eq!(dir.counters(), (1, 1));
+    }
+
+    #[test]
+    fn repeat_query_does_not_double_launch() {
+        let mut dir = DirectoryService::new(config());
+        dir.handle_query(&DnsMessage::query(1, "alice.family.name"), SimTime::ZERO, true);
+        let (resp, action) = dir.handle_query(
+            &DnsMessage::query(2, "alice.family.name"),
+            SimTime::from_millis(10),
+            true,
+        );
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(
+            action,
+            DirectoryAction::AlreadyRunning {
+                name: "alice.family.name".into()
+            }
+        );
+        assert_eq!(dir.counters(), (2, 1), "only one launch");
+    }
+
+    #[test]
+    fn resource_exhaustion_is_servfail() {
+        let mut dir = DirectoryService::new(config());
+        let (resp, action) =
+            dir.handle_query(&DnsMessage::query(1, "bob.family.name"), SimTime::ZERO, false);
+        assert_eq!(resp.rcode, Rcode::ServFail);
+        assert_eq!(
+            action,
+            DirectoryAction::ResourceExhausted {
+                name: "bob.family.name".into()
+            }
+        );
+        assert!(!dir.is_running("bob.family.name"));
+    }
+
+    #[test]
+    fn nameserver_record_resolves() {
+        let mut dir = DirectoryService::new(config());
+        let (resp, action) =
+            dir.handle_query(&DnsMessage::query(1, "ns.family.name"), SimTime::ZERO, true);
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(action, DirectoryAction::None);
+    }
+
+    #[test]
+    fn idle_services_are_reported_after_timeout() {
+        let mut cfg = config();
+        cfg.idle_timeout = Some(SimDuration::from_secs(60));
+        let mut dir = DirectoryService::new(cfg);
+        dir.handle_query(&DnsMessage::query(1, "alice.family.name"), SimTime::ZERO, true);
+        assert!(dir.idle_services(SimTime::from_secs(30)).is_empty());
+        assert_eq!(
+            dir.idle_services(SimTime::from_secs(61)),
+            vec!["alice.family.name".to_string()]
+        );
+        // A request refreshes the idle clock.
+        dir.touch("alice.family.name", SimTime::from_secs(59));
+        assert!(dir.idle_services(SimTime::from_secs(100)).is_empty());
+        dir.mark_stopped("alice.family.name");
+        assert!(!dir.is_running("alice.family.name"));
+    }
+
+    #[test]
+    fn no_idle_reporting_without_timeout() {
+        let mut cfg = config();
+        cfg.idle_timeout = None;
+        let mut dir = DirectoryService::new(cfg);
+        dir.mark_running("alice.family.name", SimTime::ZERO);
+        assert!(dir.idle_services(SimTime::from_secs(10_000)).is_empty());
+    }
+}

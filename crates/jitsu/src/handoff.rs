@@ -1,0 +1,269 @@
+//! The Synjitsu → unikernel connection handoff over XenStore.
+//!
+//! Figure 7 shows the proxy registering embryonic TCP connections under the
+//! booting unikernel's conduit subtree (`state`, `tcb`, `packets`), and
+//! §3.3.1 describes the final step: "When the unikernel finishes booting and
+//! has an active network interface, it signals to synjitsu that it is ready
+//! for traffic via a two-phase commit in XenStore, ensuring only one of them
+//! ever handles any given packet."
+//!
+//! The coordinator below implements that protocol:
+//!
+//! 1. while the phase is [`HandoffPhase::Proxying`], only Synjitsu answers
+//!    packets and it keeps the per-connection records up to date;
+//! 2. the booted unikernel writes [`HandoffPhase::Prepare`] — Synjitsu stops
+//!    answering, flushes its final state and acknowledges;
+//! 3. the unikernel reads the records, reconstructs the connections and
+//!    writes [`HandoffPhase::Committed`] — from then on only the unikernel
+//!    answers, and the records are removed.
+
+use netstack::tcp::Tcb;
+use xenstore::{DomId, Result as XsResult, XenStore};
+
+/// The phase of the handoff for one service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandoffPhase {
+    /// Synjitsu owns the traffic (unikernel still booting).
+    Proxying,
+    /// The unikernel has asked to take over; Synjitsu is flushing state.
+    Prepare,
+    /// The unikernel owns the traffic.
+    Committed,
+}
+
+impl HandoffPhase {
+    fn token(self) -> &'static str {
+        match self {
+            HandoffPhase::Proxying => "proxying",
+            HandoffPhase::Prepare => "prepare",
+            HandoffPhase::Committed => "committed",
+        }
+    }
+
+    fn from_token(s: &str) -> Option<HandoffPhase> {
+        Some(match s {
+            "proxying" => HandoffPhase::Proxying,
+            "prepare" => HandoffPhase::Prepare,
+            "committed" => HandoffPhase::Committed,
+            _ => return None,
+        })
+    }
+}
+
+/// Coordinates the handoff records for services on one host.
+#[derive(Debug, Default)]
+pub struct HandoffCoordinator;
+
+impl HandoffCoordinator {
+    /// Create a coordinator.
+    pub fn new() -> HandoffCoordinator {
+        HandoffCoordinator
+    }
+
+    fn service_key(name: &str) -> String {
+        name.replace('.', "_")
+    }
+
+    fn base(name: &str) -> String {
+        format!("/conduit/{}/tcpv4", Self::service_key(name))
+    }
+
+    fn phase_path(name: &str) -> String {
+        format!("/conduit/{}/synjitsu-phase", Self::service_key(name))
+    }
+
+    /// Initialise the handoff area for a service that is being summoned.
+    pub fn begin_proxying(&self, xs: &mut XenStore, name: &str) -> XsResult<()> {
+        xs.mkdir(DomId::DOM0, None, &Self::base(name))?;
+        xs.write(
+            DomId::DOM0,
+            None,
+            &Self::phase_path(name),
+            HandoffPhase::Proxying.token().as_bytes(),
+        )
+    }
+
+    /// The current phase (defaults to `Committed` when no handoff area
+    /// exists — i.e. the unikernel is simply running normally).
+    pub fn phase(&self, xs: &mut XenStore, name: &str) -> HandoffPhase {
+        match xs.read_string(DomId::DOM0, None, &Self::phase_path(name)) {
+            Ok(s) => HandoffPhase::from_token(s.trim()).unwrap_or(HandoffPhase::Committed),
+            Err(_) => HandoffPhase::Committed,
+        }
+    }
+
+    /// True if Synjitsu should answer packets for this service right now.
+    pub fn proxy_should_handle(&self, xs: &mut XenStore, name: &str) -> bool {
+        self.phase(xs, name) == HandoffPhase::Proxying
+    }
+
+    /// True if the unikernel should answer packets for this service.
+    pub fn unikernel_should_handle(&self, xs: &mut XenStore, name: &str) -> bool {
+        self.phase(xs, name) == HandoffPhase::Committed
+    }
+
+    /// Record (or update) one embryonic connection, Figure 7 style: a
+    /// numbered entry with `state`, `tcb` and `packets` keys.
+    pub fn record_connection(
+        &self,
+        xs: &mut XenStore,
+        name: &str,
+        index: u32,
+        tcb: &Tcb,
+    ) -> XsResult<()> {
+        let dir = format!("{}/{}", Self::base(name), index);
+        xs.write(DomId::DOM0, None, &format!("{dir}/state"), tcb.state.as_token().as_bytes())?;
+        xs.write(DomId::DOM0, None, &format!("{dir}/tcb"), tcb.to_sexp().as_bytes())?;
+        let packets = if tcb.buffered.is_empty() {
+            "()".to_string()
+        } else {
+            format!("((data {} bytes))", tcb.buffered.len())
+        };
+        xs.write(DomId::DOM0, None, &format!("{dir}/packets"), packets.as_bytes())
+    }
+
+    /// Number of connections currently recorded for a service.
+    pub fn recorded_connections(&self, xs: &mut XenStore, name: &str) -> usize {
+        xs.directory(DomId::DOM0, None, &Self::base(name))
+            .map(|entries| entries.len())
+            .unwrap_or(0)
+    }
+
+    /// Step 1 of the takeover, performed by the unikernel once its network
+    /// stack is attached.
+    pub fn request_takeover(&self, xs: &mut XenStore, name: &str) -> XsResult<()> {
+        xs.write(
+            DomId::DOM0,
+            None,
+            &Self::phase_path(name),
+            HandoffPhase::Prepare.token().as_bytes(),
+        )
+    }
+
+    /// Step 2, performed by the unikernel after Synjitsu has acknowledged
+    /// the prepare (flushed its final records): read every recorded TCB,
+    /// commit the phase and clear the records. Returns the TCBs to adopt.
+    pub fn commit_takeover(&self, xs: &mut XenStore, name: &str) -> XsResult<Vec<Tcb>> {
+        let base = Self::base(name);
+        let mut tcbs = Vec::new();
+        for entry in xs.directory(DomId::DOM0, None, &base).unwrap_or_default() {
+            if let Ok(sexp) = xs.read_string(DomId::DOM0, None, &format!("{base}/{entry}/tcb")) {
+                if let Some(tcb) = Tcb::from_sexp(&sexp) {
+                    tcbs.push(tcb);
+                }
+            }
+        }
+        xs.write(
+            DomId::DOM0,
+            None,
+            &Self::phase_path(name),
+            HandoffPhase::Committed.token().as_bytes(),
+        )?;
+        // Clear the handoff records now ownership has transferred.
+        let _ = xs.rm(DomId::DOM0, None, &base);
+        Ok(tcbs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netstack::ipv4::Ipv4Addr;
+    use netstack::tcp::TcpState;
+    use xenstore::EngineKind;
+
+    fn tcb(port: u16, buffered: &[u8]) -> Tcb {
+        Tcb {
+            state: TcpState::Established,
+            local_ip: Ipv4Addr::new(192, 168, 1, 20),
+            local_port: 80,
+            remote_ip: Ipv4Addr::new(192, 168, 1, 100),
+            remote_port: port,
+            isn: 1000,
+            snd_nxt: 1001,
+            snd_una: 1001,
+            rcv_nxt: 5000,
+            buffered: buffered.to_vec(),
+        }
+    }
+
+    #[test]
+    fn phase_progression_guarantees_single_handler() {
+        let mut xs = XenStore::new(EngineKind::JitsuMerge);
+        let h = HandoffCoordinator::new();
+        h.begin_proxying(&mut xs, "alice.family.name").unwrap();
+        assert_eq!(h.phase(&mut xs, "alice.family.name"), HandoffPhase::Proxying);
+        assert!(h.proxy_should_handle(&mut xs, "alice.family.name"));
+        assert!(!h.unikernel_should_handle(&mut xs, "alice.family.name"));
+
+        h.request_takeover(&mut xs, "alice.family.name").unwrap();
+        assert_eq!(h.phase(&mut xs, "alice.family.name"), HandoffPhase::Prepare);
+        // During prepare, *neither* side answers new packets.
+        assert!(!h.proxy_should_handle(&mut xs, "alice.family.name"));
+        assert!(!h.unikernel_should_handle(&mut xs, "alice.family.name"));
+
+        h.commit_takeover(&mut xs, "alice.family.name").unwrap();
+        assert!(h.unikernel_should_handle(&mut xs, "alice.family.name"));
+        assert!(!h.proxy_should_handle(&mut xs, "alice.family.name"));
+    }
+
+    #[test]
+    fn records_round_trip_through_the_store() {
+        let mut xs = XenStore::new(EngineKind::JitsuMerge);
+        let h = HandoffCoordinator::new();
+        h.begin_proxying(&mut xs, "alice.family.name").unwrap();
+        let t1 = tcb(51000, b"GET / HTTP/1.1\r\n\r\n");
+        let mut t2 = tcb(51001, b"");
+        t2.state = TcpState::SynReceived;
+        h.record_connection(&mut xs, "alice.family.name", 1, &t1).unwrap();
+        h.record_connection(&mut xs, "alice.family.name", 2, &t2).unwrap();
+        assert_eq!(h.recorded_connections(&mut xs, "alice.family.name"), 2);
+
+        // The store holds Figure 7's structure.
+        let state = xs
+            .read_string(DomId::DOM0, None, "/conduit/alice_family_name/tcpv4/1/state")
+            .unwrap();
+        assert_eq!(state, "ESTABLISHED");
+        let packets = xs
+            .read_string(DomId::DOM0, None, "/conduit/alice_family_name/tcpv4/1/packets")
+            .unwrap();
+        assert!(packets.contains("18 bytes"));
+
+        h.request_takeover(&mut xs, "alice.family.name").unwrap();
+        let adopted = h.commit_takeover(&mut xs, "alice.family.name").unwrap();
+        assert_eq!(adopted.len(), 2);
+        assert!(adopted.contains(&t1));
+        assert!(adopted.contains(&t2));
+        // Records are gone afterwards.
+        assert_eq!(h.recorded_connections(&mut xs, "alice.family.name"), 0);
+    }
+
+    #[test]
+    fn updating_a_record_overwrites_it() {
+        let mut xs = XenStore::new(EngineKind::JitsuMerge);
+        let h = HandoffCoordinator::new();
+        h.begin_proxying(&mut xs, "q").unwrap();
+        let mut t = tcb(51000, b"");
+        t.state = TcpState::SynReceived;
+        h.record_connection(&mut xs, "q", 1, &t).unwrap();
+        t.state = TcpState::Established;
+        t.buffered = b"data".to_vec();
+        h.record_connection(&mut xs, "q", 1, &t).unwrap();
+        assert_eq!(h.recorded_connections(&mut xs, "q"), 1);
+        h.request_takeover(&mut xs, "q").unwrap();
+        let adopted = h.commit_takeover(&mut xs, "q").unwrap();
+        assert_eq!(adopted[0].state, TcpState::Established);
+        assert_eq!(adopted[0].buffered, b"data");
+    }
+
+    #[test]
+    fn services_without_handoff_area_default_to_unikernel_handling() {
+        let mut xs = XenStore::new(EngineKind::JitsuMerge);
+        let h = HandoffCoordinator::new();
+        assert_eq!(h.phase(&mut xs, "never.summoned"), HandoffPhase::Committed);
+        assert!(h.unikernel_should_handle(&mut xs, "never.summoned"));
+        assert_eq!(h.recorded_connections(&mut xs, "never.summoned"), 0);
+        // Committing with no records yields an empty set, not an error.
+        assert!(h.commit_takeover(&mut xs, "never.summoned").unwrap().is_empty());
+    }
+}

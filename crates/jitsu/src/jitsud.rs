@@ -1,0 +1,664 @@
+//! jitsud: the Jitsu daemon and its end-to-end request timelines.
+//!
+//! This module composes everything the crate provides into the flows the
+//! paper evaluates (Figure 6 shows the cold-start flow; Figure 9a measures
+//! it):
+//!
+//! 1. a DNS query arrives for a configured name — the directory answers
+//!    immediately and triggers a launch;
+//! 2. the optimised toolstack constructs the domain while Synjitsu (if
+//!    enabled) answers the client's SYN and buffers its request;
+//! 3. when the unikernel's network stack attaches, the buffered connection
+//!    state is handed over via XenStore and the unikernel replays and
+//!    answers the request;
+//! 4. subsequent requests hit the already-running unikernel directly
+//!    (≈5 ms on the local network).
+//!
+//! Without Synjitsu, the early SYN is simply lost and the client's kernel
+//! retransmits after the conventional 1 s initial retransmission timeout —
+//! which is exactly the >1 s mode visible in Figure 9a.
+
+use crate::config::{JitsuConfig, ServiceConfig};
+use crate::directory::{DirectoryAction, DirectoryService};
+use crate::launcher::{LaunchError, Launcher, LaunchOutcome};
+use crate::synjitsu::Synjitsu;
+use jitsu_sim::{SimDuration, SimTime, Tracer};
+use netstack::dns::{DnsMessage, Rcode};
+use netstack::ethernet::MacAddr;
+use netstack::http::{HttpRequest, HttpResponse};
+use netstack::iface::Interface;
+use netstack::ipv4::Ipv4Addr;
+use platform::Board;
+use std::collections::HashMap;
+use unikernel::instance::UnikernelInstance;
+use xen_sim::toolstack::Toolstack;
+use xenstore::DomId;
+
+/// Which Figure 9a configuration a cold start uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColdStartMode {
+    /// No Synjitsu: the first SYN is lost and the client retransmits.
+    NoSynjitsu,
+    /// Synjitsu with the vanilla (unoptimised) toolstack.
+    SynjitsuVanillaToolstack,
+    /// Synjitsu with the optimised Jitsu toolstack.
+    SynjitsuOptimised,
+}
+
+impl ColdStartMode {
+    /// The Figure 9a legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ColdStartMode::NoSynjitsu => "Jitsu cold start (no synjitsu)",
+            ColdStartMode::SynjitsuVanillaToolstack => {
+                "Jitsu cold start w/ synjitsu, vanilla toolstack"
+            }
+            ColdStartMode::SynjitsuOptimised => {
+                "Jitsu cold start w/ synjitsu, optimised toolstack"
+            }
+        }
+    }
+
+    /// All modes in legend order.
+    pub const ALL: [ColdStartMode; 3] = [
+        ColdStartMode::NoSynjitsu,
+        ColdStartMode::SynjitsuVanillaToolstack,
+        ColdStartMode::SynjitsuOptimised,
+    ];
+}
+
+/// The outcome of an end-to-end request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColdStartReport {
+    /// The service requested.
+    pub name: String,
+    /// Time from the client's DNS query to its receipt of the DNS answer.
+    pub dns_response_time: SimDuration,
+    /// Time from the client's DNS query to its receipt of the full HTTP
+    /// response — the quantity Figure 9a plots.
+    pub http_response_time: SimDuration,
+    /// When (relative to the query) the unikernel's application was ready.
+    pub unikernel_ready_after: SimDuration,
+    /// Number of client SYN retransmissions that occurred.
+    pub syn_retransmissions: u32,
+    /// HTTP status of the final response.
+    pub http_status: u16,
+    /// Whether Synjitsu proxied the connection.
+    pub proxied: bool,
+}
+
+/// The outcome of a request against an already-running service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// End-to-end response time.
+    pub response_time: SimDuration,
+    /// HTTP status.
+    pub http_status: u16,
+}
+
+/// Errors from jitsud operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JitsudError {
+    /// The requested name is not configured on this host.
+    UnknownService(String),
+    /// The host could not summon the unikernel.
+    Launch(LaunchError),
+    /// An internal invariant failed (details in the message).
+    Internal(String),
+}
+
+/// The Jitsu daemon.
+pub struct Jitsud {
+    config: JitsuConfig,
+    directory: DirectoryService,
+    launcher: Launcher,
+    synjitsu: Synjitsu,
+    instances: HashMap<String, UnikernelInstance>,
+    doms: HashMap<String, DomId>,
+    /// One-way propagation delay on the local segment (half the ~5 ms local
+    /// RTT quoted in §3.3).
+    one_way_delay: SimDuration,
+    /// The client kernel's initial SYN retransmission timeout (1 s, per
+    /// §3.3: "the client retransmits after 1s").
+    syn_rto: SimDuration,
+    dns_processing: SimDuration,
+    handoff_cost: SimDuration,
+    clock: SimTime,
+    /// Event trace of the cold-start flow (Figure 6's numbered steps).
+    pub tracer: Tracer,
+    seed_counter: u64,
+}
+
+impl Jitsud {
+    /// Start the daemon for a board and configuration.
+    pub fn new(config: JitsuConfig, board: Board, seed: u64) -> Jitsud {
+        let toolstack = Toolstack::new(board.clone(), config.engine, seed);
+        let launcher = Launcher::new(toolstack, config.boot);
+        let directory = DirectoryService::new(config.clone());
+        Jitsud {
+            config,
+            directory,
+            launcher,
+            synjitsu: Synjitsu::new(),
+            instances: HashMap::new(),
+            doms: HashMap::new(),
+            one_way_delay: SimDuration::from_micros(2_500),
+            syn_rto: SimDuration::from_secs(1),
+            dns_processing: board.scale_cpu(SimDuration::from_micros(150)),
+            handoff_cost: board.scale_cpu(SimDuration::from_micros(700)),
+            clock: SimTime::ZERO,
+            tracer: Tracer::new(),
+            seed_counter: seed,
+        }
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &JitsuConfig {
+        &self.config
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of unikernels currently running.
+    pub fn running_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether a service is currently running.
+    pub fn is_running(&self, name: &str) -> bool {
+        self.instances.contains_key(name.trim_matches('.'))
+    }
+
+    /// Advance the virtual clock (e.g. between requests in an experiment).
+    pub fn advance_clock(&mut self, by: SimDuration) {
+        self.clock += by;
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.seed_counter = self.seed_counter.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.seed_counter
+    }
+
+    fn service(&self, name: &str) -> Result<ServiceConfig, JitsudError> {
+        self.config
+            .service(name)
+            .cloned()
+            .ok_or_else(|| JitsudError::UnknownService(name.to_string()))
+    }
+
+    /// Handle a DNS query at the current virtual time, returning the
+    /// response, the action taken, and the launch outcome if a summon was
+    /// triggered.
+    pub fn handle_dns(
+        &mut self,
+        query: &DnsMessage,
+    ) -> (DnsMessage, DirectoryAction, Option<LaunchOutcome>) {
+        let name = query.queried_name().unwrap_or_default().to_string();
+        let resources = self
+            .config
+            .service(&name)
+            .map(|s| self.launcher.has_resources_for(s))
+            .unwrap_or(true);
+        let (response, action) = self.directory.handle_query(query, self.clock, resources);
+        let launch = if let DirectoryAction::Launch { name } = &action {
+            match self.launch(name) {
+                Ok(outcome) => Some(outcome),
+                Err(_) => {
+                    self.directory.mark_stopped(name);
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        (response, action, launch)
+    }
+
+    fn launch(&mut self, name: &str) -> Result<LaunchOutcome, JitsudError> {
+        let service = self.service(name)?;
+        let seed = self.next_seed();
+        let launch_start = self.clock + self.dns_processing;
+        let (outcome, instance) = self
+            .launcher
+            .summon(&service, launch_start, seed)
+            .map_err(JitsudError::Launch)?;
+        if self.config.use_synjitsu {
+            self.synjitsu
+                .start_proxying(&mut self.launcher.toolstack.xenstore, &service)
+                .map_err(|e| JitsudError::Internal(e.to_string()))?;
+        }
+        self.tracer.emit(
+            launch_start,
+            "jitsud",
+            format!("summoning {} as dom{}", name, outcome.dom.0),
+        );
+        self.instances.insert(service.name.clone(), instance);
+        self.doms.insert(service.name.clone(), outcome.dom);
+        Ok(outcome)
+    }
+
+    /// Retire services idle longer than the configured timeout; returns the
+    /// names retired.
+    pub fn retire_idle(&mut self) -> Vec<String> {
+        let idle = self.directory.idle_services(self.clock);
+        for name in &idle {
+            if let Some(dom) = self.doms.remove(name) {
+                let _ = self.launcher.retire(dom);
+            }
+            self.instances.remove(name);
+            self.directory.mark_stopped(name);
+            self.tracer
+                .emit(self.clock, "jitsud", format!("retired idle service {name}"));
+        }
+        idle
+    }
+
+    /// Run one complete cold-start request for `name` from an external
+    /// client: DNS query → (launch, proxying/handoff or SYN retransmission)
+    /// → HTTP response. The heavy lifting — TCP handshake, TCB
+    /// serialisation, request replay — is done with the real `netstack` and
+    /// XenStore machinery; the virtual clock stitches the stages together.
+    pub fn cold_start_request(
+        &mut self,
+        name: &str,
+        client_ip: Ipv4Addr,
+        path: &str,
+    ) -> Result<ColdStartReport, JitsudError> {
+        let service = self.service(name)?;
+        if self.is_running(&service.name) {
+            return Err(JitsudError::Internal(format!(
+                "{name} is already running; use warm_request"
+            )));
+        }
+        let t_query = self.clock;
+        let client_mac = MacAddr([2, 0, 0, 0, 0, client_ip.0[3]]);
+
+        // --- 1. DNS resolution triggers the launch -------------------------
+        let query = DnsMessage::query(1, &service.name);
+        let (response, _action, launch) = self.handle_dns(&query);
+        if response.rcode != Rcode::NoError {
+            return Err(JitsudError::Launch(LaunchError::OutOfResources));
+        }
+        let launch = launch.ok_or_else(|| {
+            JitsudError::Internal("expected the query to trigger a launch".into())
+        })?;
+        let t_dns_at_client = t_query + self.dns_processing + self.one_way_delay;
+        self.tracer
+            .emit(t_dns_at_client, "client", "DNS answer received");
+
+        // --- 2. The client opens TCP and sends its request -----------------
+        let mut client = Interface::new(client_mac, client_ip);
+        client.add_arp_entry(service.ip, service.mac());
+        let syn_frame = client.tcp_connect(service.ip, service.port);
+        let t_syn_arrives = t_dns_at_client + self.one_way_delay;
+        let client_port = 49152u16;
+        let request_bytes = HttpRequest::get(path, &service.name).emit();
+
+        let network_ready = launch.network_ready_at();
+        let app_ready = launch.app_ready_at();
+        let mut retransmissions = 0u32;
+        let proxied = self.config.use_synjitsu;
+
+        let (response_frames, t_response_sent);
+        if proxied {
+            // Synjitsu answers the handshake immediately and buffers the
+            // request until the unikernel is ready.
+            let xs = &mut self.launcher.toolstack.xenstore;
+            let mut to_proxy = vec![syn_frame];
+            let mut frames_from_proxy = Vec::new();
+            for _ in 0..8 {
+                if to_proxy.is_empty() {
+                    break;
+                }
+                let mut next = Vec::new();
+                for f in to_proxy.drain(..) {
+                    next.extend(
+                        self.synjitsu
+                            .handle_frame(xs, &service.name, &f)
+                            .map_err(|e| JitsudError::Internal(e.to_string()))?,
+                    );
+                }
+                for f in next.drain(..) {
+                    let (out, _) = client.handle_frame(&f);
+                    frames_from_proxy.extend(out.clone());
+                    to_proxy.extend(out);
+                }
+            }
+            let t_handshake_done = t_syn_arrives + self.one_way_delay * 2;
+            self.tracer
+                .emit(t_handshake_done, "synjitsu", "handshake completed on behalf of booting unikernel");
+            // The client sends its HTTP request; Synjitsu buffers it.
+            let req_frame = client
+                .tcp_send((service.ip, service.port), client_port, &request_bytes)
+                .ok_or_else(|| JitsudError::Internal("client connection missing".into()))?;
+            let acks = self
+                .synjitsu
+                .handle_frame(xs, &service.name, &req_frame)
+                .map_err(|e| JitsudError::Internal(e.to_string()))?;
+            for f in acks {
+                client.handle_frame(&f);
+            }
+
+            // --- 3. Handoff once the unikernel's network stack is up -------
+            let tcbs = self
+                .synjitsu
+                .handoff(xs, &service.name)
+                .map_err(|e| JitsudError::Internal(e.to_string()))?;
+            let instance = self
+                .instances
+                .get_mut(&service.name)
+                .ok_or_else(|| JitsudError::Internal("instance missing".into()))?;
+            let mut frames = Vec::new();
+            let mut appliance_cost = SimDuration::ZERO;
+            for tcb in tcbs {
+                let (f, cost) = instance.adopt_handoff(tcb, client_mac);
+                frames.extend(f);
+                appliance_cost += cost;
+            }
+            let t_handoff_done = network_ready + self.handoff_cost;
+            t_response_sent = t_handoff_done + appliance_cost;
+            response_frames = frames;
+            self.tracer.emit(
+                t_handoff_done,
+                "unikernel",
+                "adopted proxied connections and replayed buffered requests",
+            );
+        } else {
+            // No Synjitsu: the SYN is dropped until the unikernel listens.
+            let mut t_attempt = t_syn_arrives;
+            while t_attempt < app_ready {
+                retransmissions += 1;
+                // Exponential backoff: 1 s, then 2 s, then 4 s…
+                let backoff = self.syn_rto * (1u64 << (retransmissions - 1).min(6));
+                t_attempt = t_attempt + backoff;
+            }
+            self.tracer.emit(
+                t_attempt,
+                "client",
+                format!("SYN finally answered after {retransmissions} retransmission(s)"),
+            );
+            // Handshake + request against the (now running) unikernel.
+            let instance = self
+                .instances
+                .get_mut(&service.name)
+                .ok_or_else(|| JitsudError::Internal("instance missing".into()))?;
+            instance.iface.add_arp_entry(client_ip, client_mac);
+            let syn_frame = client.tcp_connect(service.ip, service.port);
+            let mut to_server = vec![syn_frame];
+            for _ in 0..8 {
+                if to_server.is_empty() {
+                    break;
+                }
+                let mut to_client = Vec::new();
+                for f in to_server.drain(..) {
+                    let (out, _) = instance.handle_frame(&f);
+                    to_client.extend(out);
+                }
+                for f in to_client {
+                    let (out, _) = client.handle_frame(&f);
+                    to_server.extend(out);
+                }
+            }
+            let req_frame = client
+                .tcp_send((service.ip, service.port), client_port + 1, &request_bytes)
+                .or_else(|| client.tcp_send((service.ip, service.port), client_port, &request_bytes))
+                .ok_or_else(|| JitsudError::Internal("client connection missing".into()))?;
+            let (frames, appliance_cost) = instance.handle_frame(&req_frame);
+            // handshake (1 RTT) + request flight + processing.
+            t_response_sent = t_attempt + self.one_way_delay * 4 + appliance_cost;
+            response_frames = frames;
+        }
+
+        // --- 4. The client receives and parses the response ----------------
+        let mut http_status = 0u16;
+        let mut collected = Vec::new();
+        for frame in &response_frames {
+            let (_, events) = client.handle_frame(frame);
+            for ev in events {
+                if let netstack::iface::IfaceEvent::TcpData { data, .. } = ev {
+                    collected.extend_from_slice(&data);
+                }
+            }
+        }
+        if let Ok(Some(resp)) = HttpResponse::parse(&collected) {
+            http_status = resp.status;
+        }
+        let t_response_at_client = t_response_sent + self.one_way_delay;
+        let report = ColdStartReport {
+            name: service.name.clone(),
+            dns_response_time: t_dns_at_client.duration_since(t_query),
+            http_response_time: t_response_at_client.duration_since(t_query),
+            unikernel_ready_after: app_ready.duration_since(t_query),
+            syn_retransmissions: retransmissions,
+            http_status,
+            proxied,
+        };
+        self.clock = t_response_at_client;
+        self.directory.touch(&service.name, self.clock);
+        Ok(report)
+    }
+
+    /// Run one request against an already-running service (the
+    /// "already-booted service responds in ≈5 ms" case of §3).
+    pub fn warm_request(
+        &mut self,
+        name: &str,
+        client_ip: Ipv4Addr,
+        path: &str,
+    ) -> Result<RequestOutcome, JitsudError> {
+        let service = self.service(name)?;
+        let seed = self.next_seed();
+        let instance = self
+            .instances
+            .get_mut(&service.name)
+            .ok_or_else(|| JitsudError::UnknownService(format!("{name} is not running")))?;
+        let client_mac = MacAddr([2, 0, 0, 0, 0, client_ip.0[3]]);
+        let mut client = Interface::new(client_mac, client_ip);
+        // Each simulated client picks a distinct ephemeral port so repeated
+        // requests from the same address do not collide with connections a
+        // previous client (or a Synjitsu handoff) left behind.
+        let ephemeral = 50_000 + (seed % 10_000) as u16;
+        client.set_ephemeral_base(ephemeral);
+        client.add_arp_entry(service.ip, service.mac());
+        instance.iface.add_arp_entry(client_ip, client_mac);
+
+        // Handshake.
+        let syn = client.tcp_connect(service.ip, service.port);
+        let mut to_server = vec![syn];
+        for _ in 0..8 {
+            if to_server.is_empty() {
+                break;
+            }
+            let mut to_client = Vec::new();
+            for f in to_server.drain(..) {
+                let (out, _) = instance.handle_frame(&f);
+                to_client.extend(out);
+            }
+            for f in to_client {
+                let (out, _) = client.handle_frame(&f);
+                to_server.extend(out);
+            }
+        }
+        // Request/response.
+        let request = HttpRequest::get(path, &service.name).emit();
+        let req_frame = client
+            .tcp_send((service.ip, service.port), ephemeral, &request)
+            .ok_or_else(|| JitsudError::Internal("handshake failed".into()))?;
+        let (frames, appliance_cost) = instance.handle_frame(&req_frame);
+        let mut collected = Vec::new();
+        for frame in &frames {
+            let (_, events) = client.handle_frame(frame);
+            for ev in events {
+                if let netstack::iface::IfaceEvent::TcpData { data, .. } = ev {
+                    collected.extend_from_slice(&data);
+                }
+            }
+        }
+        let status = HttpResponse::parse(&collected)
+            .ok()
+            .flatten()
+            .map(|r| r.status)
+            .unwrap_or(0);
+        // 1.5 RTTs of handshake + request flight + processing + response.
+        let response_time = self.one_way_delay * 4 + appliance_cost;
+        self.clock += response_time;
+        self.directory.touch(&service.name, self.clock);
+        Ok(RequestOutcome {
+            response_time,
+            http_status: status,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform::BoardKind;
+
+    fn config() -> JitsuConfig {
+        JitsuConfig::new("family.name").with_service(ServiceConfig::http_site(
+            "alice.family.name",
+            Ipv4Addr::new(192, 168, 1, 20),
+        ))
+    }
+
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 100);
+
+    #[test]
+    fn optimised_cold_start_responds_in_300_to_400ms() {
+        let mut jitsud = Jitsud::new(config(), BoardKind::Cubieboard2.board(), 1);
+        let report = jitsud
+            .cold_start_request("alice.family.name", CLIENT, "/")
+            .unwrap();
+        let ms = report.http_response_time.as_millis();
+        assert!((250..420).contains(&ms), "cold start response = {ms} ms");
+        assert_eq!(report.http_status, 200);
+        assert_eq!(report.syn_retransmissions, 0);
+        assert!(report.proxied);
+        assert!(report.dns_response_time < SimDuration::from_millis(10));
+        assert!(jitsud.is_running("alice.family.name"));
+    }
+
+    #[test]
+    fn cold_start_without_synjitsu_takes_over_a_second() {
+        let mut jitsud = Jitsud::new(
+            config().without_synjitsu(),
+            BoardKind::Cubieboard2.board(),
+            1,
+        );
+        let report = jitsud
+            .cold_start_request("alice.family.name", CLIENT, "/")
+            .unwrap();
+        let ms = report.http_response_time.as_millis();
+        assert!(ms > 1000, "SYN retransmission pushes response over 1 s: {ms} ms");
+        assert!(report.syn_retransmissions >= 1);
+        assert_eq!(report.http_status, 200);
+        assert!(!report.proxied);
+    }
+
+    #[test]
+    fn vanilla_toolstack_with_synjitsu_lands_in_between() {
+        let mut optimised = Jitsud::new(config(), BoardKind::Cubieboard2.board(), 1);
+        let mut vanilla = Jitsud::new(
+            config().with_vanilla_toolstack(),
+            BoardKind::Cubieboard2.board(),
+            1,
+        );
+        let fast = optimised
+            .cold_start_request("alice.family.name", CLIENT, "/")
+            .unwrap();
+        let slow = vanilla
+            .cold_start_request("alice.family.name", CLIENT, "/")
+            .unwrap();
+        assert!(slow.http_response_time > fast.http_response_time);
+        assert!(slow.http_response_time < SimDuration::from_secs(1));
+        assert_eq!(slow.http_status, 200);
+    }
+
+    #[test]
+    fn warm_requests_are_a_few_milliseconds() {
+        let mut jitsud = Jitsud::new(config(), BoardKind::Cubieboard2.board(), 1);
+        jitsud
+            .cold_start_request("alice.family.name", CLIENT, "/")
+            .unwrap();
+        let warm = jitsud
+            .warm_request("alice.family.name", CLIENT, "/")
+            .unwrap();
+        assert!(warm.response_time < SimDuration::from_millis(15), "warm = {}", warm.response_time);
+        assert_eq!(warm.http_status, 200);
+    }
+
+    #[test]
+    fn x86_cold_start_is_tens_of_milliseconds() {
+        let mut jitsud = Jitsud::new(config(), BoardKind::X86Server.board(), 1);
+        let report = jitsud
+            .cold_start_request("alice.family.name", CLIENT, "/")
+            .unwrap();
+        let ms = report.http_response_time.as_millis();
+        assert!((20..80).contains(&ms), "x86 cold start = {ms} ms");
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let mut jitsud = Jitsud::new(config(), BoardKind::Cubieboard2.board(), 1);
+        assert!(matches!(
+            jitsud.cold_start_request("carol.family.name", CLIENT, "/"),
+            Err(JitsudError::UnknownService(_))
+        ));
+        assert!(matches!(
+            jitsud.warm_request("alice.family.name", CLIENT, "/"),
+            Err(JitsudError::UnknownService(_)),
+        ));
+    }
+
+    #[test]
+    fn dns_for_running_service_does_not_relaunch() {
+        let mut jitsud = Jitsud::new(config(), BoardKind::Cubieboard2.board(), 1);
+        jitsud
+            .cold_start_request("alice.family.name", CLIENT, "/")
+            .unwrap();
+        let before = jitsud.running_count();
+        let (resp, action, launch) = jitsud.handle_dns(&DnsMessage::query(9, "alice.family.name"));
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(matches!(action, DirectoryAction::AlreadyRunning { .. }));
+        assert!(launch.is_none());
+        assert_eq!(jitsud.running_count(), before);
+    }
+
+    #[test]
+    fn idle_services_are_retired_and_can_be_resummoned() {
+        let mut cfg = config();
+        cfg.idle_timeout = Some(SimDuration::from_secs(60));
+        let mut jitsud = Jitsud::new(cfg, BoardKind::Cubieboard2.board(), 1);
+        jitsud
+            .cold_start_request("alice.family.name", CLIENT, "/")
+            .unwrap();
+        assert_eq!(jitsud.running_count(), 1);
+        jitsud.advance_clock(SimDuration::from_secs(120));
+        let retired = jitsud.retire_idle();
+        assert_eq!(retired, vec!["alice.family.name".to_string()]);
+        assert_eq!(jitsud.running_count(), 0);
+        // The next request cold-starts again.
+        let report = jitsud
+            .cold_start_request("alice.family.name", CLIENT, "/")
+            .unwrap();
+        assert_eq!(report.http_status, 200);
+    }
+
+    #[test]
+    fn trace_records_the_figure6_flow() {
+        let mut jitsud = Jitsud::new(config(), BoardKind::Cubieboard2.board(), 1);
+        jitsud
+            .cold_start_request("alice.family.name", CLIENT, "/")
+            .unwrap();
+        assert!(jitsud.tracer.find("summoning").is_some());
+        assert!(jitsud.tracer.find("handshake completed").is_some());
+        assert!(jitsud.tracer.find("adopted proxied connections").is_some());
+        assert!(jitsud
+            .tracer
+            .happens_before("summoning", "adopted proxied connections"));
+    }
+}

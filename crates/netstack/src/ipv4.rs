@@ -1,0 +1,278 @@
+//! IPv4 packet parsing and construction.
+
+use crate::checksum;
+use crate::{NetError, Result};
+use std::fmt;
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Addr(pub [u8; 4]);
+
+impl Ipv4Addr {
+    /// The limited broadcast address 255.255.255.255.
+    pub const BROADCAST: Ipv4Addr = Ipv4Addr([255, 255, 255, 255]);
+    /// The unspecified address 0.0.0.0.
+    pub const UNSPECIFIED: Ipv4Addr = Ipv4Addr([0, 0, 0, 0]);
+
+    /// Construct from octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr([a, b, c, d])
+    }
+
+    /// Parse dotted-quad notation.
+    pub fn parse(s: &str) -> Option<Ipv4Addr> {
+        let mut out = [0u8; 4];
+        let mut n = 0;
+        for part in s.split('.') {
+            if n >= 4 {
+                return None;
+            }
+            out[n] = part.parse().ok()?;
+            n += 1;
+        }
+        if n == 4 {
+            Some(Ipv4Addr(out))
+        } else {
+            None
+        }
+    }
+
+    /// True if this address is within `network/prefix_len`.
+    pub fn in_subnet(&self, network: Ipv4Addr, prefix_len: u8) -> bool {
+        if prefix_len == 0 {
+            return true;
+        }
+        let mask = u32::MAX << (32 - prefix_len.min(32));
+        (u32::from_be_bytes(self.0) & mask) == (u32::from_be_bytes(network.0) & mask)
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// IP protocol numbers carried in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else.
+    Other(u8),
+}
+
+impl Protocol {
+    /// Numeric protocol value.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(v) => v,
+        }
+    }
+
+    /// Decode a numeric value.
+    pub fn from_u8(v: u8) -> Protocol {
+        match v {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+/// Minimum IPv4 header length (no options).
+pub const HEADER_LEN: usize = 20;
+
+/// A parsed IPv4 packet (options are not supported, matching the paper's
+/// stack which silently ignores them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Packet {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol.
+    pub protocol: Protocol,
+    /// Time to live.
+    pub ttl: u8,
+    /// Identification field (used by fragmentation, which we do not perform).
+    pub ident: u16,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Ipv4Packet {
+    /// Construct a packet with the default TTL of 64 (the stack default the
+    /// smoltcp/Mirage stacks use).
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: Protocol, payload: Vec<u8>) -> Ipv4Packet {
+        Ipv4Packet {
+            src,
+            dst,
+            protocol,
+            ttl: 64,
+            ident: 0,
+            payload,
+        }
+    }
+
+    /// Parse and verify a packet from wire bytes.
+    pub fn parse(buf: &[u8]) -> Result<Ipv4Packet> {
+        if buf.len() < HEADER_LEN {
+            return Err(NetError::Truncated {
+                layer: "ipv4",
+                needed: HEADER_LEN,
+                got: buf.len(),
+            });
+        }
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(NetError::Malformed {
+                layer: "ipv4",
+                what: format!("version {version} is not 4"),
+            });
+        }
+        let ihl = (buf[0] & 0x0f) as usize * 4;
+        if ihl < HEADER_LEN || buf.len() < ihl {
+            return Err(NetError::Malformed {
+                layer: "ipv4",
+                what: format!("bad header length {ihl}"),
+            });
+        }
+        if !checksum::verify(&buf[..ihl]) {
+            return Err(NetError::BadChecksum("ipv4"));
+        }
+        let total_len = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+        if total_len < ihl || buf.len() < total_len {
+            return Err(NetError::Truncated {
+                layer: "ipv4",
+                needed: total_len,
+                got: buf.len(),
+            });
+        }
+        let ident = u16::from_be_bytes([buf[4], buf[5]]);
+        let ttl = buf[8];
+        let protocol = Protocol::from_u8(buf[9]);
+        let mut src = [0u8; 4];
+        let mut dst = [0u8; 4];
+        src.copy_from_slice(&buf[12..16]);
+        dst.copy_from_slice(&buf[16..20]);
+        Ok(Ipv4Packet {
+            src: Ipv4Addr(src),
+            dst: Ipv4Addr(dst),
+            protocol,
+            ttl,
+            ident,
+            payload: buf[ihl..total_len].to_vec(),
+        })
+    }
+
+    /// Serialise to wire bytes, computing the header checksum.
+    pub fn emit(&self) -> Vec<u8> {
+        let total_len = (HEADER_LEN + self.payload.len()) as u16;
+        let mut header = [0u8; HEADER_LEN];
+        header[0] = 0x45; // version 4, IHL 5
+        header[1] = 0; // DSCP/ECN
+        header[2..4].copy_from_slice(&total_len.to_be_bytes());
+        header[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        header[6] = 0x40; // don't fragment
+        header[8] = self.ttl;
+        header[9] = self.protocol.as_u8();
+        header[12..16].copy_from_slice(&self.src.0);
+        header[16..20].copy_from_slice(&self.dst.0);
+        let c = checksum::checksum(&header);
+        header[10..12].copy_from_slice(&c.to_be_bytes());
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&header);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn round_trip() {
+        let p = Ipv4Packet::new(SRC, DST, Protocol::Udp, b"hello".to_vec());
+        let bytes = p.emit();
+        let parsed = Ipv4Packet::parse(&bytes).unwrap();
+        assert_eq!(parsed, p);
+        assert_eq!(parsed.ttl, 64);
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let p = Ipv4Packet::new(SRC, DST, Protocol::Tcp, vec![0; 8]);
+        let mut bytes = p.emit();
+        bytes[15] ^= 0x01;
+        assert_eq!(Ipv4Packet::parse(&bytes), Err(NetError::BadChecksum("ipv4")));
+    }
+
+    #[test]
+    fn rejects_truncation_and_bad_version() {
+        assert!(matches!(
+            Ipv4Packet::parse(&[0x45; 10]),
+            Err(NetError::Truncated { layer: "ipv4", .. })
+        ));
+        let p = Ipv4Packet::new(SRC, DST, Protocol::Udp, vec![1, 2, 3]);
+        let mut bytes = p.emit();
+        bytes[0] = 0x65; // version 6
+        assert!(matches!(
+            Ipv4Packet::parse(&bytes),
+            Err(NetError::Malformed { layer: "ipv4", .. })
+        ));
+        // Payload shorter than total length.
+        let bytes = p.emit();
+        assert!(Ipv4Packet::parse(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn extra_trailing_bytes_are_ignored() {
+        // Ethernet minimum-size padding must not end up in the payload.
+        let p = Ipv4Packet::new(SRC, DST, Protocol::Udp, b"ab".to_vec());
+        let mut bytes = p.emit();
+        bytes.extend_from_slice(&[0u8; 20]);
+        let parsed = Ipv4Packet::parse(&bytes).unwrap();
+        assert_eq!(parsed.payload, b"ab");
+    }
+
+    #[test]
+    fn protocol_codes() {
+        assert_eq!(Protocol::Icmp.as_u8(), 1);
+        assert_eq!(Protocol::Tcp.as_u8(), 6);
+        assert_eq!(Protocol::Udp.as_u8(), 17);
+        assert_eq!(Protocol::from_u8(6), Protocol::Tcp);
+        assert_eq!(Protocol::from_u8(89), Protocol::Other(89));
+    }
+
+    #[test]
+    fn address_parsing_and_display() {
+        assert_eq!(Ipv4Addr::parse("192.168.1.20"), Some(Ipv4Addr::new(192, 168, 1, 20)));
+        assert_eq!(Ipv4Addr::parse("1.2.3"), None);
+        assert_eq!(Ipv4Addr::parse("1.2.3.4.5"), None);
+        assert_eq!(Ipv4Addr::parse("1.2.3.x"), None);
+        assert_eq!(Ipv4Addr::new(10, 0, 0, 7).to_string(), "10.0.0.7");
+    }
+
+    #[test]
+    fn subnet_membership() {
+        let net = Ipv4Addr::new(192, 168, 1, 0);
+        assert!(Ipv4Addr::new(192, 168, 1, 200).in_subnet(net, 24));
+        assert!(!Ipv4Addr::new(192, 168, 2, 1).in_subnet(net, 24));
+        assert!(Ipv4Addr::new(8, 8, 8, 8).in_subnet(net, 0));
+        assert!(Ipv4Addr::new(192, 168, 1, 1).in_subnet(Ipv4Addr::new(192, 168, 1, 1), 32));
+        assert!(!Ipv4Addr::new(192, 168, 1, 2).in_subnet(Ipv4Addr::new(192, 168, 1, 1), 32));
+    }
+}

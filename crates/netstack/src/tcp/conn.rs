@@ -1,0 +1,360 @@
+//! Sans-io TCP state machines: a passive listener and a connection.
+//!
+//! The state machines consume parsed [`TcpSegment`]s and return the segments
+//! to transmit in response, never touching any I/O themselves. A connection
+//! can be constructed either by a [`Listener`] completing a handshake
+//! locally, or — the Synjitsu case — *adopted* from a serialised [`Tcb`]
+//! that a proxy built while the real server was still booting.
+
+use super::segment::{TcpFlags, TcpSegment};
+use super::tcb::{Tcb, TcpState};
+use crate::ipv4::Ipv4Addr;
+
+/// A passive listener bound to `(ip, port)`.
+#[derive(Debug, Clone)]
+pub struct Listener {
+    /// The address the listener answers for.
+    pub local_ip: Ipv4Addr,
+    /// The listening port.
+    pub local_port: u16,
+    isn_counter: u32,
+}
+
+impl Listener {
+    /// Create a listener. `isn_seed` seeds initial sequence number
+    /// generation (deterministic for reproducibility).
+    pub fn new(local_ip: Ipv4Addr, local_port: u16, isn_seed: u32) -> Listener {
+        Listener {
+            local_ip,
+            local_port,
+            isn_counter: isn_seed,
+        }
+    }
+
+    /// Generate the next initial sequence number.
+    fn next_isn(&mut self) -> u32 {
+        // A simple deterministic ISN schedule (the classic 64k increment).
+        self.isn_counter = self.isn_counter.wrapping_add(64_000).wrapping_add(1);
+        self.isn_counter
+    }
+
+    /// Handle an incoming SYN addressed to this listener. Returns the new
+    /// half-open connection and the SYN-ACK to transmit. Non-SYN segments
+    /// return `None` (the caller may send an RST).
+    pub fn on_syn(&mut self, remote_ip: Ipv4Addr, syn: &TcpSegment) -> Option<(Connection, TcpSegment)> {
+        if !syn.flags.syn || syn.flags.ack || syn.dst_port != self.local_port {
+            return None;
+        }
+        let isn = self.next_isn();
+        let mut tcb = Tcb::for_listener(self.local_ip, self.local_port, remote_ip, syn.src_port, isn);
+        tcb.state = TcpState::SynReceived;
+        tcb.rcv_nxt = syn.seq.wrapping_add(1);
+        tcb.snd_nxt = isn.wrapping_add(1);
+        let syn_ack = TcpSegment::control(
+            self.local_port,
+            syn.src_port,
+            isn,
+            tcb.rcv_nxt,
+            TcpFlags::SYN_ACK,
+        );
+        Some((Connection { tcb }, syn_ack))
+    }
+}
+
+/// An established (or establishing) TCP connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    /// The connection control block.
+    pub tcb: Tcb,
+}
+
+impl Connection {
+    /// Adopt a connection from a serialised TCB — the unikernel side of the
+    /// Synjitsu handoff.
+    pub fn from_tcb(tcb: Tcb) -> Connection {
+        Connection { tcb }
+    }
+
+    /// Start an active open towards `(remote_ip, remote_port)`. Returns the
+    /// connection (in `SynSent`) and the SYN to transmit.
+    pub fn connect(
+        local_ip: Ipv4Addr,
+        local_port: u16,
+        remote_ip: Ipv4Addr,
+        remote_port: u16,
+        isn: u32,
+    ) -> (Connection, TcpSegment) {
+        let mut tcb = Tcb::for_listener(local_ip, local_port, remote_ip, remote_port, isn);
+        tcb.state = TcpState::SynSent;
+        tcb.snd_nxt = isn.wrapping_add(1);
+        let syn = TcpSegment::control(local_port, remote_port, isn, 0, TcpFlags::SYN);
+        (Connection { tcb }, syn)
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TcpState {
+        self.tcb.state
+    }
+
+    /// True once the three-way handshake has completed.
+    pub fn is_established(&self) -> bool {
+        self.tcb.state == TcpState::Established
+    }
+
+    /// Application data received in order and not yet consumed.
+    pub fn take_received(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.tcb.buffered)
+    }
+
+    /// Process an incoming segment, returning any segments to transmit in
+    /// response. Out-of-order segments are dropped (the peer will
+    /// retransmit); this matches the minimal in-order stack the unikernels
+    /// use for request/response workloads.
+    pub fn on_segment(&mut self, seg: &TcpSegment) -> Vec<TcpSegment> {
+        let mut out = Vec::new();
+        if seg.flags.rst {
+            self.tcb.state = TcpState::Closed;
+            return out;
+        }
+        match self.tcb.state {
+            TcpState::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack == self.tcb.snd_nxt {
+                    self.tcb.rcv_nxt = seg.seq.wrapping_add(1);
+                    self.tcb.snd_una = seg.ack;
+                    self.tcb.state = TcpState::Established;
+                    out.push(self.make_ack());
+                }
+            }
+            TcpState::SynReceived => {
+                if seg.flags.ack && seg.ack == self.tcb.snd_nxt {
+                    self.tcb.snd_una = seg.ack;
+                    self.tcb.state = TcpState::Established;
+                    // The ACK may carry data (common for HTTP clients).
+                    if !seg.payload.is_empty() {
+                        out.extend(self.accept_data(seg));
+                    }
+                }
+            }
+            TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2 => {
+                if seg.flags.ack {
+                    self.tcb.snd_una = seg.ack;
+                    if self.tcb.state == TcpState::FinWait1 && seg.ack == self.tcb.snd_nxt {
+                        self.tcb.state = TcpState::FinWait2;
+                    }
+                }
+                if !seg.payload.is_empty() {
+                    out.extend(self.accept_data(seg));
+                }
+                if seg.flags.fin && seg.seq == self.tcb.rcv_nxt {
+                    self.tcb.rcv_nxt = self.tcb.rcv_nxt.wrapping_add(1);
+                    match self.tcb.state {
+                        TcpState::FinWait1 | TcpState::FinWait2 => self.tcb.state = TcpState::Closed,
+                        _ => self.tcb.state = TcpState::CloseWait,
+                    }
+                    out.push(self.make_ack());
+                }
+            }
+            TcpState::CloseWait | TcpState::LastAck => {
+                if seg.flags.ack && seg.ack == self.tcb.snd_nxt && self.tcb.state == TcpState::LastAck {
+                    self.tcb.state = TcpState::Closed;
+                }
+            }
+            TcpState::Listen | TcpState::Closed => {}
+        }
+        out
+    }
+
+    fn accept_data(&mut self, seg: &TcpSegment) -> Vec<TcpSegment> {
+        if seg.seq != self.tcb.rcv_nxt {
+            // Out of order / duplicate: re-ACK what we have.
+            return vec![self.make_ack()];
+        }
+        self.tcb.buffered.extend_from_slice(&seg.payload);
+        self.tcb.rcv_nxt = self.tcb.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+        vec![self.make_ack()]
+    }
+
+    fn make_ack(&self) -> TcpSegment {
+        TcpSegment::control(
+            self.tcb.local_port,
+            self.tcb.remote_port,
+            self.tcb.snd_nxt,
+            self.tcb.rcv_nxt,
+            TcpFlags::ACK,
+        )
+    }
+
+    /// Send application data, returning the data segment to transmit.
+    pub fn send(&mut self, data: &[u8]) -> TcpSegment {
+        let seg = TcpSegment {
+            src_port: self.tcb.local_port,
+            dst_port: self.tcb.remote_port,
+            seq: self.tcb.snd_nxt,
+            ack: self.tcb.rcv_nxt,
+            flags: TcpFlags::PSH_ACK,
+            window: 65535,
+            payload: data.to_vec(),
+        };
+        self.tcb.snd_nxt = self.tcb.snd_nxt.wrapping_add(data.len() as u32);
+        seg
+    }
+
+    /// Close our side, returning the FIN segment to transmit.
+    pub fn close(&mut self) -> TcpSegment {
+        let fin = TcpSegment::control(
+            self.tcb.local_port,
+            self.tcb.remote_port,
+            self.tcb.snd_nxt,
+            self.tcb.rcv_nxt,
+            TcpFlags::FIN_ACK,
+        );
+        self.tcb.snd_nxt = self.tcb.snd_nxt.wrapping_add(1);
+        self.tcb.state = match self.tcb.state {
+            TcpState::CloseWait => TcpState::LastAck,
+            _ => TcpState::FinWait1,
+        };
+        fin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SERVER_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 20);
+    const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 100);
+
+    /// Drive a full handshake between a client connection and a listener,
+    /// returning both connections.
+    fn handshake() -> (Connection, Connection) {
+        let mut listener = Listener::new(SERVER_IP, 80, 7);
+        let (mut client, syn) = Connection::connect(CLIENT_IP, 51000, SERVER_IP, 80, 1000);
+        assert_eq!(client.state(), TcpState::SynSent);
+        let (mut server, syn_ack) = listener.on_syn(CLIENT_IP, &syn).unwrap();
+        assert_eq!(server.state(), TcpState::SynReceived);
+        let acks = client.on_segment(&syn_ack);
+        assert!(client.is_established());
+        assert_eq!(acks.len(), 1);
+        let more = server.on_segment(&acks[0]);
+        assert!(server.is_established());
+        assert!(more.is_empty());
+        (client, server)
+    }
+
+    #[test]
+    fn three_way_handshake_establishes_both_ends() {
+        let (client, server) = handshake();
+        assert_eq!(client.tcb.rcv_nxt, server.tcb.snd_nxt);
+        assert_eq!(server.tcb.rcv_nxt, client.tcb.snd_nxt);
+    }
+
+    #[test]
+    fn data_transfer_and_ack() {
+        let (mut client, mut server) = handshake();
+        let request = client.send(b"GET / HTTP/1.1\r\n\r\n");
+        let responses = server.on_segment(&request);
+        assert_eq!(responses.len(), 1, "data is ACKed");
+        assert!(responses[0].flags.ack);
+        assert_eq!(server.take_received(), b"GET / HTTP/1.1\r\n\r\n");
+        // Server replies.
+        client.on_segment(&responses[0]);
+        let reply = server.send(b"HTTP/1.1 200 OK\r\n\r\nhello");
+        let acks = client.on_segment(&reply);
+        assert_eq!(client.take_received(), b"HTTP/1.1 200 OK\r\n\r\nhello");
+        server.on_segment(&acks[0]);
+        assert_eq!(server.tcb.snd_una, server.tcb.snd_nxt, "all data acknowledged");
+    }
+
+    #[test]
+    fn duplicate_data_is_reacked_not_rebuffered() {
+        let (mut client, mut server) = handshake();
+        let request = client.send(b"hello");
+        server.on_segment(&request);
+        // The same segment arrives again (client retransmission).
+        let responses = server.on_segment(&request);
+        assert_eq!(responses.len(), 1);
+        assert_eq!(server.take_received(), b"hello", "no duplication");
+    }
+
+    #[test]
+    fn listener_ignores_non_syn() {
+        let mut listener = Listener::new(SERVER_IP, 80, 7);
+        let ack = TcpSegment::control(51000, 80, 5, 5, TcpFlags::ACK);
+        assert!(listener.on_syn(CLIENT_IP, &ack).is_none());
+        let wrong_port = TcpSegment::control(51000, 8080, 5, 0, TcpFlags::SYN);
+        assert!(listener.on_syn(CLIENT_IP, &wrong_port).is_none());
+    }
+
+    #[test]
+    fn syn_received_accepts_ack_with_data() {
+        // HTTP clients often send the request in the same packet as the
+        // handshake-completing ACK; Synjitsu's replay depends on this.
+        let mut listener = Listener::new(SERVER_IP, 80, 7);
+        let (mut client, syn) = Connection::connect(CLIENT_IP, 51000, SERVER_IP, 80, 500);
+        let (mut server, syn_ack) = listener.on_syn(CLIENT_IP, &syn).unwrap();
+        client.on_segment(&syn_ack);
+        let req = client.send(b"GET /photos HTTP/1.1\r\n\r\n");
+        let out = server.on_segment(&req);
+        assert!(server.is_established());
+        assert_eq!(server.take_received(), b"GET /photos HTTP/1.1\r\n\r\n");
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn close_sequence() {
+        let (mut client, mut server) = handshake();
+        let fin = client.close();
+        assert_eq!(client.state(), TcpState::FinWait1);
+        let acks = server.on_segment(&fin);
+        assert_eq!(server.state(), TcpState::CloseWait);
+        client.on_segment(&acks[0]);
+        assert_eq!(client.state(), TcpState::FinWait2);
+        let server_fin = server.close();
+        assert_eq!(server.state(), TcpState::LastAck);
+        let acks = client.on_segment(&server_fin);
+        assert_eq!(client.state(), TcpState::Closed);
+        server.on_segment(&acks[0]);
+        assert_eq!(server.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn rst_closes_immediately() {
+        let (mut client, _server) = handshake();
+        let rst = TcpSegment::control(80, 51000, 0, 0, TcpFlags::RST);
+        let out = client.on_segment(&rst);
+        assert!(out.is_empty());
+        assert_eq!(client.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn adopted_tcb_continues_the_connection() {
+        // Simulate the Synjitsu handoff: the proxy establishes a connection
+        // and buffers the request; the unikernel adopts the TCB and replies.
+        let (mut client, mut proxy_side) = handshake();
+        let request = client.send(b"GET / HTTP/1.1\r\n\r\n");
+        proxy_side.on_segment(&request);
+
+        // Serialise through the XenStore format and adopt.
+        let sexp = proxy_side.tcb.to_sexp();
+        let adopted_tcb = Tcb::from_sexp(&sexp).unwrap();
+        let mut unikernel_side = Connection::from_tcb(adopted_tcb);
+        assert!(unikernel_side.is_established());
+        assert_eq!(unikernel_side.take_received(), b"GET / HTTP/1.1\r\n\r\n");
+
+        // The unikernel answers and the client accepts the bytes seamlessly.
+        let reply = unikernel_side.send(b"HTTP/1.1 200 OK\r\n\r\nindex");
+        client.on_segment(&reply);
+        assert_eq!(client.take_received(), b"HTTP/1.1 200 OK\r\n\r\nindex");
+    }
+
+    #[test]
+    fn listener_isns_differ_between_connections() {
+        let mut listener = Listener::new(SERVER_IP, 80, 7);
+        let syn1 = TcpSegment::control(51000, 80, 10, 0, TcpFlags::SYN);
+        let syn2 = TcpSegment::control(51001, 80, 20, 0, TcpFlags::SYN);
+        let (c1, sa1) = listener.on_syn(CLIENT_IP, &syn1).unwrap();
+        let (c2, sa2) = listener.on_syn(CLIENT_IP, &syn2).unwrap();
+        assert_ne!(sa1.seq, sa2.seq);
+        assert_ne!(c1.tcb.isn, c2.tcb.isn);
+    }
+}

@@ -1,0 +1,19 @@
+//! TCP: segments, the connection control block, and a small state machine.
+//!
+//! Synjitsu's connection hand-off (§3.3.1) depends on TCP connection state
+//! being a *value* that can be serialised into XenStore by the proxy and
+//! rebuilt by the freshly booted unikernel — "the high-level nature of the
+//! OCaml TCP/IP stack makes implementation a simple matter of
+//! (de)serialising values across XenStore". This module keeps the same
+//! property: [`Tcb`] is a plain serialisable struct, [`segment::TcpSegment`]
+//! is a value, and the [`conn`] state machines are sans-io, so a connection
+//! accepted by one stack instance (the proxy) can be continued by another
+//! (the unikernel).
+
+pub mod conn;
+pub mod segment;
+pub mod tcb;
+
+pub use conn::{Connection, Listener};
+pub use segment::{TcpFlags, TcpSegment};
+pub use tcb::{Tcb, TcpState};

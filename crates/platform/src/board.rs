@@ -1,0 +1,195 @@
+//! Evaluation boards and their CPU/memory/NIC characteristics.
+
+use jitsu_sim::SimDuration;
+
+/// Processor architecture of a board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// ARM v7-A with the Virtualization Extensions (Cubieboards).
+    Arm,
+    /// x86-64 with VT-x (the comparison server and the NUC).
+    X86,
+}
+
+impl Arch {
+    /// Short label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Arch::Arm => "ARM",
+            Arch::X86 => "x86",
+        }
+    }
+}
+
+/// The specific hardware platforms used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoardKind {
+    /// Cubieboard2: dual-core Allwinner A20, 1 GB RAM, 100 Mb Ethernet, £39.
+    Cubieboard2,
+    /// Cubietruck: same CPU, 2 GB RAM, 1 Gb Ethernet.
+    Cubietruck,
+    /// The 2.4 GHz quad-core AMD x86-64 server used for the x86 boot-time
+    /// comparison (§3.1).
+    X86Server,
+    /// Intel Haswell NUC (D54250WYK), the x86 power comparison point in
+    /// Table 1.
+    IntelNuc,
+}
+
+impl BoardKind {
+    /// All boards, in the order they appear in the paper.
+    pub const ALL: [BoardKind; 4] = [
+        BoardKind::Cubieboard2,
+        BoardKind::Cubietruck,
+        BoardKind::X86Server,
+        BoardKind::IntelNuc,
+    ];
+
+    /// Construct the full board description.
+    pub fn board(self) -> Board {
+        Board::new(self)
+    }
+}
+
+/// A hardware platform description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Board {
+    /// Which platform this is.
+    pub kind: BoardKind,
+    /// Marketing name used in tables.
+    pub name: &'static str,
+    /// Processor architecture.
+    pub arch: Arch,
+    /// Number of physical CPU cores.
+    pub cores: u32,
+    /// RAM in MiB.
+    pub ram_mib: u32,
+    /// NIC line rate in Mb/s.
+    pub nic_mbps: u32,
+    /// CPU speed relative to the x86 server (1.0); used to scale CPU-bound
+    /// toolstack costs. The paper reports the most-optimised domain build at
+    /// 120 ms on ARM versus 20 ms on x86 — a factor of six.
+    pub cpu_scale: f64,
+    /// Approximate price in GBP, for the cost discussion in §1.
+    pub price_gbp: f64,
+}
+
+impl Board {
+    /// Describe a board.
+    pub fn new(kind: BoardKind) -> Board {
+        match kind {
+            BoardKind::Cubieboard2 => Board {
+                kind,
+                name: "Cubieboard2",
+                arch: Arch::Arm,
+                cores: 2,
+                ram_mib: 1024,
+                nic_mbps: 100,
+                cpu_scale: 6.0,
+                price_gbp: 39.0,
+            },
+            BoardKind::Cubietruck => Board {
+                kind,
+                name: "Cubietruck",
+                arch: Arch::Arm,
+                cores: 2,
+                ram_mib: 2048,
+                nic_mbps: 1000,
+                cpu_scale: 6.0,
+                price_gbp: 69.0,
+            },
+            BoardKind::X86Server => Board {
+                kind,
+                name: "x86-64 server (2.4GHz quad-core AMD)",
+                arch: Arch::X86,
+                cores: 4,
+                ram_mib: 16 * 1024,
+                nic_mbps: 1000,
+                cpu_scale: 1.0,
+                price_gbp: 600.0,
+            },
+            BoardKind::IntelNuc => Board {
+                kind,
+                name: "Intel Haswell NUC",
+                arch: Arch::X86,
+                cores: 4,
+                ram_mib: 8 * 1024,
+                nic_mbps: 1000,
+                cpu_scale: 1.2,
+                price_gbp: 350.0,
+            },
+        }
+    }
+
+    /// Scale a CPU-bound duration measured on the x86 server to this board.
+    pub fn scale_cpu(&self, x86_duration: SimDuration) -> SimDuration {
+        x86_duration.mul_f64(self.cpu_scale)
+    }
+
+    /// Time to transmit `bytes` at the NIC line rate (excluding protocol
+    /// overheads).
+    pub fn wire_time(&self, bytes: usize) -> SimDuration {
+        let bits = bytes as f64 * 8.0;
+        let seconds = bits / (self.nic_mbps as f64 * 1e6);
+        SimDuration::from_secs_f64(seconds)
+    }
+
+    /// True for the resource-constrained embedded boards.
+    pub fn is_embedded(&self) -> bool {
+        matches!(self.kind, BoardKind::Cubieboard2 | BoardKind::Cubietruck)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn board_catalogue_matches_paper() {
+        let cb2 = BoardKind::Cubieboard2.board();
+        assert_eq!(cb2.ram_mib, 1024);
+        assert_eq!(cb2.nic_mbps, 100);
+        assert_eq!(cb2.cores, 2);
+        assert_eq!(cb2.arch, Arch::Arm);
+        assert!((cb2.price_gbp - 39.0).abs() < 1e-9);
+        assert!(cb2.is_embedded());
+
+        let ct = BoardKind::Cubietruck.board();
+        assert_eq!(ct.ram_mib, 2048);
+        assert_eq!(ct.nic_mbps, 1000);
+        assert!(ct.is_embedded());
+
+        let x86 = BoardKind::X86Server.board();
+        assert_eq!(x86.arch, Arch::X86);
+        assert!(!x86.is_embedded());
+        assert_eq!(x86.cpu_scale, 1.0);
+
+        assert_eq!(BoardKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn arm_is_about_six_times_slower() {
+        // §3.1: 20 ms most-optimised build on x86 vs 120 ms on ARM.
+        let arm = BoardKind::Cubieboard2.board();
+        let scaled = arm.scale_cpu(SimDuration::from_millis(20));
+        assert_eq!(scaled.as_millis(), 120);
+    }
+
+    #[test]
+    fn wire_time_scales_with_nic_speed() {
+        let cb2 = BoardKind::Cubieboard2.board(); // 100 Mb/s
+        let ct = BoardKind::Cubietruck.board(); // 1 Gb/s
+        let t_cb2 = cb2.wire_time(1500);
+        let t_ct = ct.wire_time(1500);
+        assert!(t_cb2 > t_ct);
+        // 1500 bytes at 100 Mb/s = 120 us.
+        assert_eq!(t_cb2.as_micros(), 120);
+        assert_eq!(ct.wire_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arch_labels() {
+        assert_eq!(Arch::Arm.label(), "ARM");
+        assert_eq!(Arch::X86.label(), "x86");
+    }
+}

@@ -1,0 +1,221 @@
+//! The component power model behind Table 1.
+//!
+//! The paper measures each board with a custom USB power meter in two CPU
+//! states (idle, spinning in a busy loop) and with two optional components
+//! attached (Ethernet, an external SSD). We reproduce Table 1 from an
+//! additive component model calibrated to the published operating points, so
+//! the benchmark harness can regenerate the table and examples can estimate
+//! power for arbitrary configurations.
+
+use crate::board::BoardKind;
+
+/// CPU activity state during a measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerState {
+    /// Just Xen and a dom0, no guest activity.
+    Idle,
+    /// All cores spinning in a busy loop (and attached components active).
+    Spinning,
+}
+
+/// Optional components that add to the power draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerComponent {
+    /// The on-board Ethernet PHY with an active link.
+    Ethernet,
+    /// An external USB solid-state drive.
+    Ssd,
+}
+
+/// An additive power model for one platform: base draw per CPU state plus a
+/// per-component increment (which may itself differ between idle and active).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// The platform modelled.
+    pub board: BoardKind,
+    base_idle_w: f64,
+    base_spin_w: f64,
+    ethernet_idle_w: f64,
+    ethernet_active_w: f64,
+    ssd_idle_w: f64,
+    ssd_active_w: f64,
+}
+
+impl PowerModel {
+    /// The calibrated model for a board. Base and component increments are
+    /// derived from Table 1 (ARM boards) and the published Haswell NUC
+    /// review figures the paper cites.
+    pub fn for_board(board: BoardKind) -> PowerModel {
+        match board {
+            BoardKind::Cubieboard2 => PowerModel {
+                board,
+                base_idle_w: 1.43,
+                base_spin_w: 2.61,
+                // 2.10 idle / 2.58 spinning with Ethernet => +0.67 / -0.03;
+                // the spinning+Ethernet point in Table 1 is slightly below
+                // spinning alone (measurement noise); we keep the published
+                // deltas.
+                ethernet_idle_w: 2.10 - 1.43,
+                ethernet_active_w: 2.58 - 2.61,
+                ssd_idle_w: 3.36 - 1.43,
+                ssd_active_w: 4.49 - 2.61,
+            },
+            BoardKind::Cubietruck => PowerModel {
+                board,
+                base_idle_w: 1.72,
+                base_spin_w: 2.86,
+                ethernet_idle_w: 2.58 - 1.72,
+                ethernet_active_w: 3.76 - 2.86,
+                ssd_idle_w: 3.92 - 1.72,
+                ssd_active_w: 5.51 - 2.86,
+            },
+            // The NUC review the paper cites reports 6.84 W idle and 27.02 W
+            // under load; Ethernet and storage are integrated, so component
+            // increments are zero.
+            BoardKind::IntelNuc => PowerModel {
+                board,
+                base_idle_w: 6.84,
+                base_spin_w: 27.02,
+                ethernet_idle_w: 0.0,
+                ethernet_active_w: 0.0,
+                ssd_idle_w: 0.0,
+                ssd_active_w: 0.0,
+            },
+            // The x86 server is not part of Table 1; model it as a typical
+            // quad-core server so examples can still reason about it.
+            BoardKind::X86Server => PowerModel {
+                board,
+                base_idle_w: 45.0,
+                base_spin_w: 110.0,
+                ethernet_idle_w: 2.0,
+                ethernet_active_w: 3.0,
+                ssd_idle_w: 2.0,
+                ssd_active_w: 4.0,
+            },
+        }
+    }
+
+    /// Predicted power draw in watts for a CPU state and set of attached
+    /// components.
+    pub fn watts(&self, state: PowerState, components: &[PowerComponent]) -> f64 {
+        let mut w = match state {
+            PowerState::Idle => self.base_idle_w,
+            PowerState::Spinning => self.base_spin_w,
+        };
+        for c in components {
+            w += match (state, c) {
+                (PowerState::Idle, PowerComponent::Ethernet) => self.ethernet_idle_w,
+                (PowerState::Spinning, PowerComponent::Ethernet) => self.ethernet_active_w,
+                (PowerState::Idle, PowerComponent::Ssd) => self.ssd_idle_w,
+                (PowerState::Spinning, PowerComponent::Ssd) => self.ssd_active_w,
+            };
+        }
+        w
+    }
+
+    /// The rows of Table 1 for this board: `(idle W, spinning W, description)`
+    /// for the four configurations the paper lists.
+    pub fn table1_rows(&self) -> Vec<(f64, f64, String)> {
+        let name = BoardKind::board(self.board).name;
+        let configs: [(&str, Vec<PowerComponent>); 4] = [
+            ("", vec![]),
+            (" +Ethernet", vec![PowerComponent::Ethernet]),
+            (" +SSD", vec![PowerComponent::Ssd]),
+            (
+                " +SSD+Ethernet",
+                vec![PowerComponent::Ssd, PowerComponent::Ethernet],
+            ),
+        ];
+        configs
+            .iter()
+            .map(|(suffix, comps)| {
+                (
+                    self.watts(PowerState::Idle, comps),
+                    self.watts(PowerState::Spinning, comps),
+                    format!("{name}{suffix}"),
+                )
+            })
+            .collect()
+    }
+
+    /// Energy in joules consumed over `seconds` at a given state.
+    pub fn energy_joules(&self, state: PowerState, components: &[PowerComponent], seconds: f64) -> f64 {
+        self.watts(state, components) * seconds.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 0.02
+    }
+
+    #[test]
+    fn cubieboard2_matches_table1() {
+        let m = PowerModel::for_board(BoardKind::Cubieboard2);
+        assert!(close(m.watts(PowerState::Idle, &[]), 1.43));
+        assert!(close(m.watts(PowerState::Spinning, &[]), 2.61));
+        assert!(close(m.watts(PowerState::Idle, &[PowerComponent::Ethernet]), 2.10));
+        assert!(close(m.watts(PowerState::Spinning, &[PowerComponent::Ethernet]), 2.58));
+        assert!(close(m.watts(PowerState::Idle, &[PowerComponent::Ssd]), 3.36));
+        assert!(close(m.watts(PowerState::Spinning, &[PowerComponent::Ssd]), 4.49));
+        assert!(close(
+            m.watts(PowerState::Idle, &[PowerComponent::Ssd, PowerComponent::Ethernet]),
+            4.03
+        ));
+    }
+
+    #[test]
+    fn cubietruck_matches_table1() {
+        let m = PowerModel::for_board(BoardKind::Cubietruck);
+        assert!(close(m.watts(PowerState::Idle, &[]), 1.72));
+        assert!(close(m.watts(PowerState::Spinning, &[]), 2.86));
+        assert!(close(m.watts(PowerState::Idle, &[PowerComponent::Ethernet]), 2.58));
+        assert!(close(m.watts(PowerState::Spinning, &[PowerComponent::Ssd]), 5.51));
+    }
+
+    #[test]
+    fn nuc_draws_far_more_than_arm_boards() {
+        let nuc = PowerModel::for_board(BoardKind::IntelNuc);
+        let cb2 = PowerModel::for_board(BoardKind::Cubieboard2);
+        assert!(close(nuc.watts(PowerState::Idle, &[]), 6.84));
+        assert!(close(nuc.watts(PowerState::Spinning, &[]), 27.02));
+        // Even the fully loaded Cubietruck stays well under the idle NUC x4.
+        assert!(
+            nuc.watts(PowerState::Spinning, &[])
+                > 4.0 * cb2.watts(PowerState::Spinning, &[PowerComponent::Ethernet])
+        );
+    }
+
+    #[test]
+    fn ssd_roughly_doubles_idle_power() {
+        // §4: "The SSD almost doubled power usage."
+        for b in [BoardKind::Cubieboard2, BoardKind::Cubietruck] {
+            let m = PowerModel::for_board(b);
+            let idle = m.watts(PowerState::Idle, &[]);
+            let with_ssd = m.watts(PowerState::Idle, &[PowerComponent::Ssd]);
+            let ratio = with_ssd / idle;
+            assert!((1.9..2.6).contains(&ratio), "{b:?} ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn table1_rows_cover_four_configs() {
+        let rows = PowerModel::for_board(BoardKind::Cubieboard2).table1_rows();
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].2.contains("Cubieboard2"));
+        assert!(rows[3].2.contains("+SSD+Ethernet"));
+        assert!(close(rows[3].0, 4.03));
+        assert!(close(rows[3].1, 4.46));
+    }
+
+    #[test]
+    fn energy_accumulates_over_time() {
+        let m = PowerModel::for_board(BoardKind::Cubieboard2);
+        let j = m.energy_joules(PowerState::Idle, &[], 3600.0);
+        assert!(close(j / 3600.0, 1.43));
+        assert_eq!(m.energy_joules(PowerState::Idle, &[], -5.0), 0.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Latency distributions used by the calibrated cost models.
+//!
+//! Components of the simulated substrate (domain builder, hotplug scripts,
+//! SD-card reads, network links, …) express their per-operation cost as a
+//! [`Distribution`] over durations. Experiments draw from these using a
+//! seeded [`SimRng`](crate::SimRng), keeping results deterministic.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// A distribution over non-negative durations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Distribution {
+    /// Always the same value.
+    Constant(SimDuration),
+    /// Uniform between two bounds (inclusive of the lower bound).
+    Uniform {
+        /// Lower bound.
+        lo: SimDuration,
+        /// Upper bound.
+        hi: SimDuration,
+    },
+    /// Normal distribution, truncated at zero.
+    Normal {
+        /// Mean duration.
+        mean: SimDuration,
+        /// Standard deviation.
+        std_dev: SimDuration,
+    },
+    /// Log-normal distribution parameterised directly by the *target*
+    /// median and a multiplicative spread factor (sigma of the underlying
+    /// normal, in natural-log units).
+    LogNormal {
+        /// Median duration.
+        median: SimDuration,
+        /// Spread (sigma of underlying normal).
+        sigma: f64,
+    },
+    /// Exponential distribution with the given mean.
+    Exponential {
+        /// Mean duration.
+        mean: SimDuration,
+    },
+    /// Empirical distribution: sample uniformly from recorded values.
+    Empirical(Vec<SimDuration>),
+    /// A base distribution plus a constant offset — convenient for
+    /// "fixed cost + jitter" models.
+    Shifted {
+        /// Constant offset added to every sample.
+        offset: SimDuration,
+        /// The underlying distribution.
+        base: Box<Distribution>,
+    },
+    /// A base distribution scaled by a constant factor — used for the
+    /// ARM-vs-x86 CPU speed ratio.
+    Scaled {
+        /// Multiplicative factor applied to every sample.
+        factor: f64,
+        /// The underlying distribution.
+        base: Box<Distribution>,
+    },
+}
+
+impl Distribution {
+    /// A constant distribution, as a convenience constructor.
+    pub fn constant_millis(ms: u64) -> Distribution {
+        Distribution::Constant(SimDuration::from_millis(ms))
+    }
+
+    /// A constant distribution from microseconds.
+    pub fn constant_micros(us: u64) -> Distribution {
+        Distribution::Constant(SimDuration::from_micros(us))
+    }
+
+    /// A normal distribution from fractional milliseconds.
+    pub fn normal_millis(mean_ms: f64, std_ms: f64) -> Distribution {
+        Distribution::Normal {
+            mean: SimDuration::from_millis_f64(mean_ms),
+            std_dev: SimDuration::from_millis_f64(std_ms),
+        }
+    }
+
+    /// A uniform distribution from fractional milliseconds.
+    pub fn uniform_millis(lo_ms: f64, hi_ms: f64) -> Distribution {
+        Distribution::Uniform {
+            lo: SimDuration::from_millis_f64(lo_ms),
+            hi: SimDuration::from_millis_f64(hi_ms),
+        }
+    }
+
+    /// Wrap this distribution with a constant offset.
+    pub fn shifted(self, offset: SimDuration) -> Distribution {
+        Distribution::Shifted {
+            offset,
+            base: Box::new(self),
+        }
+    }
+
+    /// Wrap this distribution with a multiplicative factor.
+    pub fn scaled(self, factor: f64) -> Distribution {
+        Distribution::Scaled {
+            factor,
+            base: Box::new(self),
+        }
+    }
+
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            Distribution::Constant(d) => *d,
+            Distribution::Uniform { lo, hi } => {
+                let x = rng.uniform(lo.as_secs_f64(), hi.as_secs_f64());
+                SimDuration::from_secs_f64(x)
+            }
+            Distribution::Normal { mean, std_dev } => {
+                let x = rng.normal(mean.as_secs_f64(), std_dev.as_secs_f64());
+                SimDuration::from_secs_f64(x.max(0.0))
+            }
+            Distribution::LogNormal { median, sigma } => {
+                let mu = median.as_secs_f64().max(1e-12).ln();
+                let x = rng.log_normal(mu, sigma.max(0.0));
+                SimDuration::from_secs_f64(x)
+            }
+            Distribution::Exponential { mean } => {
+                SimDuration::from_secs_f64(rng.exponential(mean.as_secs_f64()))
+            }
+            Distribution::Empirical(values) => {
+                rng.choose(values).copied().unwrap_or(SimDuration::ZERO)
+            }
+            Distribution::Shifted { offset, base } => *offset + base.sample(rng),
+            Distribution::Scaled { factor, base } => base.sample(rng).mul_f64(*factor),
+        }
+    }
+
+    /// Draw `n` samples.
+    pub fn sample_n(&self, rng: &mut SimRng, n: usize) -> Vec<SimDuration> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The analytic mean of the distribution where it has a closed form;
+    /// empirical distributions return their sample mean.
+    pub fn mean(&self) -> SimDuration {
+        match self {
+            Distribution::Constant(d) => *d,
+            Distribution::Uniform { lo, hi } => {
+                SimDuration::from_secs_f64((lo.as_secs_f64() + hi.as_secs_f64()) / 2.0)
+            }
+            Distribution::Normal { mean, .. } => *mean,
+            Distribution::LogNormal { median, sigma } => {
+                SimDuration::from_secs_f64(median.as_secs_f64() * (sigma * sigma / 2.0).exp())
+            }
+            Distribution::Exponential { mean } => *mean,
+            Distribution::Empirical(values) => {
+                if values.is_empty() {
+                    SimDuration::ZERO
+                } else {
+                    let total: f64 = values.iter().map(|d| d.as_secs_f64()).sum();
+                    SimDuration::from_secs_f64(total / values.len() as f64)
+                }
+            }
+            Distribution::Shifted { offset, base } => *offset + base.mean(),
+            Distribution::Scaled { factor, base } => base.mean().mul_f64(*factor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(0xdead_beef)
+    }
+
+    #[test]
+    fn constant_always_same() {
+        let d = Distribution::constant_millis(120);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r).as_millis(), 120);
+        }
+        assert_eq!(d.mean().as_millis(), 120);
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let d = Distribution::uniform_millis(10.0, 20.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = d.sample(&mut r).as_millis_f64();
+            assert!((10.0..20.0).contains(&x), "x={x}");
+        }
+        assert!((d.mean().as_millis_f64() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_truncated_at_zero() {
+        let d = Distribution::normal_millis(1.0, 10.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r).as_secs_f64() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn normal_sample_mean_close() {
+        let d = Distribution::normal_millis(100.0, 5.0);
+        let mut r = rng();
+        let n = 5_000;
+        let mean =
+            d.sample_n(&mut r, n).iter().map(|x| x.as_millis_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean={mean}");
+    }
+
+    #[test]
+    fn lognormal_median_close() {
+        let d = Distribution::LogNormal {
+            median: SimDuration::from_millis(50),
+            sigma: 0.3,
+        };
+        let mut r = rng();
+        let mut samples: Vec<f64> = d
+            .sample_n(&mut r, 4_001)
+            .iter()
+            .map(|x| x.as_millis_f64())
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 50.0).abs() < 3.0, "median={median}");
+        assert!(d.mean() > SimDuration::from_millis(50));
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let d = Distribution::Exponential {
+            mean: SimDuration::from_millis(10),
+        };
+        let mut r = rng();
+        let n = 10_000;
+        let mean =
+            d.sample_n(&mut r, n).iter().map(|x| x.as_millis_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean={mean}");
+    }
+
+    #[test]
+    fn empirical_samples_from_values() {
+        let values = vec![
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(3),
+        ];
+        let d = Distribution::Empirical(values.clone());
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(values.contains(&d.sample(&mut r)));
+        }
+        assert_eq!(d.mean().as_millis(), 2);
+        let empty = Distribution::Empirical(vec![]);
+        assert_eq!(empty.sample(&mut r), SimDuration::ZERO);
+        assert_eq!(empty.mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn shifted_adds_offset() {
+        let d = Distribution::constant_millis(10).shifted(SimDuration::from_millis(5));
+        let mut r = rng();
+        assert_eq!(d.sample(&mut r).as_millis(), 15);
+        assert_eq!(d.mean().as_millis(), 15);
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        // The ARM board is ~6x slower than the x86 server (paper §3.1).
+        let x86 = Distribution::constant_millis(20);
+        let arm = x86.clone().scaled(6.0);
+        let mut r = rng();
+        assert_eq!(arm.sample(&mut r).as_millis(), 120);
+        assert_eq!(arm.mean().as_millis(), 120);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = Distribution::normal_millis(10.0, 2.0);
+        let mut r1 = SimRng::seed_from_u64(99);
+        let mut r2 = SimRng::seed_from_u64(99);
+        assert_eq!(d.sample_n(&mut r1, 50), d.sample_n(&mut r2, 50));
+    }
+}

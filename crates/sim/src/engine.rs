@@ -1,0 +1,305 @@
+//! Discrete-event simulation engine.
+//!
+//! The engine owns a user-supplied *world* (the mutable state of the
+//! simulated system) and a priority queue of scheduled events. An event is a
+//! boxed closure that receives `&mut Sim<W>` so it can mutate the world,
+//! advance no time itself, and schedule further events. Events fire in
+//! timestamp order; ties break in scheduling order so runs are fully
+//! deterministic.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A boxed event callback.
+type EventFn<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// `W` is the world type: all simulated state lives there and is reachable
+/// from event callbacks through [`Sim::world_mut`].
+pub struct Sim<W> {
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+    world: W,
+    /// Hard cap on executed events, to catch accidental livelock in tests.
+    event_limit: u64,
+}
+
+impl<W> Sim<W> {
+    /// Create a simulator at time zero owning `world`.
+    pub fn new(world: W) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+            queue: BinaryHeap::new(),
+            world,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Set a hard limit on the number of events executed by [`Sim::run`].
+    /// Exceeding the limit panics; use in tests to catch livelock.
+    pub fn with_event_limit(mut self, limit: u64) -> Self {
+        self.event_limit = limit;
+        self
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the simulator, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedule `f` to run at absolute time `at`. Scheduling in the past is
+    /// clamped to "now" (the event runs before time advances further).
+    pub fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut Sim<W>) + 'static,
+    {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            run: Box::new(f),
+        });
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut Sim<W>) + 'static,
+    {
+        let at = self.now + delay;
+        self.schedule_at(at, f);
+    }
+
+    /// Schedule `f` to run immediately (still after the current event
+    /// finishes, preserving run-to-completion semantics).
+    pub fn schedule_now<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut Sim<W>) + 'static,
+    {
+        self.schedule_at(self.now, f);
+    }
+
+    /// Execute a single event if one is pending. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            None => false,
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now, "event queue went backwards");
+                self.now = ev.at;
+                self.executed += 1;
+                if self.executed > self.event_limit {
+                    panic!(
+                        "simulation exceeded event limit of {} events (possible livelock)",
+                        self.event_limit
+                    );
+                }
+                (ev.run)(self);
+                true
+            }
+        }
+    }
+
+    /// Run until the event queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the event queue is empty or virtual time would pass
+    /// `deadline`. Events scheduled exactly at the deadline still run.
+    /// Returns the number of events executed by this call.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let before = self.executed;
+        while let Some(head) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        // Advance the clock to the deadline even if nothing fired at it, so
+        // callers can interleave run_until with manual inspection.
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.executed - before
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.at)
+    }
+}
+
+impl<W: Default> Default for Sim<W> {
+    fn default() -> Self {
+        Sim::new(W::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        sim.schedule_in(SimDuration::from_millis(30), |s| {
+            let t = s.now().as_millis();
+            s.world_mut().push(t)
+        });
+        sim.schedule_in(SimDuration::from_millis(10), |s| {
+            let t = s.now().as_millis();
+            s.world_mut().push(t)
+        });
+        sim.schedule_in(SimDuration::from_millis(20), |s| {
+            let t = s.now().as_millis();
+            s.world_mut().push(t)
+        });
+        sim.run();
+        assert_eq!(sim.world(), &vec![10, 20, 30]);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_in_scheduling_order() {
+        let mut sim = Sim::new(Vec::<u32>::new());
+        for i in 0..10u32 {
+            sim.schedule_at(SimTime::from_millis(5), move |s| s.world_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(sim.world(), &(0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new(0u64);
+        sim.schedule_now(|s| {
+            s.schedule_in(SimDuration::from_millis(1), |s| {
+                *s.world_mut() += 1;
+                s.schedule_in(SimDuration::from_millis(1), |s| *s.world_mut() += 1);
+            });
+        });
+        sim.run();
+        assert_eq!(*sim.world(), 2);
+        assert_eq!(sim.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        sim.schedule_in(SimDuration::from_millis(10), |s| {
+            // Attempt to schedule before "now"; it must fire at now, not panic.
+            s.schedule_at(SimTime::from_millis(1), |s| {
+                let t = s.now().as_millis();
+                s.world_mut().push(t);
+            });
+        });
+        sim.run();
+        assert_eq!(sim.world(), &vec![10]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        for ms in [5u64, 15, 25, 35] {
+            sim.schedule_at(SimTime::from_millis(ms), move |s| s.world_mut().push(ms));
+        }
+        let n = sim.run_until(SimTime::from_millis(20));
+        assert_eq!(n, 2);
+        assert_eq!(sim.world(), &vec![5, 15]);
+        assert_eq!(sim.now(), SimTime::from_millis(20));
+        assert_eq!(sim.events_pending(), 2);
+        sim.run();
+        assert_eq!(sim.world(), &vec![5, 15, 25, 35]);
+    }
+
+    #[test]
+    fn next_event_time_and_step() {
+        let mut sim = Sim::new(());
+        assert!(sim.next_event_time().is_none());
+        assert!(!sim.step());
+        sim.schedule_in(SimDuration::from_micros(3), |_| {});
+        assert_eq!(sim.next_event_time(), Some(SimTime::from_micros(3)));
+        assert!(sim.step());
+        assert!(!sim.step());
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_catches_livelock() {
+        let mut sim = Sim::new(()).with_event_limit(100);
+        fn again(s: &mut Sim<()>) {
+            s.schedule_in(SimDuration::from_nanos(1), again);
+        }
+        sim.schedule_now(again);
+        sim.run();
+    }
+
+    #[test]
+    fn into_world_returns_state() {
+        let mut sim = Sim::new(String::new());
+        sim.schedule_now(|s| s.world_mut().push_str("done"));
+        sim.run();
+        assert_eq!(sim.into_world(), "done");
+    }
+}

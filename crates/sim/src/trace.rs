@@ -1,0 +1,173 @@
+//! Lightweight event tracing.
+//!
+//! Components of the simulated substrate emit trace events (domain created,
+//! hotplug script ran, SYN buffered, handoff committed, …) into a [`Tracer`].
+//! Integration tests assert over traces to verify causality and ordering,
+//! and the examples print them to show the end-to-end flow of Figure 6.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time at which the event occurred.
+    pub at: SimTime,
+    /// The component that emitted the event (e.g. "jitsud", "synjitsu").
+    pub component: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {:<12} {}", self.at.to_string(), self.component, self.message)
+    }
+}
+
+/// An append-only trace of events in virtual-time order of emission.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// Create an enabled tracer.
+    pub fn new() -> Tracer {
+        Tracer {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Create a disabled tracer that drops all events (for benchmarks).
+    pub fn disabled() -> Tracer {
+        Tracer {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event.
+    pub fn emit(&mut self, at: SimTime, component: impl Into<String>, message: impl Into<String>) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                component: component.into(),
+                message: message.into(),
+            });
+        }
+    }
+
+    /// All recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events emitted by a particular component.
+    pub fn by_component<'a>(&'a self, component: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.component == component)
+    }
+
+    /// The first event whose message contains `needle`.
+    pub fn find(&self, needle: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.message.contains(needle))
+    }
+
+    /// True if an event matching `a` occurs before one matching `b`
+    /// (by position in the trace).
+    pub fn happens_before(&self, a: &str, b: &str) -> bool {
+        let ia = self.events.iter().position(|e| e.message.contains(a));
+        let ib = self.events.iter().position(|e| e.message.contains(b));
+        match (ia, ib) {
+            (Some(x), Some(y)) => x < y,
+            _ => false,
+        }
+    }
+
+    /// Render the full trace as text, one event per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Remove all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn emit_and_query() {
+        let mut t = Tracer::new();
+        t.emit(SimTime::from_millis(1), "jitsud", "DNS query for alice.family.name");
+        t.emit(SimTime::from_millis(2), "synjitsu", "buffered SYN");
+        t.emit(SimTime::from_millis(300), "unikernel", "handoff committed");
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!(t.is_enabled());
+        assert_eq!(t.by_component("synjitsu").count(), 1);
+        assert!(t.find("DNS query").is_some());
+        assert!(t.find("nonexistent").is_none());
+        assert!(t.happens_before("SYN", "handoff"));
+        assert!(!t.happens_before("handoff", "SYN"));
+        assert!(!t.happens_before("SYN", "missing"));
+    }
+
+    #[test]
+    fn disabled_tracer_drops_events() {
+        let mut t = Tracer::disabled();
+        t.emit(SimTime::ZERO, "x", "y");
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn render_and_clear() {
+        let mut t = Tracer::new();
+        t.emit(SimTime::from_millis(5), "comp", "hello");
+        let s = t.render();
+        assert!(s.contains("comp"));
+        assert!(s.contains("hello"));
+        assert!(s.contains("5.000ms"));
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEvent {
+            at: SimTime::from_millis(42),
+            component: "builder".into(),
+            message: "domain built".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("builder"));
+        assert!(s.contains("domain built"));
+    }
+}

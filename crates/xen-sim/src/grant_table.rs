@@ -1,0 +1,325 @@
+//! Grant tables: page sharing between domains.
+//!
+//! A domain *grants* access to one of its pages to a named peer domain by
+//! filling in a grant-table entry; the peer then *maps* the grant to reach
+//! the shared memory. The split-driver rings (netfront/netback, console) and
+//! the vchan transport used by Conduit (§3.2) are built on exactly this
+//! primitive. This model tracks entries, enforces that only the intended
+//! peer may map a grant, supports read-only grants, and stores the shared
+//! page contents so higher layers genuinely move bytes through it.
+
+use std::collections::HashMap;
+use xenstore::DomId;
+
+/// A grant reference: an index into the granting domain's grant table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GrantRef(pub u32);
+
+/// Errors from grant-table operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrantError {
+    /// The grant reference does not exist.
+    BadRef(GrantRef),
+    /// The mapping domain is not the peer the grant names.
+    NotPermitted {
+        /// The domain that attempted the mapping.
+        mapper: DomId,
+        /// The domain the grant actually names.
+        expected: DomId,
+    },
+    /// Attempted to write through a read-only grant.
+    ReadOnly(GrantRef),
+    /// The grant is still mapped and cannot be revoked.
+    StillMapped(GrantRef),
+    /// The granting domain has exhausted its grant table.
+    TableFull,
+}
+
+/// One grant entry.
+#[derive(Debug, Clone)]
+struct GrantEntry {
+    granter: DomId,
+    peer: DomId,
+    readonly: bool,
+    mapped_by: Option<DomId>,
+    /// The shared page contents (one PAGE_SIZE page).
+    page: Vec<u8>,
+}
+
+/// Per-host grant table state (indexed by granting domain).
+#[derive(Debug, Default)]
+pub struct GrantTable {
+    entries: HashMap<(DomId, GrantRef), GrantEntry>,
+    next_ref: HashMap<DomId, u32>,
+    /// Maximum entries per domain (the default Xen grant table v1 size).
+    max_per_domain: u32,
+}
+
+impl GrantTable {
+    /// Create a grant table with the default per-domain capacity.
+    pub fn new() -> GrantTable {
+        GrantTable {
+            entries: HashMap::new(),
+            next_ref: HashMap::new(),
+            max_per_domain: 512,
+        }
+    }
+
+    /// Create a grant table with an explicit per-domain capacity.
+    pub fn with_capacity(max_per_domain: u32) -> GrantTable {
+        GrantTable {
+            max_per_domain,
+            ..GrantTable::new()
+        }
+    }
+
+    /// Number of grants a domain currently has outstanding.
+    pub fn grants_of(&self, dom: DomId) -> usize {
+        self.entries.keys().filter(|(d, _)| *d == dom).count()
+    }
+
+    /// Grant `peer` access to a fresh shared page owned by `granter`.
+    pub fn grant(&mut self, granter: DomId, peer: DomId, readonly: bool) -> Result<GrantRef, GrantError> {
+        if self.grants_of(granter) as u32 >= self.max_per_domain {
+            return Err(GrantError::TableFull);
+        }
+        let counter = self.next_ref.entry(granter).or_insert(0);
+        let gref = GrantRef(*counter);
+        *counter += 1;
+        self.entries.insert(
+            (granter, gref),
+            GrantEntry {
+                granter,
+                peer,
+                readonly,
+                mapped_by: None,
+                page: vec![0u8; crate::memory::PAGE_SIZE],
+            },
+        );
+        Ok(gref)
+    }
+
+    /// Map a grant as `mapper`. Only the peer named in the grant may map it.
+    pub fn map(&mut self, granter: DomId, gref: GrantRef, mapper: DomId) -> Result<(), GrantError> {
+        let entry = self
+            .entries
+            .get_mut(&(granter, gref))
+            .ok_or(GrantError::BadRef(gref))?;
+        if entry.peer != mapper && !mapper.is_privileged() {
+            return Err(GrantError::NotPermitted {
+                mapper,
+                expected: entry.peer,
+            });
+        }
+        entry.mapped_by = Some(mapper);
+        Ok(())
+    }
+
+    /// Unmap a previously mapped grant.
+    pub fn unmap(&mut self, granter: DomId, gref: GrantRef) -> Result<(), GrantError> {
+        let entry = self
+            .entries
+            .get_mut(&(granter, gref))
+            .ok_or(GrantError::BadRef(gref))?;
+        entry.mapped_by = None;
+        Ok(())
+    }
+
+    /// Revoke (end access to) a grant. Fails while the peer still has it
+    /// mapped — the source of many real-world driver bugs.
+    pub fn revoke(&mut self, granter: DomId, gref: GrantRef) -> Result<(), GrantError> {
+        let entry = self
+            .entries
+            .get(&(granter, gref))
+            .ok_or(GrantError::BadRef(gref))?;
+        if entry.mapped_by.is_some() {
+            return Err(GrantError::StillMapped(gref));
+        }
+        self.entries.remove(&(granter, gref));
+        Ok(())
+    }
+
+    /// Write into the shared page as `writer` (granter, or the peer if the
+    /// grant is read-write and mapped).
+    pub fn write_page(
+        &mut self,
+        granter: DomId,
+        gref: GrantRef,
+        writer: DomId,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), GrantError> {
+        let entry = self
+            .entries
+            .get_mut(&(granter, gref))
+            .ok_or(GrantError::BadRef(gref))?;
+        if writer != entry.granter {
+            if entry.peer != writer {
+                return Err(GrantError::NotPermitted {
+                    mapper: writer,
+                    expected: entry.peer,
+                });
+            }
+            if entry.readonly {
+                return Err(GrantError::ReadOnly(gref));
+            }
+        }
+        let end = (offset + data.len()).min(entry.page.len());
+        let n = end.saturating_sub(offset);
+        entry.page[offset..offset + n].copy_from_slice(&data[..n]);
+        Ok(())
+    }
+
+    /// Read from the shared page as `reader` (granter or peer).
+    pub fn read_page(
+        &self,
+        granter: DomId,
+        gref: GrantRef,
+        reader: DomId,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, GrantError> {
+        let entry = self
+            .entries
+            .get(&(granter, gref))
+            .ok_or(GrantError::BadRef(gref))?;
+        if reader != entry.granter && reader != entry.peer && !reader.is_privileged() {
+            return Err(GrantError::NotPermitted {
+                mapper: reader,
+                expected: entry.peer,
+            });
+        }
+        let end = (offset + len).min(entry.page.len());
+        Ok(entry.page[offset.min(end)..end].to_vec())
+    }
+
+    /// Drop all grants owned by, or mapped by, a destroyed domain.
+    pub fn domain_destroyed(&mut self, dom: DomId) {
+        self.entries.retain(|(granter, _), e| {
+            if *granter == dom {
+                return false;
+            }
+            if e.mapped_by == Some(dom) {
+                e.mapped_by = None;
+            }
+            true
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_map_readwrite_flow() {
+        let mut gt = GrantTable::new();
+        let gref = gt.grant(DomId(3), DomId(7), false).unwrap();
+        gt.map(DomId(3), gref, DomId(7)).unwrap();
+        gt.write_page(DomId(3), gref, DomId(7), 0, b"hello from dom7").unwrap();
+        let data = gt.read_page(DomId(3), gref, DomId(3), 0, 15).unwrap();
+        assert_eq!(&data, b"hello from dom7");
+        gt.unmap(DomId(3), gref).unwrap();
+        gt.revoke(DomId(3), gref).unwrap();
+        assert_eq!(gt.grants_of(DomId(3)), 0);
+    }
+
+    #[test]
+    fn only_named_peer_may_map() {
+        let mut gt = GrantTable::new();
+        let gref = gt.grant(DomId(3), DomId(7), false).unwrap();
+        assert_eq!(
+            gt.map(DomId(3), gref, DomId(9)),
+            Err(GrantError::NotPermitted {
+                mapper: DomId(9),
+                expected: DomId(7)
+            })
+        );
+        // dom0 (backend drivers) may map anything.
+        assert!(gt.map(DomId(3), gref, DomId::DOM0).is_ok());
+    }
+
+    #[test]
+    fn readonly_grants_reject_peer_writes() {
+        let mut gt = GrantTable::new();
+        let gref = gt.grant(DomId(3), DomId(7), true).unwrap();
+        gt.map(DomId(3), gref, DomId(7)).unwrap();
+        assert_eq!(
+            gt.write_page(DomId(3), gref, DomId(7), 0, b"x"),
+            Err(GrantError::ReadOnly(gref))
+        );
+        // The granter itself can still write.
+        assert!(gt.write_page(DomId(3), gref, DomId(3), 0, b"x").is_ok());
+        assert_eq!(gt.read_page(DomId(3), gref, DomId(7), 0, 1).unwrap(), b"x");
+    }
+
+    #[test]
+    fn revoke_fails_while_mapped() {
+        let mut gt = GrantTable::new();
+        let gref = gt.grant(DomId(3), DomId(7), false).unwrap();
+        gt.map(DomId(3), gref, DomId(7)).unwrap();
+        assert_eq!(gt.revoke(DomId(3), gref), Err(GrantError::StillMapped(gref)));
+        gt.unmap(DomId(3), gref).unwrap();
+        assert!(gt.revoke(DomId(3), gref).is_ok());
+    }
+
+    #[test]
+    fn bad_refs_and_foreign_readers_rejected() {
+        let mut gt = GrantTable::new();
+        assert_eq!(
+            gt.map(DomId(3), GrantRef(42), DomId(7)),
+            Err(GrantError::BadRef(GrantRef(42)))
+        );
+        let gref = gt.grant(DomId(3), DomId(7), false).unwrap();
+        assert!(matches!(
+            gt.read_page(DomId(3), gref, DomId(9), 0, 4),
+            Err(GrantError::NotPermitted { .. })
+        ));
+    }
+
+    #[test]
+    fn table_capacity_enforced() {
+        let mut gt = GrantTable::with_capacity(2);
+        gt.grant(DomId(3), DomId(7), false).unwrap();
+        gt.grant(DomId(3), DomId(7), false).unwrap();
+        assert_eq!(gt.grant(DomId(3), DomId(7), false), Err(GrantError::TableFull));
+        // Another domain has its own budget.
+        assert!(gt.grant(DomId(4), DomId(7), false).is_ok());
+    }
+
+    #[test]
+    fn writes_clamp_to_page_size() {
+        let mut gt = GrantTable::new();
+        let gref = gt.grant(DomId(3), DomId(7), false).unwrap();
+        let big = vec![0xAB; crate::memory::PAGE_SIZE + 100];
+        gt.write_page(DomId(3), gref, DomId(3), 0, &big).unwrap();
+        let page = gt
+            .read_page(DomId(3), gref, DomId(3), 0, crate::memory::PAGE_SIZE + 100)
+            .unwrap();
+        assert_eq!(page.len(), crate::memory::PAGE_SIZE);
+        assert!(page.iter().all(|&b| b == 0xAB));
+    }
+
+    #[test]
+    fn domain_destruction_cleans_grants() {
+        let mut gt = GrantTable::new();
+        let g1 = gt.grant(DomId(3), DomId(7), false).unwrap();
+        let _g2 = gt.grant(DomId(7), DomId(3), false).unwrap();
+        gt.map(DomId(3), g1, DomId(7)).unwrap();
+        gt.domain_destroyed(DomId(7));
+        // dom7's own grants are gone; dom3's grant is no longer mapped.
+        assert_eq!(gt.grants_of(DomId(7)), 0);
+        assert!(gt.revoke(DomId(3), g1).is_ok(), "mapping was torn down");
+    }
+
+    #[test]
+    fn grant_refs_are_per_domain_monotonic() {
+        let mut gt = GrantTable::new();
+        let a = gt.grant(DomId(3), DomId(7), false).unwrap();
+        let b = gt.grant(DomId(3), DomId(7), false).unwrap();
+        let c = gt.grant(DomId(5), DomId(7), false).unwrap();
+        assert_eq!(a, GrantRef(0));
+        assert_eq!(b, GrantRef(1));
+        assert_eq!(c, GrantRef(0), "each domain numbers its own table");
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types for XenStore operations.
+//!
+//! The variants mirror the errno values the real XenStore protocol returns
+//! (`ENOENT`, `EACCES`, `EAGAIN`, …), so toolstack code built on this crate
+//! handles the same failure modes as code written against the C daemon.
+
+use std::fmt;
+
+/// Result alias for XenStore operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors returned by XenStore operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The path does not exist (`ENOENT`).
+    NoEntry(String),
+    /// The caller lacks permission for the requested access (`EACCES`).
+    PermissionDenied(String),
+    /// A transaction failed to commit due to a conflicting concurrent
+    /// update and should be retried (`EAGAIN`).
+    Again,
+    /// The path or value is malformed (`EINVAL`).
+    Invalid(String),
+    /// The node already exists (`EEXIST`).
+    Exists(String),
+    /// The referenced transaction id is unknown.
+    UnknownTransaction(u32),
+    /// A per-domain quota was exceeded.
+    QuotaExceeded(&'static str),
+    /// The watch token is already registered for this path.
+    DuplicateWatch,
+    /// The watch to remove was not found.
+    WatchNotFound,
+    /// A wire-protocol message could not be decoded.
+    Protocol(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoEntry(p) => write!(f, "ENOENT: no such node: {p}"),
+            Error::PermissionDenied(p) => write!(f, "EACCES: permission denied: {p}"),
+            Error::Again => write!(f, "EAGAIN: transaction conflict, retry"),
+            Error::Invalid(m) => write!(f, "EINVAL: {m}"),
+            Error::Exists(p) => write!(f, "EEXIST: node already exists: {p}"),
+            Error::UnknownTransaction(id) => write!(f, "unknown transaction id {id}"),
+            Error::QuotaExceeded(what) => write!(f, "quota exceeded: {what}"),
+            Error::DuplicateWatch => write!(f, "watch already registered"),
+            Error::WatchNotFound => write!(f, "watch not found"),
+            Error::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// The errno-style short name used on the wire (e.g. `"ENOENT"`).
+    pub fn errno_name(&self) -> &'static str {
+        match self {
+            Error::NoEntry(_) => "ENOENT",
+            Error::PermissionDenied(_) => "EACCES",
+            Error::Again => "EAGAIN",
+            Error::Invalid(_) => "EINVAL",
+            Error::Exists(_) => "EEXIST",
+            Error::UnknownTransaction(_) => "EINVAL",
+            Error::QuotaExceeded(_) => "E2BIG",
+            Error::DuplicateWatch => "EEXIST",
+            Error::WatchNotFound => "ENOENT",
+            Error::Protocol(_) => "EIO",
+        }
+    }
+
+    /// True if the operation should be retried (transaction conflicts).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Again)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_errno() {
+        assert!(Error::NoEntry("/a".into()).to_string().contains("ENOENT"));
+        assert!(Error::PermissionDenied("/a".into()).to_string().contains("EACCES"));
+        assert!(Error::Again.to_string().contains("EAGAIN"));
+        assert!(Error::Invalid("bad".into()).to_string().contains("bad"));
+        assert!(Error::Exists("/a".into()).to_string().contains("EEXIST"));
+        assert!(Error::UnknownTransaction(9).to_string().contains('9'));
+        assert!(Error::QuotaExceeded("nodes").to_string().contains("nodes"));
+        assert!(Error::Protocol("trunc".into()).to_string().contains("trunc"));
+    }
+
+    #[test]
+    fn errno_names() {
+        assert_eq!(Error::NoEntry(String::new()).errno_name(), "ENOENT");
+        assert_eq!(Error::Again.errno_name(), "EAGAIN");
+        assert_eq!(Error::QuotaExceeded("watches").errno_name(), "E2BIG");
+        assert_eq!(Error::DuplicateWatch.errno_name(), "EEXIST");
+        assert_eq!(Error::WatchNotFound.errno_name(), "ENOENT");
+    }
+
+    #[test]
+    fn retryability() {
+        assert!(Error::Again.is_retryable());
+        assert!(!Error::NoEntry(String::new()).is_retryable());
+        assert!(!Error::PermissionDenied(String::new()).is_retryable());
+    }
+}

@@ -1,0 +1,87 @@
+//! Store tree nodes.
+
+use crate::perms::Permissions;
+use std::collections::BTreeMap;
+
+/// Maximum size of a node's value, matching the classic XenStore payload
+/// limit of 4096 bytes.
+pub const MAX_VALUE_LEN: usize = 4096;
+
+/// One node of the store tree: a value, child nodes, permissions and the
+/// generation counters used by the transaction reconciliation engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// The node's value (may be empty — directories usually are).
+    pub value: Vec<u8>,
+    /// Children keyed by component name. `BTreeMap` keeps directory listings
+    /// deterministic.
+    pub children: BTreeMap<String, Node>,
+    /// Access control for this node.
+    pub perms: Permissions,
+    /// Store generation at which this node was created.
+    pub created_gen: u64,
+    /// Store generation at which the value or permissions last changed.
+    pub modified_gen: u64,
+    /// Store generation at which the set of children last changed.
+    pub children_gen: u64,
+}
+
+impl Node {
+    /// Create a node with the given permissions at generation `gen`.
+    pub fn new(perms: Permissions, gen: u64) -> Node {
+        Node {
+            value: Vec::new(),
+            children: BTreeMap::new(),
+            perms,
+            created_gen: gen,
+            modified_gen: gen,
+            children_gen: gen,
+        }
+    }
+
+    /// Number of nodes in this subtree, including this node.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.children.values().map(Node::subtree_size).sum::<usize>()
+    }
+
+    /// Child names in deterministic (sorted) order.
+    pub fn child_names(&self) -> Vec<String> {
+        self.children.keys().cloned().collect()
+    }
+
+    /// True if the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perms::DomId;
+
+    #[test]
+    fn new_node_is_empty_leaf() {
+        let n = Node::new(Permissions::owned_by(DomId::DOM0), 5);
+        assert!(n.value.is_empty());
+        assert!(n.is_leaf());
+        assert_eq!(n.created_gen, 5);
+        assert_eq!(n.modified_gen, 5);
+        assert_eq!(n.children_gen, 5);
+        assert_eq!(n.subtree_size(), 1);
+    }
+
+    #[test]
+    fn subtree_size_counts_descendants() {
+        let mut root = Node::new(Permissions::owned_by(DomId::DOM0), 0);
+        let mut a = Node::new(Permissions::owned_by(DomId::DOM0), 1);
+        a.children
+            .insert("x".into(), Node::new(Permissions::owned_by(DomId::DOM0), 2));
+        root.children.insert("a".into(), a);
+        root.children
+            .insert("b".into(), Node::new(Permissions::owned_by(DomId::DOM0), 3));
+        assert_eq!(root.subtree_size(), 4);
+        assert_eq!(root.child_names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(!root.is_leaf());
+    }
+}

@@ -1,0 +1,311 @@
+//! XenStore paths.
+//!
+//! Paths are `/`-separated, absolute, and name nodes in the store tree,
+//! e.g. `/local/domain/3/device/vif/0/state` or `/conduit/http_server/listen`.
+//! Path components may contain ASCII letters, digits, `-`, `_`, `.`, `@` and
+//! `:` (the character set accepted by the real store).
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// Maximum length of a path accepted by the store, matching the classic
+/// XenStore limit.
+pub const MAX_PATH_LEN: usize = 3072;
+
+/// An absolute, validated XenStore path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    components: Vec<String>,
+}
+
+impl Path {
+    /// The root path `/`.
+    pub fn root() -> Path {
+        Path { components: Vec::new() }
+    }
+
+    /// Parse and validate an absolute path string.
+    pub fn parse(s: &str) -> Result<Path> {
+        if s.is_empty() {
+            return Err(Error::Invalid("empty path".into()));
+        }
+        if s.len() > MAX_PATH_LEN {
+            return Err(Error::Invalid(format!("path longer than {MAX_PATH_LEN} bytes")));
+        }
+        if !s.starts_with('/') {
+            return Err(Error::Invalid(format!("path must be absolute: {s}")));
+        }
+        let mut components = Vec::new();
+        for comp in s.split('/') {
+            if comp.is_empty() {
+                continue; // leading slash / trailing slash / doubled slash
+            }
+            Self::validate_component(comp)?;
+            components.push(comp.to_string());
+        }
+        Ok(Path { components })
+    }
+
+    fn validate_component(comp: &str) -> Result<()> {
+        if comp == "." || comp == ".." {
+            return Err(Error::Invalid(format!("relative component not allowed: {comp}")));
+        }
+        for c in comp.chars() {
+            let ok = c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | '@' | ':' | '+');
+            if !ok {
+                return Err(Error::Invalid(format!("invalid character {c:?} in component {comp:?}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// The path components, in order from the root.
+    pub fn components(&self) -> &[String] {
+        &self.components
+    }
+
+    /// Number of components (0 for the root).
+    pub fn depth(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True if this is the root path.
+    pub fn is_root(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// The last component, or `None` for the root.
+    pub fn basename(&self) -> Option<&str> {
+        self.components.last().map(|s| s.as_str())
+    }
+
+    /// The parent path, or `None` for the root.
+    pub fn parent(&self) -> Option<Path> {
+        if self.components.is_empty() {
+            None
+        } else {
+            Some(Path {
+                components: self.components[..self.components.len() - 1].to_vec(),
+            })
+        }
+    }
+
+    /// Append a single validated component.
+    pub fn child(&self, component: &str) -> Result<Path> {
+        Self::validate_component(component)?;
+        let mut components = self.components.clone();
+        components.push(component.to_string());
+        Ok(Path { components })
+    }
+
+    /// Join with a relative suffix that may contain multiple components
+    /// (e.g. `"device/vif/0"`).
+    pub fn join(&self, suffix: &str) -> Result<Path> {
+        let mut components = self.components.clone();
+        for comp in suffix.split('/') {
+            if comp.is_empty() {
+                continue;
+            }
+            Self::validate_component(comp)?;
+            components.push(comp.to_string());
+        }
+        Ok(Path { components })
+    }
+
+    /// True if `self` is `other` or an ancestor of `other`.
+    pub fn is_prefix_of(&self, other: &Path) -> bool {
+        if self.components.len() > other.components.len() {
+            return false;
+        }
+        self.components
+            .iter()
+            .zip(other.components.iter())
+            .all(|(a, b)| a == b)
+    }
+
+    /// True if `self` is a strict ancestor of `other`.
+    pub fn is_ancestor_of(&self, other: &Path) -> bool {
+        self.components.len() < other.components.len() && self.is_prefix_of(other)
+    }
+
+    /// Iterate over this path and all its ancestors, from the root down to
+    /// the path itself.
+    pub fn ancestry(&self) -> Vec<Path> {
+        let mut out = Vec::with_capacity(self.components.len() + 1);
+        for i in 0..=self.components.len() {
+            out.push(Path {
+                components: self.components[..i].to_vec(),
+            });
+        }
+        out
+    }
+
+    /// The first component, or `None` for the root — used by the Jitsu
+    /// transaction engine to partition conflicts by top-level directory.
+    pub fn top_level(&self) -> Option<&str> {
+        self.components.first().map(|s| s.as_str())
+    }
+
+    /// The common-root prefix of two paths: the longest shared ancestry.
+    pub fn common_prefix(&self, other: &Path) -> Path {
+        let shared: Vec<String> = self
+            .components
+            .iter()
+            .zip(other.components.iter())
+            .take_while(|(a, b)| a == b)
+            .map(|(a, _)| a.clone())
+            .collect();
+        Path { components: shared }
+    }
+
+    /// The conventional per-domain home directory, `/local/domain/<domid>`.
+    pub fn domain_home(domid: u32) -> Path {
+        Path {
+            components: vec!["local".into(), "domain".into(), domid.to_string()],
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            write!(f, "/")
+        } else {
+            for c in &self.components {
+                write!(f, "/{c}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl std::str::FromStr for Path {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Path> {
+        Path::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for p in [
+            "/local",
+            "/local/domain/3/device/vif/0/state",
+            "/conduit/http_server/listen/conn1",
+            "/tool/xenstored",
+        ] {
+            assert_eq!(Path::parse(p).unwrap().to_string(), p);
+        }
+        assert_eq!(Path::parse("/").unwrap().to_string(), "/");
+        assert_eq!(Path::parse("/a//b/").unwrap().to_string(), "/a/b");
+    }
+
+    #[test]
+    fn rejects_invalid_paths() {
+        assert!(Path::parse("").is_err());
+        assert!(Path::parse("relative/path").is_err());
+        assert!(Path::parse("/has space").is_err());
+        assert!(Path::parse("/has\ttab").is_err());
+        assert!(Path::parse("/../etc").is_err());
+        assert!(Path::parse("/a/./b").is_err());
+        let long = format!("/{}", "x".repeat(MAX_PATH_LEN + 1));
+        assert!(Path::parse(&long).is_err());
+    }
+
+    #[test]
+    fn accepts_xenstore_charset() {
+        assert!(Path::parse("/local/domain/0/backend/vif/3/0/mac-addr").is_ok());
+        assert!(Path::parse("/vm/uuid:1234-abcd").is_ok());
+        assert!(Path::parse("/conduit/http_server@host").is_ok());
+        assert!(Path::parse("/feature/x+y").is_ok());
+    }
+
+    #[test]
+    fn parent_basename_depth() {
+        let p = Path::parse("/local/domain/3").unwrap();
+        assert_eq!(p.depth(), 3);
+        assert_eq!(p.basename(), Some("3"));
+        assert_eq!(p.parent().unwrap().to_string(), "/local/domain");
+        assert_eq!(Path::root().parent(), None);
+        assert_eq!(Path::root().basename(), None);
+        assert!(Path::root().is_root());
+        assert!(!p.is_root());
+    }
+
+    #[test]
+    fn child_and_join() {
+        let p = Path::parse("/local/domain").unwrap();
+        assert_eq!(p.child("7").unwrap().to_string(), "/local/domain/7");
+        assert!(p.child("bad name").is_err());
+        assert_eq!(
+            p.join("7/device/vif/0").unwrap().to_string(),
+            "/local/domain/7/device/vif/0"
+        );
+        assert_eq!(p.join("").unwrap(), p);
+    }
+
+    #[test]
+    fn prefix_and_ancestor() {
+        let a = Path::parse("/local/domain").unwrap();
+        let b = Path::parse("/local/domain/3/vchan").unwrap();
+        assert!(a.is_prefix_of(&b));
+        assert!(a.is_ancestor_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(a.is_prefix_of(&a));
+        assert!(!a.is_ancestor_of(&a));
+        assert!(Path::root().is_prefix_of(&a));
+        let c = Path::parse("/conduit").unwrap();
+        assert!(!a.is_prefix_of(&c));
+    }
+
+    #[test]
+    fn ancestry_lists_all_prefixes() {
+        let p = Path::parse("/a/b/c").unwrap();
+        let anc = p.ancestry();
+        assert_eq!(anc.len(), 4);
+        assert_eq!(anc[0], Path::root());
+        assert_eq!(anc[1].to_string(), "/a");
+        assert_eq!(anc[3].to_string(), "/a/b/c");
+    }
+
+    #[test]
+    fn top_level_and_common_prefix() {
+        let a = Path::parse("/local/domain/3/vchan").unwrap();
+        let b = Path::parse("/local/domain/7/vchan").unwrap();
+        assert_eq!(a.top_level(), Some("local"));
+        assert_eq!(Path::root().top_level(), None);
+        assert_eq!(a.common_prefix(&b).to_string(), "/local/domain");
+        let c = Path::parse("/conduit/x").unwrap();
+        assert_eq!(a.common_prefix(&c), Path::root());
+    }
+
+    #[test]
+    fn domain_home_convention() {
+        assert_eq!(Path::domain_home(12).to_string(), "/local/domain/12");
+    }
+
+    #[test]
+    fn from_str_impl() {
+        let p: Path = "/local/domain/0".parse().unwrap();
+        assert_eq!(p.depth(), 3);
+        assert!("not-absolute".parse::<Path>().is_err());
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_by_component() {
+        let mut v = vec![
+            Path::parse("/b").unwrap(),
+            Path::parse("/a/z").unwrap(),
+            Path::parse("/a").unwrap(),
+        ];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|p| p.to_string()).collect::<Vec<_>>(),
+            vec!["/a", "/a/z", "/b"]
+        );
+    }
+}

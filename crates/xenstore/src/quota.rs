@@ -1,0 +1,77 @@
+//! Per-domain quotas.
+//!
+//! The real XenStore enforces per-domain limits so a misbehaving guest cannot
+//! exhaust the store: a cap on the number of nodes a domain may own, on the
+//! number of registered watches, and on concurrently open transactions. The
+//! Jitsu toolstack relies on these defaults being generous enough for the
+//! small per-unikernel footprint (a handful of device and conduit keys).
+
+/// Per-domain resource limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quota {
+    /// Maximum number of nodes a single unprivileged domain may own.
+    pub max_nodes: usize,
+    /// Maximum number of watches a single unprivileged domain may register.
+    pub max_watches: usize,
+    /// Maximum number of concurrently open transactions per domain.
+    pub max_transactions: usize,
+}
+
+impl Default for Quota {
+    fn default() -> Self {
+        // Defaults mirror the xenstored defaults (1000 nodes, 128 watches,
+        // 10 transactions).
+        Quota {
+            max_nodes: 1000,
+            max_watches: 128,
+            max_transactions: 10,
+        }
+    }
+}
+
+impl Quota {
+    /// A quota that permits effectively unlimited usage (used for dom0 and
+    /// for stress tests).
+    pub fn unlimited() -> Quota {
+        Quota {
+            max_nodes: usize::MAX,
+            max_watches: usize::MAX,
+            max_transactions: usize::MAX,
+        }
+    }
+
+    /// A deliberately tiny quota used in tests.
+    pub fn tiny() -> Quota {
+        Quota {
+            max_nodes: 8,
+            max_watches: 2,
+            max_transactions: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_xenstored() {
+        let q = Quota::default();
+        assert_eq!(q.max_nodes, 1000);
+        assert_eq!(q.max_watches, 128);
+        assert_eq!(q.max_transactions, 10);
+    }
+
+    #[test]
+    fn unlimited_is_effectively_infinite() {
+        let q = Quota::unlimited();
+        assert_eq!(q.max_nodes, usize::MAX);
+    }
+
+    #[test]
+    fn tiny_is_small() {
+        let q = Quota::tiny();
+        assert!(q.max_nodes < Quota::default().max_nodes);
+        assert_eq!(q.max_transactions, 1);
+    }
+}

@@ -1,0 +1,650 @@
+//! The top-level store: tree + watches + quotas + transactions.
+//!
+//! `XenStore` is the object the rest of the reproduction talks to. It accepts
+//! requests on behalf of a domain (`DomId`), optionally inside a transaction
+//! (`TxId`), enforces permissions and quotas, fires watches on mutation, and
+//! delegates commit-time conflict decisions to the configured reconciliation
+//! engine.
+
+use crate::engine::{EngineKind, Reconcile, TxnEngine};
+use crate::error::{Error, Result};
+use crate::path::Path;
+use crate::perms::{DomId, Permissions};
+use crate::quota::Quota;
+use crate::transaction::{Transaction, TxnOp};
+use crate::tree::Tree;
+use crate::watch::{WatchEvent, WatchManager};
+use std::collections::HashMap;
+
+/// A transaction identifier handed out by [`XenStore::transaction_start`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TxId(pub u32);
+
+/// Counters describing the store's activity, used by Figure 3 and by tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Successful commits.
+    pub commits: u64,
+    /// Commits rejected with `EAGAIN`.
+    pub conflicts: u64,
+    /// Transactions aborted by the client.
+    pub aborts: u64,
+    /// Individual operations processed (reads, writes, directory listings…).
+    pub ops: u64,
+    /// Watch events fired.
+    pub watch_events: u64,
+}
+
+/// The shared store.
+pub struct XenStore {
+    tree: Tree,
+    watches: WatchManager,
+    engine: Box<dyn TxnEngine>,
+    quota: Quota,
+    transactions: HashMap<u32, Transaction>,
+    next_tx_id: u32,
+    stats: StoreStats,
+}
+
+impl std::fmt::Debug for XenStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("XenStore")
+            .field("engine", &self.engine.kind())
+            .field("nodes", &self.tree.node_count())
+            .field("open_transactions", &self.transactions.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl XenStore {
+    /// Create a store with the given reconciliation engine and default
+    /// quotas.
+    pub fn new(engine: EngineKind) -> XenStore {
+        XenStore::with_quota(engine, Quota::default())
+    }
+
+    /// Create a store with explicit quotas.
+    pub fn with_quota(engine: EngineKind, quota: Quota) -> XenStore {
+        XenStore {
+            tree: Tree::new(),
+            watches: WatchManager::new(),
+            engine: engine.build(),
+            quota,
+            transactions: HashMap::new(),
+            next_tx_id: 1,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The engine this store reconciles transactions with.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine.kind()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The per-domain quota in force.
+    pub fn quota(&self) -> Quota {
+        self.quota
+    }
+
+    /// Number of nodes currently in the live tree.
+    pub fn node_count(&self) -> usize {
+        self.tree.node_count()
+    }
+
+    /// Direct access to the live tree (read-only), for diagnostics.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    fn parse(path: &str) -> Result<Path> {
+        Path::parse(path)
+    }
+
+    fn txn_mut(&mut self, id: TxId) -> Result<&mut Transaction> {
+        self.transactions
+            .get_mut(&id.0)
+            .ok_or(Error::UnknownTransaction(id.0))
+    }
+
+    fn check_node_quota(&self, dom: DomId) -> Result<()> {
+        if dom.is_privileged() {
+            return Ok(());
+        }
+        if self.tree.owned_count(dom) >= self.quota.max_nodes {
+            return Err(Error::QuotaExceeded("nodes"));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Read a value.
+    pub fn read(&mut self, dom: DomId, tx: Option<TxId>, path: &str) -> Result<Vec<u8>> {
+        self.stats.ops += 1;
+        let path = Self::parse(path)?;
+        match tx {
+            None => self.tree.read(dom, &path),
+            Some(id) => {
+                let txn = self.txn_mut(id)?;
+                if txn.dom != dom {
+                    return Err(Error::PermissionDenied(path.to_string()));
+                }
+                txn.note_read(&path);
+                txn.snapshot.read(dom, &path)
+            }
+        }
+    }
+
+    /// Read a value as a UTF-8 string (lossy).
+    pub fn read_string(&mut self, dom: DomId, tx: Option<TxId>, path: &str) -> Result<String> {
+        Ok(String::from_utf8_lossy(&self.read(dom, tx, path)?).into_owned())
+    }
+
+    /// True if the path exists (without error on absence).
+    pub fn exists(&mut self, dom: DomId, tx: Option<TxId>, path: &str) -> Result<bool> {
+        match self.read(dom, tx, path) {
+            Ok(_) => Ok(true),
+            Err(Error::NoEntry(_)) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// List a node's children.
+    pub fn directory(&mut self, dom: DomId, tx: Option<TxId>, path: &str) -> Result<Vec<String>> {
+        self.stats.ops += 1;
+        let path = Self::parse(path)?;
+        match tx {
+            None => self.tree.directory(dom, &path),
+            Some(id) => {
+                let txn = self.txn_mut(id)?;
+                if txn.dom != dom {
+                    return Err(Error::PermissionDenied(path.to_string()));
+                }
+                txn.note_dir_read(&path);
+                txn.snapshot.directory(dom, &path)
+            }
+        }
+    }
+
+    /// Read a node's permissions.
+    pub fn get_perms(&mut self, dom: DomId, tx: Option<TxId>, path: &str) -> Result<Permissions> {
+        self.stats.ops += 1;
+        let path = Self::parse(path)?;
+        match tx {
+            None => self.tree.get_perms(dom, &path),
+            Some(id) => {
+                let txn = self.txn_mut(id)?;
+                txn.note_read(&path);
+                txn.snapshot.get_perms(dom, &path)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    fn apply_live(&mut self, dom: DomId, op: TxnOp) -> Result<()> {
+        let changed_path = op.path().clone();
+        match &op {
+            TxnOp::Write { path, value } => self.tree.write(dom, path, value)?,
+            TxnOp::Mkdir { path } => self.tree.mkdir(dom, path)?,
+            TxnOp::Rm { path } => self.tree.rm(dom, path)?,
+            TxnOp::SetPerms { path, perms } => self.tree.set_perms(dom, path, perms.clone())?,
+        }
+        self.stats.watch_events += self.watches.fire(&changed_path) as u64;
+        Ok(())
+    }
+
+    fn apply(&mut self, dom: DomId, tx: Option<TxId>, op: TxnOp) -> Result<()> {
+        self.stats.ops += 1;
+        match tx {
+            None => self.apply_live(dom, op),
+            Some(id) => {
+                let txn = self.txn_mut(id)?;
+                if txn.dom != dom {
+                    return Err(Error::PermissionDenied(op.path().to_string()));
+                }
+                txn.apply(op)
+            }
+        }
+    }
+
+    /// Write a value (creating the node and missing ancestors if needed).
+    pub fn write(&mut self, dom: DomId, tx: Option<TxId>, path: &str, value: &[u8]) -> Result<()> {
+        let path = Self::parse(path)?;
+        if !self.tree.exists(&path) {
+            self.check_node_quota(dom)?;
+        }
+        self.apply(
+            dom,
+            tx,
+            TxnOp::Write {
+                path,
+                value: value.to_vec(),
+            },
+        )
+    }
+
+    /// Create an empty node.
+    pub fn mkdir(&mut self, dom: DomId, tx: Option<TxId>, path: &str) -> Result<()> {
+        let path = Self::parse(path)?;
+        if !self.tree.exists(&path) {
+            self.check_node_quota(dom)?;
+        }
+        self.apply(dom, tx, TxnOp::Mkdir { path })
+    }
+
+    /// Remove a subtree.
+    pub fn rm(&mut self, dom: DomId, tx: Option<TxId>, path: &str) -> Result<()> {
+        let path = Self::parse(path)?;
+        self.apply(dom, tx, TxnOp::Rm { path })
+    }
+
+    /// Replace a node's permissions.
+    pub fn set_perms(
+        &mut self,
+        dom: DomId,
+        tx: Option<TxId>,
+        path: &str,
+        perms: Permissions,
+    ) -> Result<()> {
+        let path = Self::parse(path)?;
+        self.apply(dom, tx, TxnOp::SetPerms { path, perms })
+    }
+
+    // ------------------------------------------------------------------
+    // Watches
+    // ------------------------------------------------------------------
+
+    /// Register a watch on a subtree.
+    pub fn watch(&mut self, dom: DomId, path: &str, token: &str) -> Result<()> {
+        if !dom.is_privileged() && self.watches.count_for(dom) >= self.quota.max_watches {
+            return Err(Error::QuotaExceeded("watches"));
+        }
+        let path = Self::parse(path)?;
+        self.watches.watch(dom, path, token)
+    }
+
+    /// Remove a previously registered watch.
+    pub fn unwatch(&mut self, dom: DomId, path: &str, token: &str) -> Result<()> {
+        let path = Self::parse(path)?;
+        self.watches.unwatch(dom, &path, token)
+    }
+
+    /// Drain pending watch events for a domain.
+    pub fn take_watch_events(&mut self, dom: DomId) -> Vec<WatchEvent> {
+        self.watches.take_events(dom)
+    }
+
+    /// Number of watch events queued for a domain.
+    pub fn pending_watch_events(&self, dom: DomId) -> usize {
+        self.watches.pending(dom)
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// Open a transaction.
+    pub fn transaction_start(&mut self, dom: DomId) -> Result<TxId> {
+        let open_for_dom = self.transactions.values().filter(|t| t.dom == dom).count();
+        if !dom.is_privileged() && open_for_dom >= self.quota.max_transactions {
+            return Err(Error::QuotaExceeded("transactions"));
+        }
+        let id = self.next_tx_id;
+        self.next_tx_id = self.next_tx_id.wrapping_add(1).max(1);
+        self.transactions.insert(id, Transaction::begin(id, dom, &self.tree));
+        Ok(TxId(id))
+    }
+
+    /// End a transaction. With `commit == false` the transaction is simply
+    /// discarded. With `commit == true` the configured engine decides whether
+    /// the batch applies; a conflicting commit returns [`Error::Again`] and
+    /// the caller is expected to retry the whole transaction.
+    pub fn transaction_end(&mut self, dom: DomId, tx: TxId, commit: bool) -> Result<()> {
+        let txn = self
+            .transactions
+            .remove(&tx.0)
+            .ok_or(Error::UnknownTransaction(tx.0))?;
+        if txn.dom != dom {
+            // Put it back: a foreign domain must not be able to close it.
+            self.transactions.insert(tx.0, txn);
+            return Err(Error::PermissionDenied(format!("transaction {}", tx.0)));
+        }
+        if !commit {
+            self.stats.aborts += 1;
+            return Ok(());
+        }
+        if txn.is_read_only() {
+            self.stats.commits += 1;
+            return Ok(());
+        }
+        match self.engine.reconcile(&self.tree, &txn) {
+            Reconcile::Conflict { .. } => {
+                self.stats.conflicts += 1;
+                Err(Error::Again)
+            }
+            Reconcile::Commit => {
+                txn.replay_onto(&mut self.tree)?;
+                for path in txn.written_paths() {
+                    self.stats.watch_events += self.watches.fire(path) as u64;
+                }
+                self.stats.commits += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of transactions currently open.
+    pub fn open_transactions(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Convenience: run `body` inside a transaction, retrying on `EAGAIN`
+    /// up to `max_retries` times. Returns the number of attempts made.
+    pub fn with_transaction<F>(&mut self, dom: DomId, max_retries: u32, mut body: F) -> Result<u32>
+    where
+        F: FnMut(&mut XenStore, TxId) -> Result<()>,
+    {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let tx = self.transaction_start(dom)?;
+            if let Err(e) = body(self, tx) {
+                let _ = self.transaction_end(dom, tx, false);
+                return Err(e);
+            }
+            match self.transaction_end(dom, tx, true) {
+                Ok(()) => return Ok(attempts),
+                Err(Error::Again) if attempts <= max_retries => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Remove everything a domain owns and its watches — called when a
+    /// domain is destroyed.
+    pub fn domain_destroyed(&mut self, dom: DomId) {
+        self.watches.remove_domain(dom);
+        self.transactions.retain(|_, t| t.dom != dom);
+        // Remove the conventional per-domain directory if present.
+        let home = Path::domain_home(dom.0);
+        if self.tree.exists(&home) {
+            let _ = self.tree.rm(DomId::DOM0, &home);
+            self.stats.watch_events += self.watches.fire(&home) as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perms::PermLevel;
+
+    fn store() -> XenStore {
+        XenStore::new(EngineKind::JitsuMerge)
+    }
+
+    #[test]
+    fn basic_read_write() {
+        let mut xs = store();
+        xs.write(DomId::DOM0, None, "/local/domain/3/name", b"http").unwrap();
+        assert_eq!(xs.read(DomId::DOM0, None, "/local/domain/3/name").unwrap(), b"http");
+        assert_eq!(
+            xs.read_string(DomId::DOM0, None, "/local/domain/3/name").unwrap(),
+            "http"
+        );
+        assert!(xs.exists(DomId::DOM0, None, "/local/domain/3/name").unwrap());
+        assert!(!xs.exists(DomId::DOM0, None, "/local/domain/9").unwrap());
+        assert_eq!(
+            xs.directory(DomId::DOM0, None, "/local/domain").unwrap(),
+            vec!["3"]
+        );
+        assert!(xs.stats().ops >= 5);
+    }
+
+    #[test]
+    fn invalid_paths_are_rejected() {
+        let mut xs = store();
+        assert!(matches!(
+            xs.write(DomId::DOM0, None, "not-absolute", b"x"),
+            Err(Error::Invalid(_))
+        ));
+        assert!(matches!(
+            xs.read(DomId::DOM0, None, "/bad path"),
+            Err(Error::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn transaction_commit_applies_batch_atomically() {
+        let mut xs = store();
+        let t = xs.transaction_start(DomId::DOM0).unwrap();
+        xs.write(DomId::DOM0, Some(t), "/conduit/http_server", b"3").unwrap();
+        xs.write(DomId::DOM0, Some(t), "/conduit/flows/1", b"(connecting)").unwrap();
+        // Not visible outside the transaction yet.
+        assert!(!xs.exists(DomId::DOM0, None, "/conduit/http_server").unwrap());
+        // Visible inside.
+        assert!(xs.exists(DomId::DOM0, Some(t), "/conduit/http_server").unwrap());
+        xs.transaction_end(DomId::DOM0, t, true).unwrap();
+        assert!(xs.exists(DomId::DOM0, None, "/conduit/http_server").unwrap());
+        assert_eq!(xs.stats().commits, 1);
+        assert_eq!(xs.open_transactions(), 0);
+    }
+
+    #[test]
+    fn transaction_abort_discards_batch() {
+        let mut xs = store();
+        let t = xs.transaction_start(DomId::DOM0).unwrap();
+        xs.write(DomId::DOM0, Some(t), "/a", b"1").unwrap();
+        xs.transaction_end(DomId::DOM0, t, false).unwrap();
+        assert!(!xs.exists(DomId::DOM0, None, "/a").unwrap());
+        assert_eq!(xs.stats().aborts, 1);
+    }
+
+    #[test]
+    fn unknown_transaction_is_an_error() {
+        let mut xs = store();
+        assert!(matches!(
+            xs.read(DomId::DOM0, Some(TxId(99)), "/a"),
+            Err(Error::UnknownTransaction(99))
+        ));
+        assert!(matches!(
+            xs.transaction_end(DomId::DOM0, TxId(99), true),
+            Err(Error::UnknownTransaction(99))
+        ));
+    }
+
+    #[test]
+    fn foreign_domain_cannot_use_anothers_transaction() {
+        let mut xs = store();
+        let t = xs.transaction_start(DomId(3)).unwrap();
+        assert!(matches!(
+            xs.write(DomId(7), Some(t), "/x", b"1"),
+            Err(Error::PermissionDenied(_))
+        ));
+        assert!(matches!(
+            xs.transaction_end(DomId(7), t, true),
+            Err(Error::PermissionDenied(_))
+        ));
+        // The rightful owner can still close it.
+        assert!(xs.transaction_end(DomId(3), t, false).is_ok());
+    }
+
+    #[test]
+    fn conflicting_commit_returns_eagain() {
+        let mut xs = XenStore::new(EngineKind::Serial);
+        let t = xs.transaction_start(DomId::DOM0).unwrap();
+        xs.write(DomId::DOM0, Some(t), "/a", b"in-txn").unwrap();
+        // A concurrent direct write advances the store.
+        xs.write(DomId::DOM0, None, "/other", b"x").unwrap();
+        assert_eq!(xs.transaction_end(DomId::DOM0, t, true), Err(Error::Again));
+        assert_eq!(xs.stats().conflicts, 1);
+        // The live tree did not take the transaction's write.
+        assert!(!xs.exists(DomId::DOM0, None, "/a").unwrap());
+    }
+
+    #[test]
+    fn jitsu_engine_allows_parallel_domain_creation_through_store() {
+        let mut xs = store();
+        // Two "toolstack threads" each build a domain in a transaction.
+        let t1 = xs.transaction_start(DomId::DOM0).unwrap();
+        let t2 = xs.transaction_start(DomId::DOM0).unwrap();
+        xs.write(DomId::DOM0, Some(t1), "/local/domain/5/name", b"u5").unwrap();
+        xs.write(DomId::DOM0, Some(t2), "/local/domain/6/name", b"u6").unwrap();
+        xs.transaction_end(DomId::DOM0, t1, true).unwrap();
+        // With the Jitsu merge the second commit also succeeds.
+        xs.transaction_end(DomId::DOM0, t2, true).unwrap();
+        assert!(xs.exists(DomId::DOM0, None, "/local/domain/5/name").unwrap());
+        assert!(xs.exists(DomId::DOM0, None, "/local/domain/6/name").unwrap());
+        assert_eq!(xs.stats().conflicts, 0);
+    }
+
+    #[test]
+    fn merge_engine_conflicts_on_parallel_domain_creation() {
+        let mut xs = XenStore::new(EngineKind::Merge);
+        let t1 = xs.transaction_start(DomId::DOM0).unwrap();
+        let t2 = xs.transaction_start(DomId::DOM0).unwrap();
+        xs.write(DomId::DOM0, Some(t1), "/local/domain/5/name", b"u5").unwrap();
+        xs.write(DomId::DOM0, Some(t2), "/local/domain/6/name", b"u6").unwrap();
+        xs.transaction_end(DomId::DOM0, t1, true).unwrap();
+        assert_eq!(xs.transaction_end(DomId::DOM0, t2, true), Err(Error::Again));
+    }
+
+    #[test]
+    fn read_only_transactions_always_commit() {
+        let mut xs = XenStore::new(EngineKind::Serial);
+        xs.write(DomId::DOM0, None, "/a", b"1").unwrap();
+        let t = xs.transaction_start(DomId::DOM0).unwrap();
+        let _ = xs.read(DomId::DOM0, Some(t), "/a").unwrap();
+        // Concurrent write would normally trip the serial engine.
+        xs.write(DomId::DOM0, None, "/b", b"2").unwrap();
+        assert!(xs.transaction_end(DomId::DOM0, t, true).is_ok());
+    }
+
+    #[test]
+    fn with_transaction_retries_until_success() {
+        let mut xs = XenStore::new(EngineKind::JitsuMerge);
+        xs.write(DomId::DOM0, None, "/counter", b"0").unwrap();
+        let attempts = xs
+            .with_transaction(DomId::DOM0, 5, |xs, t| {
+                let v = xs.read_string(DomId::DOM0, Some(t), "/counter")?;
+                let n: u64 = v.parse().unwrap_or(0);
+                xs.write(DomId::DOM0, Some(t), "/counter", (n + 1).to_string().as_bytes())
+            })
+            .unwrap();
+        assert_eq!(attempts, 1);
+        assert_eq!(xs.read_string(DomId::DOM0, None, "/counter").unwrap(), "1");
+    }
+
+    #[test]
+    fn watches_fire_on_direct_and_transactional_writes() {
+        let mut xs = store();
+        xs.mkdir(DomId::DOM0, None, "/conduit/http_server/listen").unwrap();
+        xs.watch(DomId(3), "/conduit/http_server/listen", "listen-token").unwrap();
+        // Drain the initial synthetic event.
+        assert_eq!(xs.take_watch_events(DomId(3)).len(), 1);
+
+        xs.write(DomId::DOM0, None, "/conduit/http_server/listen/conn1", b"7").unwrap();
+        let evs = xs.take_watch_events(DomId(3));
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].path.to_string(), "/conduit/http_server/listen/conn1");
+        assert_eq!(evs[0].token, "listen-token");
+
+        let t = xs.transaction_start(DomId::DOM0).unwrap();
+        xs.write(DomId::DOM0, Some(t), "/conduit/http_server/listen/conn2", b"9").unwrap();
+        assert_eq!(xs.pending_watch_events(DomId(3)), 0, "no events until commit");
+        xs.transaction_end(DomId::DOM0, t, true).unwrap();
+        assert_eq!(xs.take_watch_events(DomId(3)).len(), 1);
+    }
+
+    #[test]
+    fn quotas_are_enforced_for_guests() {
+        let mut xs = XenStore::with_quota(EngineKind::JitsuMerge, Quota::tiny());
+        // Give dom7 a writable home.
+        xs.mkdir(DomId::DOM0, None, "/local/domain/7").unwrap();
+        xs.set_perms(
+            DomId::DOM0,
+            None,
+            "/local/domain/7",
+            Permissions::owned_by(DomId(7)),
+        )
+        .unwrap();
+        // Node quota.
+        let mut hit_quota = false;
+        for i in 0..20 {
+            match xs.write(DomId(7), None, &format!("/local/domain/7/k{i}"), b"v") {
+                Ok(()) => {}
+                Err(Error::QuotaExceeded("nodes")) => {
+                    hit_quota = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(hit_quota, "node quota must eventually trip");
+        // Watch quota.
+        xs.watch(DomId(7), "/local/domain/7", "w1").unwrap();
+        xs.watch(DomId(7), "/local/domain/7/a", "w2").unwrap();
+        assert_eq!(
+            xs.watch(DomId(7), "/local/domain/7/b", "w3"),
+            Err(Error::QuotaExceeded("watches"))
+        );
+        // Transaction quota.
+        let _t1 = xs.transaction_start(DomId(7)).unwrap();
+        assert_eq!(
+            xs.transaction_start(DomId(7)).unwrap_err(),
+            Error::QuotaExceeded("transactions")
+        );
+        // dom0 is exempt.
+        for _ in 0..5 {
+            xs.transaction_start(DomId::DOM0).unwrap();
+        }
+    }
+
+    #[test]
+    fn guest_perms_enforced_through_store() {
+        let mut xs = store();
+        xs.write(DomId::DOM0, None, "/secret", b"s").unwrap();
+        assert!(matches!(
+            xs.read(DomId(5), None, "/secret"),
+            Err(Error::PermissionDenied(_))
+        ));
+        xs.set_perms(
+            DomId::DOM0,
+            None,
+            "/secret",
+            Permissions::with_default(DomId::DOM0, PermLevel::Read),
+        )
+        .unwrap();
+        assert!(xs.read(DomId(5), None, "/secret").is_ok());
+    }
+
+    #[test]
+    fn domain_destroyed_cleans_up() {
+        let mut xs = store();
+        xs.write(DomId::DOM0, None, "/local/domain/9/name", b"gone").unwrap();
+        xs.watch(DomId(9), "/local/domain/9", "t").unwrap();
+        let _t = xs.transaction_start(DomId(9)).unwrap();
+        xs.domain_destroyed(DomId(9));
+        assert!(!xs.exists(DomId::DOM0, None, "/local/domain/9").unwrap());
+        assert_eq!(xs.open_transactions(), 0);
+        assert_eq!(xs.pending_watch_events(DomId(9)), 0);
+    }
+
+    #[test]
+    fn debug_format_mentions_engine() {
+        let xs = store();
+        let s = format!("{xs:?}");
+        assert!(s.contains("JitsuMerge"));
+    }
+}

@@ -1,0 +1,315 @@
+//! Transactions.
+//!
+//! A transaction gives a domain an isolated snapshot of the store: reads and
+//! writes inside the transaction see a consistent view, and the batch is
+//! applied atomically at commit time (or discarded on abort). Commit may fail
+//! with `EAGAIN` when a concurrent commit conflicts — *which* interleavings
+//! count as conflicts is decided by the pluggable reconciliation engine
+//! ([`crate::engine`]), and is exactly what Figure 3 of the paper measures.
+
+use crate::error::Result;
+use crate::path::Path;
+use crate::perms::{DomId, Permissions};
+use crate::tree::Tree;
+use std::collections::BTreeMap;
+
+/// The kind of dependency a transaction recorded on a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadKind {
+    /// The transaction read the node's value (or its permissions, or checked
+    /// its existence).
+    Value,
+    /// The transaction listed the node's children, or depended on the child
+    /// list by creating/removing a child beneath it.
+    Directory,
+}
+
+/// One mutation recorded in a transaction's write log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxnOp {
+    /// Write a value (creating the node if needed).
+    Write {
+        /// Target path.
+        path: Path,
+        /// New value.
+        value: Vec<u8>,
+    },
+    /// Create an empty node.
+    Mkdir {
+        /// Target path.
+        path: Path,
+    },
+    /// Remove a subtree.
+    Rm {
+        /// Target path.
+        path: Path,
+    },
+    /// Replace a node's permissions.
+    SetPerms {
+        /// Target path.
+        path: Path,
+        /// New permissions.
+        perms: Permissions,
+    },
+}
+
+impl TxnOp {
+    /// The path this operation touches.
+    pub fn path(&self) -> &Path {
+        match self {
+            TxnOp::Write { path, .. }
+            | TxnOp::Mkdir { path }
+            | TxnOp::Rm { path }
+            | TxnOp::SetPerms { path, .. } => path,
+        }
+    }
+}
+
+/// An open transaction: a snapshot of the tree plus the recorded read set
+/// and write log.
+#[derive(Debug, Clone)]
+pub struct Transaction {
+    /// The transaction id handed to the client.
+    pub id: u32,
+    /// The domain that opened the transaction.
+    pub dom: DomId,
+    /// Store generation at the time the transaction started.
+    pub start_gen: u64,
+    /// The isolated snapshot all in-transaction operations run against.
+    pub snapshot: Tree,
+    /// Paths read (and how) during the transaction.
+    pub read_set: BTreeMap<Path, ReadKind>,
+    /// Mutations to replay at commit time, in order.
+    pub write_log: Vec<TxnOp>,
+    /// Number of times this logical transaction has been retried after
+    /// `EAGAIN` (maintained by the store for diagnostics).
+    pub retries: u32,
+}
+
+impl Transaction {
+    /// Open a transaction against the current state of `tree`.
+    pub fn begin(id: u32, dom: DomId, tree: &Tree) -> Transaction {
+        Transaction {
+            id,
+            dom,
+            start_gen: tree.generation(),
+            snapshot: tree.clone(),
+            read_set: BTreeMap::new(),
+            write_log: Vec::new(),
+            retries: 0,
+        }
+    }
+
+    /// Record a value-read dependency on `path`.
+    pub fn note_read(&mut self, path: &Path) {
+        self.read_set.entry(path.clone()).or_insert(ReadKind::Value);
+    }
+
+    /// Record a directory (child-list) dependency on `path`. Upgrades an
+    /// existing value dependency.
+    pub fn note_dir_read(&mut self, path: &Path) {
+        self.read_set.insert(path.clone(), ReadKind::Directory);
+    }
+
+    /// Paths written by this transaction, in log order (may repeat).
+    pub fn written_paths(&self) -> impl Iterator<Item = &Path> {
+        self.write_log.iter().map(|op| op.path())
+    }
+
+    /// True if the transaction performed no mutations.
+    pub fn is_read_only(&self) -> bool {
+        self.write_log.is_empty()
+    }
+
+    /// The deepest ancestor of `path` (possibly `path` itself) that already
+    /// exists in the snapshot — the directory whose child list a creation at
+    /// `path` actually depends on.
+    fn deepest_existing_ancestor(&self, path: &Path) -> Path {
+        let mut best = Path::root();
+        for p in path.ancestry() {
+            if self.snapshot.exists(&p) {
+                best = p;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Apply an operation to the snapshot and record it in the write log.
+    /// Mutations that fail permission or validity checks are not recorded.
+    pub fn apply(&mut self, op: TxnOp) -> Result<()> {
+        match &op {
+            TxnOp::Write { path, value } => {
+                // A creation depends on the child list of the deepest
+                // directory that existed before this operation.
+                let dep = if self.snapshot.exists(path) {
+                    None
+                } else {
+                    Some(self.deepest_existing_ancestor(path))
+                };
+                self.snapshot.write(self.dom, path, value)?;
+                if let Some(dep) = dep {
+                    self.note_dir_read(&dep);
+                }
+            }
+            TxnOp::Mkdir { path } => {
+                let dep = if self.snapshot.exists(path) {
+                    None
+                } else {
+                    Some(self.deepest_existing_ancestor(path))
+                };
+                self.snapshot.mkdir(self.dom, path)?;
+                if let Some(dep) = dep {
+                    self.note_dir_read(&dep);
+                }
+            }
+            TxnOp::Rm { path } => {
+                self.snapshot.rm(self.dom, path)?;
+                if let Some(parent) = path.parent() {
+                    self.note_dir_read(&parent);
+                }
+            }
+            TxnOp::SetPerms { path, perms } => {
+                self.snapshot.set_perms(self.dom, path, perms.clone())?;
+            }
+        }
+        self.write_log.push(op);
+        Ok(())
+    }
+
+    /// True if `path` was created by this transaction (it exists in the
+    /// snapshot but only came into being after the transaction started).
+    pub fn created_by_txn(&self, path: &Path) -> bool {
+        self.snapshot
+            .get(path)
+            .map(|n| n.created_gen > self.start_gen)
+            .unwrap_or(false)
+    }
+
+    /// Replay the write log onto `tree` (used by the engines after deciding
+    /// the commit does not conflict). Individual op failures are surfaced.
+    pub fn replay_onto(&self, tree: &mut Tree) -> Result<()> {
+        for op in &self.write_log {
+            match op {
+                TxnOp::Write { path, value } => tree.write(self.dom, path, value)?,
+                TxnOp::Mkdir { path } => tree.mkdir(self.dom, path)?,
+                TxnOp::Rm { path } => {
+                    // A node removed by a concurrent commit is treated as
+                    // already gone rather than failing the whole batch.
+                    match tree.rm(self.dom, path) {
+                        Ok(()) | Err(crate::error::Error::NoEntry(_)) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+                TxnOp::SetPerms { path, perms } => tree.set_perms(self.dom, path, perms.clone())?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perms::DomId;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    #[test]
+    fn begin_snapshots_current_state() {
+        let mut tree = Tree::new();
+        tree.write(DomId::DOM0, &p("/a"), b"1").unwrap();
+        let txn = Transaction::begin(1, DomId::DOM0, &tree);
+        assert_eq!(txn.start_gen, tree.generation());
+        assert_eq!(txn.snapshot.read(DomId::DOM0, &p("/a")).unwrap(), b"1");
+        assert!(txn.is_read_only());
+    }
+
+    #[test]
+    fn writes_are_isolated_until_replay() {
+        let mut tree = Tree::new();
+        let mut txn = Transaction::begin(1, DomId::DOM0, &tree);
+        txn.apply(TxnOp::Write {
+            path: p("/local/domain/5/name"),
+            value: b"web".to_vec(),
+        })
+        .unwrap();
+        assert!(!tree.exists(&p("/local/domain/5/name")), "live tree untouched");
+        assert!(txn.snapshot.exists(&p("/local/domain/5/name")));
+        txn.replay_onto(&mut tree).unwrap();
+        assert_eq!(tree.read(DomId::DOM0, &p("/local/domain/5/name")).unwrap(), b"web");
+        assert!(!txn.is_read_only());
+    }
+
+    #[test]
+    fn apply_records_directory_dependency_on_deepest_existing_ancestor() {
+        let mut tree = Tree::new();
+        tree.mkdir(DomId::DOM0, &p("/local/domain")).unwrap();
+        let mut txn = Transaction::begin(1, DomId::DOM0, &tree);
+        txn.apply(TxnOp::Mkdir { path: p("/local/domain/5") }).unwrap();
+        assert_eq!(
+            txn.read_set.get(&p("/local/domain")),
+            Some(&ReadKind::Directory)
+        );
+        // A second creation below the new node depends only on state the
+        // transaction itself created, so no new shared dependency appears.
+        txn.apply(TxnOp::Mkdir { path: p("/local/domain/5/device") }).unwrap();
+        assert!(txn.read_set.get(&p("/local/domain/5")).is_none() || txn.created_by_txn(&p("/local/domain/5")));
+        assert!(txn.created_by_txn(&p("/local/domain/5")));
+        assert!(!txn.created_by_txn(&p("/local/domain")));
+    }
+
+    #[test]
+    fn note_read_does_not_downgrade_directory_dependency() {
+        let tree = Tree::new();
+        let mut txn = Transaction::begin(1, DomId::DOM0, &tree);
+        txn.note_dir_read(&p("/a"));
+        txn.note_read(&p("/a"));
+        assert_eq!(txn.read_set.get(&p("/a")), Some(&ReadKind::Directory));
+        txn.note_read(&p("/b"));
+        assert_eq!(txn.read_set.get(&p("/b")), Some(&ReadKind::Value));
+    }
+
+    #[test]
+    fn failed_ops_are_not_logged() {
+        let tree = Tree::new();
+        let mut txn = Transaction::begin(1, DomId(5), &tree);
+        // dom5 cannot write under dom0's tree.
+        assert!(txn
+            .apply(TxnOp::Write {
+                path: p("/tool/x"),
+                value: b"v".to_vec()
+            })
+            .is_err());
+        assert!(txn.write_log.is_empty());
+    }
+
+    #[test]
+    fn replay_tolerates_concurrently_removed_nodes() {
+        let mut tree = Tree::new();
+        tree.write(DomId::DOM0, &p("/a/b"), b"1").unwrap();
+        let mut txn = Transaction::begin(1, DomId::DOM0, &tree);
+        txn.apply(TxnOp::Rm { path: p("/a/b") }).unwrap();
+        // Concurrently, someone else removes it first.
+        tree.rm(DomId::DOM0, &p("/a/b")).unwrap();
+        txn.replay_onto(&mut tree).unwrap();
+        assert!(!tree.exists(&p("/a/b")));
+    }
+
+    #[test]
+    fn written_paths_and_op_path() {
+        let tree = Tree::new();
+        let mut txn = Transaction::begin(1, DomId::DOM0, &tree);
+        txn.apply(TxnOp::Write { path: p("/x"), value: vec![1] }).unwrap();
+        txn.apply(TxnOp::Mkdir { path: p("/y") }).unwrap();
+        let paths: Vec<String> = txn.written_paths().map(|p| p.to_string()).collect();
+        assert_eq!(paths, vec!["/x", "/y"]);
+        assert_eq!(
+            TxnOp::Rm { path: p("/z") }.path().to_string(),
+            "/z"
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! The store tree: a permission-checked hierarchical value store with
+//! generation tracking.
+//!
+//! `Tree` implements the data model shared by the live store and by
+//! transaction snapshots. Every mutation advances a monotonically increasing
+//! *generation*; each node remembers the generation of its last value change
+//! (`modified_gen`) and of its last child-list change (`children_gen`). The
+//! transaction reconciliation engines in [`crate::engine`] compare these
+//! against a transaction's start generation to decide whether concurrent
+//! updates conflict.
+
+use crate::error::{Error, Result};
+use crate::node::{Node, MAX_VALUE_LEN};
+use crate::path::Path;
+use crate::perms::{Access, DomId, Permissions};
+
+/// A permission-checked hierarchical store with generation tracking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tree {
+    root: Node,
+    generation: u64,
+}
+
+impl Default for Tree {
+    fn default() -> Self {
+        Tree::new()
+    }
+}
+
+impl Tree {
+    /// Create a tree containing only a dom0-owned, world-readable root.
+    pub fn new() -> Tree {
+        let perms = Permissions::with_default(DomId::DOM0, crate::perms::PermLevel::Read);
+        Tree {
+            root: Node::new(perms, 0),
+            generation: 0,
+        }
+    }
+
+    /// The current generation counter.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.root.subtree_size()
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.generation += 1;
+        self.generation
+    }
+
+    /// Immutable lookup.
+    pub fn get(&self, path: &Path) -> Option<&Node> {
+        let mut node = &self.root;
+        for comp in path.components() {
+            node = node.children.get(comp)?;
+        }
+        Some(node)
+    }
+
+    fn get_mut(&mut self, path: &Path) -> Option<&mut Node> {
+        let mut node = &mut self.root;
+        for comp in path.components() {
+            node = node.children.get_mut(comp)?;
+        }
+        Some(node)
+    }
+
+    /// True if the path names an existing node.
+    pub fn exists(&self, path: &Path) -> bool {
+        self.get(path).is_some()
+    }
+
+    fn check(&self, dom: DomId, path: &Path, access: Access) -> Result<()> {
+        match self.get(path) {
+            None => Err(Error::NoEntry(path.to_string())),
+            Some(node) => {
+                if node.perms.check(dom, access) {
+                    Ok(())
+                } else {
+                    Err(Error::PermissionDenied(path.to_string()))
+                }
+            }
+        }
+    }
+
+    /// Read a node's value.
+    pub fn read(&self, dom: DomId, path: &Path) -> Result<Vec<u8>> {
+        self.check(dom, path, Access::Read)?;
+        Ok(self.get(path).expect("checked above").value.clone())
+    }
+
+    /// List a node's children (sorted).
+    pub fn directory(&self, dom: DomId, path: &Path) -> Result<Vec<String>> {
+        self.check(dom, path, Access::Read)?;
+        Ok(self.get(path).expect("checked above").child_names())
+    }
+
+    /// Read a node's permissions.
+    pub fn get_perms(&self, dom: DomId, path: &Path) -> Result<Permissions> {
+        self.check(dom, path, Access::Read)?;
+        Ok(self.get(path).expect("checked above").perms.clone())
+    }
+
+    /// Replace a node's permissions. Only the node owner (or dom0) may do so.
+    pub fn set_perms(&mut self, dom: DomId, path: &Path, perms: Permissions) -> Result<()> {
+        let node = self
+            .get(path)
+            .ok_or_else(|| Error::NoEntry(path.to_string()))?;
+        if !dom.is_privileged() && node.perms.owner() != dom {
+            return Err(Error::PermissionDenied(path.to_string()));
+        }
+        let gen = self.bump();
+        let node = self.get_mut(path).expect("checked above");
+        node.perms = perms;
+        node.modified_gen = gen;
+        Ok(())
+    }
+
+    /// Determine the permissions a new node at `path` created by `dom`
+    /// should carry, honouring the create-restricted extension of its
+    /// parent. Returns an error if the creation is not permitted.
+    fn new_child_perms(&self, dom: DomId, parent: &Path) -> Result<Permissions> {
+        let parent_node = self
+            .get(parent)
+            .ok_or_else(|| Error::NoEntry(parent.to_string()))?;
+        if parent_node.perms.check(dom, Access::Write) {
+            // Normal case: the creator owns what it creates; non-privileged
+            // creations are owned by the creating domain.
+            Ok(Permissions::owned_by(if dom.is_privileged() {
+                parent_node.perms.owner()
+            } else {
+                dom
+            }))
+        } else if parent_node.perms.is_create_restricted() {
+            // Jitsu extension (§3.2.3): anyone may create, but the new key is
+            // visible only to the directory owner and the creator.
+            Ok(parent_node.perms.restricted_child_perms(dom))
+        } else {
+            Err(Error::PermissionDenied(parent.to_string()))
+        }
+    }
+
+    /// Create any missing ancestors of `path` (excluding `path` itself),
+    /// returning an error if an ancestor cannot be created.
+    fn ensure_parents(&mut self, dom: DomId, path: &Path) -> Result<()> {
+        let ancestors = path.ancestry();
+        // Skip the root (always exists) and the final element (the target).
+        for p in &ancestors[..ancestors.len().saturating_sub(1)] {
+            if !self.exists(p) {
+                let parent = p.parent().expect("non-root ancestor has a parent");
+                let perms = self.new_child_perms(dom, &parent)?;
+                let gen = self.bump();
+                let parent_node = self.get_mut(&parent).expect("parent exists");
+                parent_node
+                    .children
+                    .insert(p.basename().expect("non-root").to_string(), Node::new(perms, gen));
+                parent_node.children_gen = gen;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write a value, creating the node (and any missing ancestors) if
+    /// necessary, as the real store does.
+    pub fn write(&mut self, dom: DomId, path: &Path, value: &[u8]) -> Result<()> {
+        if path.is_root() {
+            return Err(Error::Invalid("cannot write to the root node".into()));
+        }
+        if value.len() > MAX_VALUE_LEN {
+            return Err(Error::Invalid(format!(
+                "value larger than {MAX_VALUE_LEN} bytes"
+            )));
+        }
+        if self.exists(path) {
+            self.check(dom, path, Access::Write)?;
+            let gen = self.bump();
+            let node = self.get_mut(path).expect("checked above");
+            node.value = value.to_vec();
+            node.modified_gen = gen;
+            return Ok(());
+        }
+        self.ensure_parents(dom, path)?;
+        let parent = path.parent().expect("non-root");
+        let perms = self.new_child_perms(dom, &parent)?;
+        let gen = self.bump();
+        let parent_node = self.get_mut(&parent).expect("parents ensured");
+        let mut node = Node::new(perms, gen);
+        node.value = value.to_vec();
+        parent_node
+            .children
+            .insert(path.basename().expect("non-root").to_string(), node);
+        parent_node.children_gen = gen;
+        Ok(())
+    }
+
+    /// Create an empty node (no-op if it already exists, as in the real
+    /// protocol).
+    pub fn mkdir(&mut self, dom: DomId, path: &Path) -> Result<()> {
+        if path.is_root() {
+            return Ok(());
+        }
+        if self.exists(path) {
+            return Ok(());
+        }
+        self.write(dom, path, b"")
+    }
+
+    /// Remove a node and its entire subtree. Removing a missing node returns
+    /// `ENOENT`; removing the root is invalid.
+    pub fn rm(&mut self, dom: DomId, path: &Path) -> Result<()> {
+        if path.is_root() {
+            return Err(Error::Invalid("cannot remove the root node".into()));
+        }
+        if !self.exists(path) {
+            return Err(Error::NoEntry(path.to_string()));
+        }
+        self.check(dom, path, Access::Write)?;
+        let parent = path.parent().expect("non-root");
+        let gen = self.bump();
+        let parent_node = self.get_mut(&parent).expect("child exists so parent does");
+        parent_node
+            .children
+            .remove(path.basename().expect("non-root"));
+        parent_node.children_gen = gen;
+        Ok(())
+    }
+
+    /// Count the nodes owned by each domain — used for quota accounting.
+    pub fn owned_count(&self, dom: DomId) -> usize {
+        fn walk(node: &Node, dom: DomId) -> usize {
+            let own = usize::from(node.perms.owner() == dom);
+            own + node.children.values().map(|c| walk(c, dom)).sum::<usize>()
+        }
+        walk(&self.root, dom)
+    }
+
+    /// Collect every path in the tree (depth-first, sorted by component) —
+    /// used by tests and the structural diff in the Jitsu merge engine.
+    pub fn all_paths(&self) -> Vec<Path> {
+        fn walk(node: &Node, prefix: &Path, out: &mut Vec<Path>) {
+            out.push(prefix.clone());
+            for (name, child) in &node.children {
+                let p = prefix.child(name).expect("stored names are valid");
+                walk(child, &p, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &Path::root(), &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perms::PermLevel;
+
+    fn p(s: &str) -> Path {
+        Path::parse(s).unwrap()
+    }
+
+    #[test]
+    fn write_creates_missing_parents() {
+        let mut t = Tree::new();
+        t.write(DomId::DOM0, &p("/local/domain/3/name"), b"http").unwrap();
+        assert!(t.exists(&p("/local")));
+        assert!(t.exists(&p("/local/domain")));
+        assert!(t.exists(&p("/local/domain/3")));
+        assert_eq!(t.read(DomId::DOM0, &p("/local/domain/3/name")).unwrap(), b"http");
+        assert_eq!(t.node_count(), 5);
+    }
+
+    #[test]
+    fn read_missing_is_noent() {
+        let t = Tree::new();
+        assert_eq!(
+            t.read(DomId::DOM0, &p("/nope")),
+            Err(Error::NoEntry("/nope".into()))
+        );
+    }
+
+    #[test]
+    fn directory_lists_children_sorted() {
+        let mut t = Tree::new();
+        t.write(DomId::DOM0, &p("/local/domain/3"), b"").unwrap();
+        t.write(DomId::DOM0, &p("/local/domain/1"), b"").unwrap();
+        t.write(DomId::DOM0, &p("/local/domain/2"), b"").unwrap();
+        assert_eq!(
+            t.directory(DomId::DOM0, &p("/local/domain")).unwrap(),
+            vec!["1", "2", "3"]
+        );
+    }
+
+    #[test]
+    fn mkdir_is_idempotent() {
+        let mut t = Tree::new();
+        t.mkdir(DomId::DOM0, &p("/conduit")).unwrap();
+        t.mkdir(DomId::DOM0, &p("/conduit")).unwrap();
+        t.mkdir(DomId::DOM0, &p("/")).unwrap();
+        assert!(t.exists(&p("/conduit")));
+    }
+
+    #[test]
+    fn rm_removes_subtree() {
+        let mut t = Tree::new();
+        t.write(DomId::DOM0, &p("/a/b/c"), b"1").unwrap();
+        t.write(DomId::DOM0, &p("/a/b/d"), b"2").unwrap();
+        t.rm(DomId::DOM0, &p("/a/b")).unwrap();
+        assert!(!t.exists(&p("/a/b")));
+        assert!(!t.exists(&p("/a/b/c")));
+        assert!(t.exists(&p("/a")));
+        assert_eq!(t.rm(DomId::DOM0, &p("/a/b")), Err(Error::NoEntry("/a/b".into())));
+        assert!(t.rm(DomId::DOM0, &Path::root()).is_err());
+    }
+
+    #[test]
+    fn root_write_rejected_and_value_size_limited() {
+        let mut t = Tree::new();
+        assert!(t.write(DomId::DOM0, &Path::root(), b"x").is_err());
+        let big = vec![0u8; MAX_VALUE_LEN + 1];
+        assert!(t.write(DomId::DOM0, &p("/big"), &big).is_err());
+        let ok = vec![0u8; MAX_VALUE_LEN];
+        assert!(t.write(DomId::DOM0, &p("/big"), &ok).is_ok());
+    }
+
+    #[test]
+    fn generations_track_modifications() {
+        let mut t = Tree::new();
+        let g0 = t.generation();
+        t.write(DomId::DOM0, &p("/a"), b"1").unwrap();
+        let g1 = t.generation();
+        assert!(g1 > g0);
+        t.write(DomId::DOM0, &p("/a"), b"2").unwrap();
+        let node = t.get(&p("/a")).unwrap();
+        assert_eq!(node.modified_gen, t.generation());
+        // Creating a child bumps the parent's children_gen but not its
+        // modified_gen.
+        let parent_modified_before = t.get(&p("/a")).unwrap().modified_gen;
+        t.write(DomId::DOM0, &p("/a/b"), b"3").unwrap();
+        let parent = t.get(&p("/a")).unwrap();
+        assert_eq!(parent.modified_gen, parent_modified_before);
+        assert_eq!(parent.children_gen, t.generation());
+    }
+
+    #[test]
+    fn unprivileged_domains_cannot_touch_others_nodes() {
+        let mut t = Tree::new();
+        // dom0 creates a private area for dom3.
+        t.write(DomId::DOM0, &p("/local/domain/3/name"), b"x").unwrap();
+        // A guest cannot read or write dom0-owned nodes...
+        assert!(matches!(
+            t.read(DomId(7), &p("/local/domain/3/name")),
+            Err(Error::PermissionDenied(_))
+        ));
+        assert!(matches!(
+            t.write(DomId(7), &p("/local/domain/3/name"), b"y"),
+            Err(Error::PermissionDenied(_))
+        ));
+        // ...until granted access.
+        let perms = Permissions::owned_by(DomId::DOM0).granting(DomId(7), PermLevel::Read);
+        t.set_perms(DomId::DOM0, &p("/local/domain/3/name"), perms).unwrap();
+        assert!(t.read(DomId(7), &p("/local/domain/3/name")).is_ok());
+        assert!(t.write(DomId(7), &p("/local/domain/3/name"), b"y").is_err());
+    }
+
+    #[test]
+    fn unprivileged_creation_is_owned_by_creator() {
+        let mut t = Tree::new();
+        // dom0 gives dom7 a writable home directory.
+        t.mkdir(DomId::DOM0, &p("/local/domain/7")).unwrap();
+        t.set_perms(
+            DomId::DOM0,
+            &p("/local/domain/7"),
+            Permissions::owned_by(DomId(7)),
+        )
+        .unwrap();
+        t.write(DomId(7), &p("/local/domain/7/data/feature"), b"1").unwrap();
+        let node = t.get(&p("/local/domain/7/data/feature")).unwrap();
+        assert_eq!(node.perms.owner(), DomId(7));
+        // Another guest cannot see it.
+        assert!(t.read(DomId(9), &p("/local/domain/7/data/feature")).is_err());
+    }
+
+    #[test]
+    fn create_restricted_directory_allows_foreign_creation() {
+        let mut t = Tree::new();
+        // The server (dom3) owns its listen queue and marks it
+        // create-restricted so clients can enqueue connection requests.
+        t.mkdir(DomId::DOM0, &p("/conduit/http_server/listen")).unwrap();
+        t.set_perms(
+            DomId::DOM0,
+            &p("/conduit/http_server/listen"),
+            Permissions::owned_by(DomId(3)).create_restricted(),
+        )
+        .unwrap();
+        // A client (dom7) may create its connection key...
+        t.write(DomId(7), &p("/conduit/http_server/listen/conn1"), b"7").unwrap();
+        // ...which the server and the client can read, but others cannot.
+        assert!(t.read(DomId(3), &p("/conduit/http_server/listen/conn1")).is_ok());
+        assert!(t.read(DomId(7), &p("/conduit/http_server/listen/conn1")).is_ok());
+        assert!(t.read(DomId(9), &p("/conduit/http_server/listen/conn1")).is_err());
+        // Without the flag, foreign creation is denied.
+        t.mkdir(DomId::DOM0, &p("/conduit/other/listen")).unwrap();
+        t.set_perms(
+            DomId::DOM0,
+            &p("/conduit/other/listen"),
+            Permissions::owned_by(DomId(3)),
+        )
+        .unwrap();
+        assert!(t.write(DomId(7), &p("/conduit/other/listen/conn1"), b"7").is_err());
+    }
+
+    #[test]
+    fn set_perms_requires_ownership() {
+        let mut t = Tree::new();
+        t.mkdir(DomId::DOM0, &p("/local/domain/3")).unwrap();
+        t.set_perms(DomId::DOM0, &p("/local/domain/3"), Permissions::owned_by(DomId(3)))
+            .unwrap();
+        // dom7 does not own the node, so cannot change its perms.
+        assert!(t
+            .set_perms(DomId(7), &p("/local/domain/3"), Permissions::owned_by(DomId(7)))
+            .is_err());
+        // dom3 owns it and may.
+        assert!(t
+            .set_perms(DomId(3), &p("/local/domain/3"), Permissions::with_default(DomId(3), PermLevel::Read))
+            .is_ok());
+        assert!(t.set_perms(DomId::DOM0, &p("/missing"), Permissions::owned_by(DomId(0))).is_err());
+    }
+
+    #[test]
+    fn owned_count_and_all_paths() {
+        let mut t = Tree::new();
+        t.write(DomId::DOM0, &p("/a/b"), b"").unwrap();
+        t.mkdir(DomId::DOM0, &p("/local/domain/7")).unwrap();
+        t.set_perms(DomId::DOM0, &p("/local/domain/7"), Permissions::owned_by(DomId(7)))
+            .unwrap();
+        t.write(DomId(7), &p("/local/domain/7/x"), b"1").unwrap();
+        assert_eq!(t.owned_count(DomId(7)), 2);
+        let paths = t.all_paths();
+        assert!(paths.contains(&Path::root()));
+        assert!(paths.contains(&p("/local/domain/7/x")));
+        assert_eq!(paths.len(), t.node_count());
+    }
+}

@@ -1,0 +1,58 @@
+//! Edge hosting: a family's personal web sites served from one ARM board
+//! (§3.3.2 and §5 of the paper).
+//!
+//! Run with `cargo run --example edge_hosting`. The board is the
+//! authoritative nameserver for `family.name`; each family member's
+//! low-traffic site is a separate 16 MiB unikernel that is summoned on
+//! demand and retired after two minutes of idleness, so the 1 GB board can
+//! host far more sites than it could keep resident.
+
+use jitsu_repro::prelude::*;
+
+fn main() {
+    let members = ["alice", "bob", "carol", "dave", "erin"];
+    let mut config = JitsuConfig::new("family.name");
+    config.idle_timeout = Some(SimDuration::from_secs(120));
+    for (i, member) in members.iter().enumerate() {
+        config = config.with_service(ServiceConfig::http_site(
+            &format!("{member}.family.name"),
+            Ipv4Addr::new(192, 168, 1, 20 + i as u8),
+        ));
+    }
+    let mut jitsud = Jitsud::new(config, BoardKind::Cubieboard2.board(), 7);
+    let client = Ipv4Addr::new(192, 168, 1, 100);
+
+    println!("Hosting {} personal sites on one Cubieboard2\n", members.len());
+    println!("{:<22} {:>14} {:>14}", "site", "cold start", "warm request");
+    for member in members {
+        let name = format!("{member}.family.name");
+        let cold = jitsud.cold_start_request(&name, client, "/").expect("cold start");
+        let warm = jitsud.warm_request(&name, client, "/").expect("warm request");
+        assert_eq!(cold.http_status, 200);
+        assert_eq!(warm.http_status, 200);
+        println!(
+            "{:<22} {:>14} {:>14}",
+            name,
+            cold.http_response_time.to_string(),
+            warm.response_time.to_string()
+        );
+    }
+    println!("\nRunning unikernels: {}", jitsud.running_count());
+
+    // Two minutes later, nobody has visited: the sites are retired and the
+    // memory is reclaimed for whoever comes next.
+    jitsud.advance_clock(SimDuration::from_secs(180));
+    let retired = jitsud.retire_idle();
+    println!("Retired after 3 idle minutes: {}", retired.join(", "));
+    println!("Running unikernels now: {}", jitsud.running_count());
+    assert_eq!(jitsud.running_count(), 0);
+
+    // The next visitor simply pays the ~300 ms cold start again.
+    let again = jitsud
+        .cold_start_request("alice.family.name", client, "/")
+        .expect("resummon");
+    println!(
+        "\nalice.family.name resummoned on demand: HTTP {} in {}",
+        again.http_status, again.http_response_time
+    );
+}
