@@ -172,8 +172,12 @@ mod tests {
         let config = &DockerConfig::figure9b_variants()[1].1;
         let mut r = rng();
         let (latencies, _) = start_latencies(config, &board(), 50, &mut r);
-        let mean_ms = latencies.iter().map(|d| d.as_millis_f64()).sum::<f64>() / latencies.len() as f64;
-        assert!((1000.0..1600.0).contains(&mean_ms), "paper: ≥1.1 s, got {mean_ms:.0} ms");
+        let mean_ms =
+            latencies.iter().map(|d| d.as_millis_f64()).sum::<f64>() / latencies.len() as f64;
+        assert!(
+            (1000.0..1600.0).contains(&mean_ms),
+            "paper: ≥1.1 s, got {mean_ms:.0} ms"
+        );
         assert!(latencies.iter().all(|d| d.as_millis() >= 800));
     }
 
@@ -186,7 +190,8 @@ mod tests {
             .iter()
             .map(|d| d.as_millis_f64())
             .fold(f64::INFINITY, f64::min);
-        let mean_ms = latencies.iter().map(|d| d.as_millis_f64()).sum::<f64>() / latencies.len() as f64;
+        let mean_ms =
+            latencies.iter().map(|d| d.as_millis_f64()).sum::<f64>() / latencies.len() as f64;
         assert!(min_ms >= 100.0, "min={min_ms}");
         assert!((250.0..900.0).contains(&mean_ms), "mean={mean_ms}");
         // Faster than the SD card configuration.
@@ -203,8 +208,10 @@ mod tests {
         let mut r2 = rng();
         let (native, _) = start_latencies(&variants[1].1, &board(), 40, &mut r1);
         let (dom0, _) = start_latencies(&variants[2].1, &board(), 40, &mut r2);
-        let native_mean: f64 = native.iter().map(|d| d.as_millis_f64()).sum::<f64>() / native.len() as f64;
-        let dom0_mean: f64 = dom0.iter().map(|d| d.as_millis_f64()).sum::<f64>() / dom0.len() as f64;
+        let native_mean: f64 =
+            native.iter().map(|d| d.as_millis_f64()).sum::<f64>() / native.len() as f64;
+        let dom0_mean: f64 =
+            dom0.iter().map(|d| d.as_millis_f64()).sum::<f64>() / dom0.len() as f64;
         assert!(dom0_mean > native_mean);
         assert!(dom0_mean < native_mean * 1.25, "overhead is modest");
     }
@@ -214,7 +221,10 @@ mod tests {
         let config = &DockerConfig::figure9b_variants()[0].1;
         let mut r = rng();
         let (_, failures) = start_latencies(config, &board(), 300, &mut r);
-        assert!(failures > 5, "a significant fraction of tests fail, got {failures}");
+        assert!(
+            failures > 5,
+            "a significant fraction of tests fail, got {failures}"
+        );
         // The SD card configuration does not fail.
         let sd = &DockerConfig::figure9b_variants()[1].1;
         let (_, sd_failures) = start_latencies(sd, &board(), 300, &mut r);
@@ -243,7 +253,10 @@ mod tests {
         assert!(start.virtualisation_overhead > SimDuration::ZERO);
         assert_eq!(
             start.total(),
-            start.metadata_io + start.filesystem_setup + start.process_setup + start.virtualisation_overhead
+            start.metadata_io
+                + start.filesystem_setup
+                + start.process_setup
+                + start.virtualisation_overhead
         );
     }
 }

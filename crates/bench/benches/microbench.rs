@@ -20,24 +20,28 @@ fn bench_xenstore_transactions(c: &mut Criterion) {
     let mut group = c.benchmark_group("xenstore_txn_commit");
     group.sample_size(20);
     for engine in EngineKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(engine.label()), &engine, |b, &engine| {
-            let mut xs = XenStore::new(engine);
-            let mut i = 0u64;
-            b.iter(|| {
-                i += 1;
-                let t = xs.transaction_start(DomId::DOM0).unwrap();
-                for op in 0..8 {
-                    xs.write(
-                        DomId::DOM0,
-                        Some(t),
-                        &format!("/local/domain/{}/op{}", i % 256, op),
-                        b"v",
-                    )
-                    .unwrap();
-                }
-                xs.transaction_end(DomId::DOM0, t, true).unwrap();
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(engine.label()),
+            &engine,
+            |b, &engine| {
+                let mut xs = XenStore::new(engine);
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    let t = xs.transaction_start(DomId::DOM0).unwrap();
+                    for op in 0..8 {
+                        xs.write(
+                            DomId::DOM0,
+                            Some(t),
+                            &format!("/local/domain/{}/op{}", i % 256, op),
+                            b"v",
+                        )
+                        .unwrap();
+                    }
+                    xs.transaction_end(DomId::DOM0, t, true).unwrap();
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -52,7 +56,8 @@ fn bench_domain_construction(c: &mut Criterion) {
         group.bench_function(label, |b| {
             let mut ts = Toolstack::new(BoardKind::Cubieboard2.board(), EngineKind::JitsuMerge, 1);
             b.iter(|| {
-                ts.measure_create(DomainConfig::unikernel("bench"), opts).unwrap();
+                ts.measure_create(DomainConfig::unikernel("bench"), opts)
+                    .unwrap();
             });
         });
     }

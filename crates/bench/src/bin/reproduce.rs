@@ -2,7 +2,10 @@
 //! paper's evaluation section.
 fn main() {
     println!("== Reproducing the evaluation of 'Jitsu: Just-In-Time Summoning of Unikernels' ==\n");
-    println!("{}", bench::fig3::figure(&bench::fig3::default_sweep()).render());
+    println!(
+        "{}",
+        bench::fig3::figure(&bench::fig3::default_sweep()).render()
+    );
     println!("{}", bench::fig4::figure(3).render());
     println!("{}", bench::fig8::figure(100, 0x51CA).render());
     println!("{}", bench::fig9a::figure(25, 0x9A).render());

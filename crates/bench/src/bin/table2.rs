@@ -6,6 +6,9 @@ fn main() {
     if disagreements.is_empty() {
         println!("Derived Jitsu column matches the paper for all 32 CVEs.");
     } else {
-        println!("WARNING: {} disagreements with the paper's column", disagreements.len());
+        println!(
+            "WARNING: {} disagreements with the paper's column",
+            disagreements.len()
+        );
     }
 }

@@ -65,7 +65,9 @@ pub fn run_workload(engine: EngineKind, parallel_sequences: usize) -> Fig3Point 
 
     while remaining.iter().any(|&r| r > 0) {
         // Workers with work left, processed in overlapping groups.
-        let active: Vec<usize> = (0..parallel_sequences).filter(|&i| remaining[i] > 0).collect();
+        let active: Vec<usize> = (0..parallel_sequences)
+            .filter(|&i| remaining[i] > 0)
+            .collect();
         for group in active.chunks(OVERLAP_GROUP) {
             // Everyone in the group opens a transaction and applies its ops
             // before anyone commits — the overlap that provokes conflicts.
@@ -81,7 +83,8 @@ pub fn run_workload(engine: EngineKind, parallel_sequences: usize) -> Fig3Point 
                     } else {
                         format!("/local/domain/{}/t{}/op{}", 1000 + worker, txn_index, op)
                     };
-                    xs.write(DomId::DOM0, Some(tx), &path, b"v").expect("txn write");
+                    xs.write(DomId::DOM0, Some(tx), &path, b"v")
+                        .expect("txn write");
                     store_busy += cost.op;
                 }
                 open.push((worker, tx));
@@ -144,7 +147,10 @@ mod tests {
     #[test]
     fn jitsu_engine_has_essentially_no_conflicts() {
         let p = run_workload(EngineKind::JitsuMerge, 24);
-        assert_eq!(p.conflicts, 0, "sibling domain creations must merge cleanly");
+        assert_eq!(
+            p.conflicts, 0,
+            "sibling domain creations must merge cleanly"
+        );
         assert_eq!(p.commits, (24 * TXNS_PER_SEQUENCE) as u64);
     }
 
@@ -175,8 +181,14 @@ mod tests {
         let j_big = run_workload(EngineKind::JitsuMerge, 40);
         let c_ratio = c_big.total_time.as_secs_f64() / c_small.total_time.as_secs_f64();
         let j_ratio = j_big.total_time.as_secs_f64() / j_small.total_time.as_secs_f64();
-        assert!(c_ratio > 4.5, "C xenstored must be superlinear, ratio={c_ratio:.2}");
-        assert!(j_ratio < 4.6, "Jitsu xenstored must stay near-linear, ratio={j_ratio:.2}");
+        assert!(
+            c_ratio > 4.5,
+            "C xenstored must be superlinear, ratio={c_ratio:.2}"
+        );
+        assert!(
+            j_ratio < 4.6,
+            "Jitsu xenstored must stay near-linear, ratio={j_ratio:.2}"
+        );
         assert!(c_ratio > j_ratio + 1.0);
     }
 

@@ -11,12 +11,23 @@ use xenstore::EngineKind;
 pub const MEMORY_SWEEP: [u32; 5] = [16, 32, 64, 128, 256];
 
 /// Measure the mean VM construction time for one configuration.
-pub fn measure(board: BoardKind, opts: BootOptimisations, memory_mib: u32, samples: u32) -> SimDuration {
-    let mut toolstack = Toolstack::new(board.board(), EngineKind::JitsuMerge, 0xF19u64 + memory_mib as u64);
+pub fn measure(
+    board: BoardKind,
+    opts: BootOptimisations,
+    memory_mib: u32,
+    samples: u32,
+) -> SimDuration {
+    let mut toolstack = Toolstack::new(
+        board.board(),
+        EngineKind::JitsuMerge,
+        0xF19u64 + memory_mib as u64,
+    );
     let mut total = SimDuration::ZERO;
     for _ in 0..samples.max(1) {
         let config = DomainConfig::unikernel("figure4-sweep").with_memory_mib(memory_mib);
-        total += toolstack.measure_create(config, opts).expect("board has capacity");
+        total += toolstack
+            .measure_create(config, opts)
+            .expect("board has capacity");
     }
     total / samples.max(1) as u64
 }
@@ -43,7 +54,13 @@ pub fn figure(samples: u32) -> Figure {
     for mem in MEMORY_SWEEP {
         x86.push(
             mem as f64,
-            measure(BoardKind::X86Server, BootOptimisations::jitsu(), mem, samples).as_secs_f64(),
+            measure(
+                BoardKind::X86Server,
+                BootOptimisations::jitsu(),
+                mem,
+                samples,
+            )
+            .as_secs_f64(),
         );
     }
     figure.add_series(x86);
@@ -99,7 +116,11 @@ mod tests {
             let y16 = series.y_at(16.0).unwrap();
             let y128 = series.y_at(128.0).unwrap();
             let y256 = series.y_at(256.0).unwrap();
-            assert!(y256 > y16, "{}: 256MiB ({y256:.3}s) must exceed 16MiB ({y16:.3}s)", series.label);
+            assert!(
+                y256 > y16,
+                "{}: 256MiB ({y256:.3}s) must exceed 16MiB ({y16:.3}s)",
+                series.label
+            );
             assert!(y256 > y128, "{}: 256MiB must exceed 128MiB", series.label);
             assert_eq!(series.len(), MEMORY_SWEEP.len());
         }

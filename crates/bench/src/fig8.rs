@@ -103,7 +103,9 @@ impl DatapathModel {
         let wire = self.board.wire_time(bytes);
         match target {
             PingTarget::Localhost => self.client_stack.sample(rng) + copy,
-            PingTarget::Dom0 => self.client_stack.sample(rng) + wire + self.dom0_stack.sample(rng) + copy,
+            PingTarget::Dom0 => {
+                self.client_stack.sample(rng) + wire + self.dom0_stack.sample(rng) + copy
+            }
             PingTarget::LinuxGuest => {
                 self.client_stack.sample(rng)
                     + wire
@@ -125,7 +127,13 @@ impl DatapathModel {
 
     /// One ICMP echo RTT: the request and reply really are built, parsed and
     /// answered by `netstack`; the time is the two one-way traversals.
-    pub fn rtt(&self, target: PingTarget, payload: usize, seq: u16, rng: &mut SimRng) -> SimDuration {
+    pub fn rtt(
+        &self,
+        target: PingTarget,
+        payload: usize,
+        seq: u16,
+        rng: &mut SimRng,
+    ) -> SimDuration {
         let client_ip = Ipv4Addr::new(192, 168, 1, 100);
         let target_ip = Ipv4Addr::new(192, 168, 1, 20);
         let mut client = Interface::new(MacAddr([2, 0, 0, 0, 0, 1]), client_ip);
@@ -176,7 +184,10 @@ pub fn figure(samples: usize, seed: u64) -> Figure {
     for target in PingTarget::ALL {
         let mut series = Series::new(target.label());
         for payload in PAYLOAD_SWEEP {
-            series.push(payload as f64, mean_rtt_ms(&model, target, payload, samples, &mut rng));
+            series.push(
+                payload as f64,
+                mean_rtt_ms(&model, target, payload, samples, &mut rng),
+            );
         }
         figure.add_series(series);
     }
@@ -231,8 +242,14 @@ mod tests {
         let mut linux_samples = Vec::new();
         let mut mirage_samples = Vec::new();
         for i in 0..200u16 {
-            linux_samples.push(m.rtt(PingTarget::LinuxGuest, 512, i, &mut rng).as_millis_f64());
-            mirage_samples.push(m.rtt(PingTarget::MirageGuest, 512, i, &mut rng).as_millis_f64());
+            linux_samples.push(
+                m.rtt(PingTarget::LinuxGuest, 512, i, &mut rng)
+                    .as_millis_f64(),
+            );
+            mirage_samples.push(
+                m.rtt(PingTarget::MirageGuest, 512, i, &mut rng)
+                    .as_millis_f64(),
+            );
         }
         let var = |v: &[f64]| {
             let mean = v.iter().sum::<f64>() / v.len() as f64;

@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn vanilla_toolstack_sits_between_the_other_two() {
-        let optimised = percentile(&cold_start_samples(ColdStartMode::SynjitsuOptimised, 8, 3), 50.0);
+        let optimised = percentile(
+            &cold_start_samples(ColdStartMode::SynjitsuOptimised, 8, 3),
+            50.0,
+        );
         let vanilla = percentile(
             &cold_start_samples(ColdStartMode::SynjitsuVanillaToolstack, 8, 3),
             50.0,
@@ -98,8 +101,12 @@ mod tests {
         assert_eq!(fig.series().len(), 3);
         for series in fig.series() {
             assert!(series.is_monotone_nondecreasing(), "{}", series.label);
-            assert!((series.max_y().unwrap() - 1.0).abs() < 1e-9 || series.label.contains("no synjitsu"),
-                "{} should reach 1.0 within the plotted range", series.label);
+            assert!(
+                (series.max_y().unwrap() - 1.0).abs() < 1e-9
+                    || series.label.contains("no synjitsu"),
+                "{} should reach 1.0 within the plotted range",
+                series.label
+            );
         }
     }
 }

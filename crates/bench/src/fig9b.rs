@@ -44,8 +44,16 @@ mod tests {
         let variants = DockerConfig::figure9b_variants();
         let (tmpfs, _) = container_samples(&variants[0].1, 40, 1);
         let (sd, _) = container_samples(&variants[1].1, 40, 1);
-        assert!(percentile(&sd, 50.0) > 1000.0, "sd median {:.0}", percentile(&sd, 50.0));
-        assert!(percentile(&tmpfs, 50.0) > 450.0, "tmpfs median {:.0}", percentile(&tmpfs, 50.0));
+        assert!(
+            percentile(&sd, 50.0) > 1000.0,
+            "sd median {:.0}",
+            percentile(&sd, 50.0)
+        );
+        assert!(
+            percentile(&tmpfs, 50.0) > 450.0,
+            "tmpfs median {:.0}",
+            percentile(&tmpfs, 50.0)
+        );
         assert!(percentile(&tmpfs, 50.0) < percentile(&sd, 50.0));
     }
 
@@ -61,7 +69,10 @@ mod tests {
     fn tmpfs_configuration_shows_failures() {
         let variants = DockerConfig::figure9b_variants();
         let (_, failures) = container_samples(&variants[0].1, 200, 3);
-        assert!(failures > 0, "the tmpfs workaround fails a fraction of starts");
+        assert!(
+            failures > 0,
+            "the tmpfs workaround fails a fraction of starts"
+        );
     }
 
     #[test]

@@ -17,7 +17,17 @@ fn tick(b: bool) -> &'static str {
 pub fn table() -> Table {
     let mut table = Table::new(
         "Table 2: Representative vulnerabilities and whether they affect Jitsu",
-        &["Group", "CVE", "Description", "App", "Remote", "Execute", "DoS", "Exposure", "Jitsu"],
+        &[
+            "Group",
+            "CVE",
+            "Description",
+            "App",
+            "Remote",
+            "Execute",
+            "DoS",
+            "Exposure",
+            "Jitsu",
+        ],
     );
     for cve in CVE_DATASET {
         let affects = classify(cve) == JitsuImpact::StillApplicable;
@@ -41,7 +51,13 @@ pub fn table() -> Table {
 pub fn summary_table() -> Table {
     let mut table = Table::new(
         "Table 2 summary: vulnerabilities eliminated by Jitsu per layer",
-        &["Layer", "Total", "Eliminated", "Remaining", "Remotely exploitable"],
+        &[
+            "Layer",
+            "Total",
+            "Eliminated",
+            "Remaining",
+            "Remotely exploitable",
+        ],
     );
     for s in summary() {
         table.add_row(&[
@@ -73,7 +89,10 @@ mod tests {
         let t = table();
         assert_eq!(t.row_count(), 32);
         let rendered = t.render();
-        assert!(rendered.contains("CVE-2014-6271") == false, "ShellShock is discussed in prose, not Table 2");
+        assert!(
+            !rendered.contains("CVE-2014-6271"),
+            "ShellShock is discussed in prose, not Table 2"
+        );
         assert!(rendered.contains("CVE-2011-3992"));
         assert!(rendered.contains("Embedded systems"));
     }

@@ -44,7 +44,8 @@ pub fn queue_throughput(
         // transmitting the previous response, so each request costs the
         // *maximum* of its storage time and its network time — "disk bound"
         // means the storage term dominates.
-        let network = board.wire_time(resp.body.len() + 256) + board.scale_cpu(SimDuration::from_micros(60));
+        let network =
+            board.wire_time(resp.body.len() + 256) + board.scale_cpu(SimDuration::from_micros(60));
         total += cost.max(network);
     }
     ThroughputResult {
@@ -126,7 +127,10 @@ mod tests {
     #[test]
     fn iperf_shows_parity_between_linux_and_mirage() {
         let (linux, mirage) = iperf_parity();
-        assert!((linux - mirage).abs() < 1.0, "no regression on ARM: {linux} vs {mirage}");
+        assert!(
+            (linux - mirage).abs() < 1.0,
+            "no regression on ARM: {linux} vs {mirage}"
+        );
         assert!(linux <= 100.0, "bounded by the 100 Mb/s NIC");
         assert!(linux > 80.0);
     }

@@ -76,12 +76,7 @@ impl FlowTable {
     }
 
     /// Update the state of a flow, preserving its metadata.
-    pub fn set_state(
-        xs: &mut XenStore,
-        actor: DomId,
-        id: u64,
-        state: FlowState,
-    ) -> XsResult<()> {
+    pub fn set_state(xs: &mut XenStore, actor: DomId, id: u64, state: FlowState) -> XsResult<()> {
         let current = xs.read_string(actor, None, &Self::path(id))?;
         let metadata = current
             .split_once(' ')
@@ -125,7 +120,11 @@ mod tests {
 
     #[test]
     fn tokens_round_trip() {
-        for s in [FlowState::Connecting, FlowState::Established, FlowState::Closed] {
+        for s in [
+            FlowState::Connecting,
+            FlowState::Established,
+            FlowState::Closed,
+        ] {
             assert_eq!(FlowState::from_token(s.token()), Some(s));
         }
         assert_eq!(FlowState::from_token("nope"), None);
@@ -136,10 +135,20 @@ mod tests {
         let mut xs = XenStore::new(EngineKind::JitsuMerge);
         let mut flows = FlowTable::new();
         let id1 = flows
-            .create(&mut xs, DomId::DOM0, FlowState::Connecting, "client http_client domid 7")
+            .create(
+                &mut xs,
+                DomId::DOM0,
+                FlowState::Connecting,
+                "client http_client domid 7",
+            )
             .unwrap();
         let id2 = flows
-            .create(&mut xs, DomId::DOM0, FlowState::Established, "client http_client domid 9")
+            .create(
+                &mut xs,
+                DomId::DOM0,
+                FlowState::Established,
+                "client http_client domid 9",
+            )
             .unwrap();
         assert_eq!(id1, 1);
         assert_eq!(id2, 2);
@@ -154,7 +163,9 @@ mod tests {
             Some(FlowState::Established)
         );
         // Metadata survives state changes.
-        let raw = xs.read_string(DomId::DOM0, None, "/conduit/flows/1").unwrap();
+        let raw = xs
+            .read_string(DomId::DOM0, None, "/conduit/flows/1")
+            .unwrap();
         assert!(raw.contains("domid 7"), "raw={raw}");
         FlowTable::remove(&mut xs, DomId::DOM0, id1).unwrap();
         assert_eq!(FlowTable::list(&mut xs, DomId::DOM0), vec![2]);

@@ -143,7 +143,11 @@ impl ConduitRegistry {
     }
 
     /// Resolve a service name to its serving domain.
-    pub fn resolve(xs: &mut XenStore, requester: DomId, name: &str) -> Result<Endpoint, ConduitError> {
+    pub fn resolve(
+        xs: &mut XenStore,
+        requester: DomId,
+        name: &str,
+    ) -> Result<Endpoint, ConduitError> {
         match xs.read_string(requester, None, &Self::service_path(name)) {
             Ok(v) => {
                 let dom = v
@@ -237,8 +241,7 @@ impl ConduitRegistry {
             // The endpoint details are readable only by the two participants
             // (and dom0); every key must carry the grant, not just the
             // directory, since permissions are per node.
-            let participant_perms =
-                Permissions::owned_by(server).granting(client, PermLevel::Read);
+            let participant_perms = Permissions::owned_by(server).granting(client, PermLevel::Read);
             for key in ["", "/ring-ref", "/event-channel", "/domid"] {
                 xs.set_perms(
                     DomId::DOM0,
@@ -280,7 +283,11 @@ impl ConduitRegistry {
         flow_id: u64,
     ) -> Result<(), ConduitError> {
         let _ = xs.rm(DomId::DOM0, None, &Self::vchan_path(server, conn));
-        let _ = xs.rm(DomId::DOM0, None, &format!("{}/{}", Self::established_path(name), conn));
+        let _ = xs.rm(
+            DomId::DOM0,
+            None,
+            &format!("{}/{}", Self::established_path(name), conn),
+        );
         FlowTable::set_state(xs, DomId::DOM0, flow_id, FlowState::Closed)?;
         Ok(())
     }
@@ -314,7 +321,10 @@ mod tests {
     #[test]
     fn register_resolve_and_list() {
         let mut e = env();
-        let ep = e.registry.register(&mut e.xs, "http_server", SERVER).unwrap();
+        let ep = e
+            .registry
+            .register(&mut e.xs, "http_server", SERVER)
+            .unwrap();
         assert_eq!(ep.dom, SERVER);
         let resolved = ConduitRegistry::resolve(&mut e.xs, CLIENT, "http_server").unwrap();
         assert_eq!(resolved, ep);
@@ -331,7 +341,9 @@ mod tests {
     #[test]
     fn full_connect_accept_flow_matches_figure5() {
         let mut e = env();
-        e.registry.register(&mut e.xs, "http_server", SERVER).unwrap();
+        e.registry
+            .register(&mut e.xs, "http_server", SERVER)
+            .unwrap();
 
         // Client writes into the listen queue (as the client domain).
         ConduitRegistry::connect(&mut e.xs, CLIENT, "http_server", "conn1").unwrap();
@@ -340,7 +352,13 @@ mod tests {
 
         let mut accepted = e
             .registry
-            .accept(&mut e.xs, &mut e.grants, &mut e.evtchn, "http_server", SERVER)
+            .accept(
+                &mut e.xs,
+                &mut e.grants,
+                &mut e.evtchn,
+                "http_server",
+                SERVER,
+            )
             .unwrap();
         assert_eq!(accepted.len(), 1);
         let conn = &mut accepted[0];
@@ -348,13 +366,13 @@ mod tests {
         assert_eq!(conn.conn, "conn1");
 
         // Metadata appears where Figure 5 says it should.
-        let ring_ref = e
-            .xs
-            .read_string(SERVER, None, "/local/domain/3/vchan/conn1/ring-ref")
-            .unwrap();
+        let ring_ref =
+            e.xs.read_string(SERVER, None, "/local/domain/3/vchan/conn1/ring-ref")
+                .unwrap();
         assert_eq!(ring_ref, conn.channel.server_ring_gref.0.to_string());
         assert_eq!(
-            e.xs.read_string(SERVER, None, "/local/domain/3/vchan/conn1/domid").unwrap(),
+            e.xs.read_string(SERVER, None, "/local/domain/3/vchan/conn1/domid")
+                .unwrap(),
             "7"
         );
         assert!(e
@@ -385,7 +403,9 @@ mod tests {
     #[test]
     fn third_parties_cannot_observe_listen_entries() {
         let mut e = env();
-        e.registry.register(&mut e.xs, "http_server", SERVER).unwrap();
+        e.registry
+            .register(&mut e.xs, "http_server", SERVER)
+            .unwrap();
         ConduitRegistry::connect(&mut e.xs, CLIENT, "http_server", "conn1").unwrap();
         // Another guest cannot read the client's connection request...
         assert!(e
@@ -402,10 +422,18 @@ mod tests {
     #[test]
     fn vchan_metadata_is_private_to_participants() {
         let mut e = env();
-        e.registry.register(&mut e.xs, "http_server", SERVER).unwrap();
+        e.registry
+            .register(&mut e.xs, "http_server", SERVER)
+            .unwrap();
         ConduitRegistry::connect(&mut e.xs, CLIENT, "http_server", "conn1").unwrap();
         e.registry
-            .accept(&mut e.xs, &mut e.grants, &mut e.evtchn, "http_server", SERVER)
+            .accept(
+                &mut e.xs,
+                &mut e.grants,
+                &mut e.evtchn,
+                "http_server",
+                SERVER,
+            )
             .unwrap();
         assert!(e
             .xs
@@ -420,12 +448,20 @@ mod tests {
     #[test]
     fn multiple_clients_accepted_in_one_pass() {
         let mut e = env();
-        e.registry.register(&mut e.xs, "http_server", SERVER).unwrap();
+        e.registry
+            .register(&mut e.xs, "http_server", SERVER)
+            .unwrap();
         ConduitRegistry::connect(&mut e.xs, DomId(7), "http_server", "conn1").unwrap();
         ConduitRegistry::connect(&mut e.xs, DomId(9), "http_server", "conn2").unwrap();
         let accepted = e
             .registry
-            .accept(&mut e.xs, &mut e.grants, &mut e.evtchn, "http_server", SERVER)
+            .accept(
+                &mut e.xs,
+                &mut e.grants,
+                &mut e.evtchn,
+                "http_server",
+                SERVER,
+            )
             .unwrap();
         assert_eq!(accepted.len(), 2);
         let clients: Vec<u32> = accepted.iter().map(|a| a.client.0).collect();
@@ -433,7 +469,13 @@ mod tests {
         // Accepting again with an empty queue yields nothing.
         let empty = e
             .registry
-            .accept(&mut e.xs, &mut e.grants, &mut e.evtchn, "http_server", SERVER)
+            .accept(
+                &mut e.xs,
+                &mut e.grants,
+                &mut e.evtchn,
+                "http_server",
+                SERVER,
+            )
             .unwrap();
         assert!(empty.is_empty());
     }
@@ -441,15 +483,26 @@ mod tests {
     #[test]
     fn close_marks_flow_closed_and_removes_metadata() {
         let mut e = env();
-        e.registry.register(&mut e.xs, "http_server", SERVER).unwrap();
+        e.registry
+            .register(&mut e.xs, "http_server", SERVER)
+            .unwrap();
         ConduitRegistry::connect(&mut e.xs, CLIENT, "http_server", "conn1").unwrap();
         let accepted = e
             .registry
-            .accept(&mut e.xs, &mut e.grants, &mut e.evtchn, "http_server", SERVER)
+            .accept(
+                &mut e.xs,
+                &mut e.grants,
+                &mut e.evtchn,
+                "http_server",
+                SERVER,
+            )
             .unwrap();
         let flow_id = accepted[0].flow_id;
         ConduitRegistry::close(&mut e.xs, "http_server", SERVER, "conn1", flow_id).unwrap();
-        assert!(!e.xs.exists(DomId::DOM0, None, "/local/domain/3/vchan/conn1").unwrap());
+        assert!(!e
+            .xs
+            .exists(DomId::DOM0, None, "/local/domain/3/vchan/conn1")
+            .unwrap());
         assert_eq!(
             FlowTable::state(&mut e.xs, DomId::DOM0, flow_id).unwrap(),
             Some(FlowState::Closed)

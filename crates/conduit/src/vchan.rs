@@ -273,7 +273,9 @@ mod tests {
     #[test]
     fn bytes_flow_both_ways_with_notification() {
         let (_grants, mut evtchn, mut pair) = setup();
-        let n = pair.write(Side::Client, b"hello server", &mut evtchn).unwrap();
+        let n = pair
+            .write(Side::Client, b"hello server", &mut evtchn)
+            .unwrap();
         assert_eq!(n, 12);
         // The server's event channel is pending.
         assert!(evtchn.take_pending(DomId(3), pair.server_port).is_ok());
@@ -281,7 +283,8 @@ mod tests {
         assert_eq!(pair.read(Side::Server, 64).unwrap(), b"hello server");
         assert_eq!(pair.readable(Side::Server), 0);
 
-        pair.write(Side::Server, b"hello client", &mut evtchn).unwrap();
+        pair.write(Side::Server, b"hello client", &mut evtchn)
+            .unwrap();
         assert_eq!(pair.read(Side::Client, 5).unwrap(), b"hello");
         assert_eq!(pair.read(Side::Client, 64).unwrap(), b" client");
         assert_eq!(pair.read(Side::Client, 64).unwrap(), b"");

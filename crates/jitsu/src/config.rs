@@ -141,8 +141,14 @@ mod tests {
     #[test]
     fn config_builder_and_lookup() {
         let cfg = JitsuConfig::new("family.name.")
-            .with_service(ServiceConfig::http_site("alice.family.name", Ipv4Addr::new(192, 168, 1, 20)))
-            .with_service(ServiceConfig::http_site("bob.family.name", Ipv4Addr::new(192, 168, 1, 21)));
+            .with_service(ServiceConfig::http_site(
+                "alice.family.name",
+                Ipv4Addr::new(192, 168, 1, 20),
+            ))
+            .with_service(ServiceConfig::http_site(
+                "bob.family.name",
+                Ipv4Addr::new(192, 168, 1, 21),
+            ));
         assert_eq!(cfg.zone, "family.name");
         assert_eq!(cfg.nameserver_name(), "ns.family.name");
         assert!(cfg.service("alice.family.name").is_some());

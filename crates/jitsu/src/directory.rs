@@ -110,8 +110,14 @@ impl DirectoryService {
         resources_available: bool,
     ) -> (DnsMessage, DirectoryAction) {
         self.queries_handled += 1;
-        let Some(name) = query.queried_name().map(|s| s.trim_matches('.').to_string()) else {
-            return (DnsMessage::error(query, Rcode::ServFail), DirectoryAction::None);
+        let Some(name) = query
+            .queried_name()
+            .map(|s| s.trim_matches('.').to_string())
+        else {
+            return (
+                DnsMessage::error(query, Rcode::ServFail),
+                DirectoryAction::None,
+            );
         };
         // The nameserver's own record.
         if name == self.config.nameserver_name() {
@@ -179,8 +185,11 @@ mod tests {
     #[test]
     fn unknown_name_in_zone_is_nxdomain_outside_is_servfail() {
         let mut dir = DirectoryService::new(config());
-        let (resp, action) =
-            dir.handle_query(&DnsMessage::query(1, "carol.family.name"), SimTime::ZERO, true);
+        let (resp, action) = dir.handle_query(
+            &DnsMessage::query(1, "carol.family.name"),
+            SimTime::ZERO,
+            true,
+        );
         assert_eq!(resp.rcode, Rcode::NxDomain);
         assert_eq!(action, DirectoryAction::None);
         let (resp, action) =
@@ -192,8 +201,11 @@ mod tests {
     #[test]
     fn first_query_triggers_launch_and_answers_immediately() {
         let mut dir = DirectoryService::new(config());
-        let (resp, action) =
-            dir.handle_query(&DnsMessage::query(1, "alice.family.name"), SimTime::ZERO, true);
+        let (resp, action) = dir.handle_query(
+            &DnsMessage::query(1, "alice.family.name"),
+            SimTime::ZERO,
+            true,
+        );
         assert_eq!(resp.rcode, Rcode::NoError);
         assert_eq!(resp.answers[0].addr, Ipv4Addr::new(192, 168, 1, 20));
         assert_eq!(
@@ -209,7 +221,11 @@ mod tests {
     #[test]
     fn repeat_query_does_not_double_launch() {
         let mut dir = DirectoryService::new(config());
-        dir.handle_query(&DnsMessage::query(1, "alice.family.name"), SimTime::ZERO, true);
+        dir.handle_query(
+            &DnsMessage::query(1, "alice.family.name"),
+            SimTime::ZERO,
+            true,
+        );
         let (resp, action) = dir.handle_query(
             &DnsMessage::query(2, "alice.family.name"),
             SimTime::from_millis(10),
@@ -228,8 +244,11 @@ mod tests {
     #[test]
     fn resource_exhaustion_is_servfail() {
         let mut dir = DirectoryService::new(config());
-        let (resp, action) =
-            dir.handle_query(&DnsMessage::query(1, "bob.family.name"), SimTime::ZERO, false);
+        let (resp, action) = dir.handle_query(
+            &DnsMessage::query(1, "bob.family.name"),
+            SimTime::ZERO,
+            false,
+        );
         assert_eq!(resp.rcode, Rcode::ServFail);
         assert_eq!(
             action,
@@ -254,7 +273,11 @@ mod tests {
         let mut cfg = config();
         cfg.idle_timeout = Some(SimDuration::from_secs(60));
         let mut dir = DirectoryService::new(cfg);
-        dir.handle_query(&DnsMessage::query(1, "alice.family.name"), SimTime::ZERO, true);
+        dir.handle_query(
+            &DnsMessage::query(1, "alice.family.name"),
+            SimTime::ZERO,
+            true,
+        );
         assert!(dir.idle_services(SimTime::from_secs(30)).is_empty());
         assert_eq!(
             dir.idle_services(SimTime::from_secs(61)),

@@ -112,14 +112,29 @@ impl HandoffCoordinator {
         tcb: &Tcb,
     ) -> XsResult<()> {
         let dir = format!("{}/{}", Self::base(name), index);
-        xs.write(DomId::DOM0, None, &format!("{dir}/state"), tcb.state.as_token().as_bytes())?;
-        xs.write(DomId::DOM0, None, &format!("{dir}/tcb"), tcb.to_sexp().as_bytes())?;
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{dir}/state"),
+            tcb.state.as_token().as_bytes(),
+        )?;
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{dir}/tcb"),
+            tcb.to_sexp().as_bytes(),
+        )?;
         let packets = if tcb.buffered.is_empty() {
             "()".to_string()
         } else {
             format!("((data {} bytes))", tcb.buffered.len())
         };
-        xs.write(DomId::DOM0, None, &format!("{dir}/packets"), packets.as_bytes())
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{dir}/packets"),
+            packets.as_bytes(),
+        )
     }
 
     /// Number of connections currently recorded for a service.
@@ -192,7 +207,10 @@ mod tests {
         let mut xs = XenStore::new(EngineKind::JitsuMerge);
         let h = HandoffCoordinator::new();
         h.begin_proxying(&mut xs, "alice.family.name").unwrap();
-        assert_eq!(h.phase(&mut xs, "alice.family.name"), HandoffPhase::Proxying);
+        assert_eq!(
+            h.phase(&mut xs, "alice.family.name"),
+            HandoffPhase::Proxying
+        );
         assert!(h.proxy_should_handle(&mut xs, "alice.family.name"));
         assert!(!h.unikernel_should_handle(&mut xs, "alice.family.name"));
 
@@ -215,17 +233,27 @@ mod tests {
         let t1 = tcb(51000, b"GET / HTTP/1.1\r\n\r\n");
         let mut t2 = tcb(51001, b"");
         t2.state = TcpState::SynReceived;
-        h.record_connection(&mut xs, "alice.family.name", 1, &t1).unwrap();
-        h.record_connection(&mut xs, "alice.family.name", 2, &t2).unwrap();
+        h.record_connection(&mut xs, "alice.family.name", 1, &t1)
+            .unwrap();
+        h.record_connection(&mut xs, "alice.family.name", 2, &t2)
+            .unwrap();
         assert_eq!(h.recorded_connections(&mut xs, "alice.family.name"), 2);
 
         // The store holds Figure 7's structure.
         let state = xs
-            .read_string(DomId::DOM0, None, "/conduit/alice_family_name/tcpv4/1/state")
+            .read_string(
+                DomId::DOM0,
+                None,
+                "/conduit/alice_family_name/tcpv4/1/state",
+            )
             .unwrap();
         assert_eq!(state, "ESTABLISHED");
         let packets = xs
-            .read_string(DomId::DOM0, None, "/conduit/alice_family_name/tcpv4/1/packets")
+            .read_string(
+                DomId::DOM0,
+                None,
+                "/conduit/alice_family_name/tcpv4/1/packets",
+            )
             .unwrap();
         assert!(packets.contains("18 bytes"));
 
@@ -264,6 +292,9 @@ mod tests {
         assert!(h.unikernel_should_handle(&mut xs, "never.summoned"));
         assert_eq!(h.recorded_connections(&mut xs, "never.summoned"), 0);
         // Committing with no records yields an empty set, not an error.
-        assert!(h.commit_takeover(&mut xs, "never.summoned").unwrap().is_empty());
+        assert!(h
+            .commit_takeover(&mut xs, "never.summoned")
+            .unwrap()
+            .is_empty());
     }
 }

@@ -20,7 +20,7 @@
 
 use crate::config::{JitsuConfig, ServiceConfig};
 use crate::directory::{DirectoryAction, DirectoryService};
-use crate::launcher::{LaunchError, Launcher, LaunchOutcome};
+use crate::launcher::{LaunchError, LaunchOutcome, Launcher};
 use crate::synjitsu::Synjitsu;
 use jitsu_sim::{SimDuration, SimTime, Tracer};
 use netstack::dns::{DnsMessage, Rcode};
@@ -53,9 +53,7 @@ impl ColdStartMode {
             ColdStartMode::SynjitsuVanillaToolstack => {
                 "Jitsu cold start w/ synjitsu, vanilla toolstack"
             }
-            ColdStartMode::SynjitsuOptimised => {
-                "Jitsu cold start w/ synjitsu, optimised toolstack"
-            }
+            ColdStartMode::SynjitsuOptimised => "Jitsu cold start w/ synjitsu, optimised toolstack",
         }
     }
 
@@ -178,7 +176,10 @@ impl Jitsud {
     }
 
     fn next_seed(&mut self) -> u64 {
-        self.seed_counter = self.seed_counter.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.seed_counter = self
+            .seed_counter
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
         self.seed_counter
     }
 
@@ -328,8 +329,11 @@ impl Jitsud {
                 }
             }
             let t_handshake_done = t_syn_arrives + self.one_way_delay * 2;
-            self.tracer
-                .emit(t_handshake_done, "synjitsu", "handshake completed on behalf of booting unikernel");
+            self.tracer.emit(
+                t_handshake_done,
+                "synjitsu",
+                "handshake completed on behalf of booting unikernel",
+            );
             // The client sends its HTTP request; Synjitsu buffers it.
             let req_frame = client
                 .tcp_send((service.ip, service.port), client_port, &request_bytes)
@@ -373,7 +377,7 @@ impl Jitsud {
                 retransmissions += 1;
                 // Exponential backoff: 1 s, then 2 s, then 4 s…
                 let backoff = self.syn_rto * (1u64 << (retransmissions - 1).min(6));
-                t_attempt = t_attempt + backoff;
+                t_attempt += backoff;
             }
             self.tracer.emit(
                 t_attempt,
@@ -404,7 +408,9 @@ impl Jitsud {
             }
             let req_frame = client
                 .tcp_send((service.ip, service.port), client_port + 1, &request_bytes)
-                .or_else(|| client.tcp_send((service.ip, service.port), client_port, &request_bytes))
+                .or_else(|| {
+                    client.tcp_send((service.ip, service.port), client_port, &request_bytes)
+                })
                 .ok_or_else(|| JitsudError::Internal("client connection missing".into()))?;
             let (frames, appliance_cost) = instance.handle_frame(&req_frame);
             // handshake (1 RTT) + request flight + processing.
@@ -553,7 +559,10 @@ mod tests {
             .cold_start_request("alice.family.name", CLIENT, "/")
             .unwrap();
         let ms = report.http_response_time.as_millis();
-        assert!(ms > 1000, "SYN retransmission pushes response over 1 s: {ms} ms");
+        assert!(
+            ms > 1000,
+            "SYN retransmission pushes response over 1 s: {ms} ms"
+        );
         assert!(report.syn_retransmissions >= 1);
         assert_eq!(report.http_status, 200);
         assert!(!report.proxied);
@@ -587,7 +596,11 @@ mod tests {
         let warm = jitsud
             .warm_request("alice.family.name", CLIENT, "/")
             .unwrap();
-        assert!(warm.response_time < SimDuration::from_millis(15), "warm = {}", warm.response_time);
+        assert!(
+            warm.response_time < SimDuration::from_millis(15),
+            "warm = {}",
+            warm.response_time
+        );
         assert_eq!(warm.http_status, 200);
     }
 

@@ -98,7 +98,9 @@ impl Launcher {
             .toolstack
             .create_domain(service.image.domain_config(), self.boot_opts)
             .map_err(|e| match e {
-                ToolstackError::Build(BuildError::OutOfMemory { .. }) => LaunchError::OutOfResources,
+                ToolstackError::Build(BuildError::OutOfMemory { .. }) => {
+                    LaunchError::OutOfResources
+                }
                 other => LaunchError::Toolstack(format!("{other:?}")),
             })?;
         self.toolstack

@@ -119,7 +119,10 @@ impl Synjitsu {
         // events; Synjitsu never answers them — it only buffers).
         for ev in events {
             if let IfaceEvent::TcpData { remote, data, .. } = ev {
-                svc.buffers.entry(remote).or_default().extend_from_slice(&data);
+                svc.buffers
+                    .entry(remote)
+                    .or_default()
+                    .extend_from_slice(&data);
             }
         }
         // Mirror every live connection's TCB (with buffered bytes) into the
@@ -291,8 +294,13 @@ mod tests {
 
         let mut c = client();
         let syn_frame = c.tcp_connect(svc.ip, svc.port);
-        let out = synjitsu.handle_frame(&mut xs, &svc.name, &syn_frame).unwrap();
-        assert!(out.is_empty(), "only one of proxy/unikernel may answer a packet");
+        let out = synjitsu
+            .handle_frame(&mut xs, &svc.name, &syn_frame)
+            .unwrap();
+        assert!(
+            out.is_empty(),
+            "only one of proxy/unikernel may answer a packet"
+        );
     }
 
     #[test]
@@ -301,7 +309,9 @@ mod tests {
         let mut synjitsu = Synjitsu::new();
         let mut c = client();
         let syn_frame = c.tcp_connect(service().ip, 80);
-        let out = synjitsu.handle_frame(&mut xs, "nobody.family.name", &syn_frame).unwrap();
+        let out = synjitsu
+            .handle_frame(&mut xs, "nobody.family.name", &syn_frame)
+            .unwrap();
         assert!(out.is_empty());
         assert_eq!(synjitsu.proxied_services(), 0);
     }
@@ -314,14 +324,21 @@ mod tests {
         synjitsu.start_proxying(&mut xs, &svc).unwrap();
 
         let mut c1 = client();
-        let mut c2 = Interface::new(MacAddr([2, 0, 0, 0, 0, 0x65]), Ipv4Addr::new(192, 168, 1, 101));
+        let mut c2 = Interface::new(
+            MacAddr([2, 0, 0, 0, 0, 0x65]),
+            Ipv4Addr::new(192, 168, 1, 101),
+        );
         c2.add_arp_entry(svc.ip, svc.mac());
         let f1 = c1.tcp_connect(svc.ip, svc.port);
         let f2 = c2.tcp_connect(svc.ip, svc.port);
         pump(&mut xs, &mut synjitsu, &mut c1, &svc.name, f1);
         pump(&mut xs, &mut synjitsu, &mut c2, &svc.name, f2);
-        let r1 = c1.tcp_send((svc.ip, svc.port), 49152, b"GET /a HTTP/1.1\r\n\r\n").unwrap();
-        let r2 = c2.tcp_send((svc.ip, svc.port), 49152, b"GET /b HTTP/1.1\r\n\r\n").unwrap();
+        let r1 = c1
+            .tcp_send((svc.ip, svc.port), 49152, b"GET /a HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let r2 = c2
+            .tcp_send((svc.ip, svc.port), 49152, b"GET /b HTTP/1.1\r\n\r\n")
+            .unwrap();
         pump(&mut xs, &mut synjitsu, &mut c1, &svc.name, r1);
         pump(&mut xs, &mut synjitsu, &mut c2, &svc.name, r2);
 

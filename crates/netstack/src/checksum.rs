@@ -62,7 +62,10 @@ mod tests {
     #[test]
     fn verify_detects_corruption() {
         // Build a fake header with its checksum inserted and verify it.
-        let mut header = vec![0x45, 0x00, 0x00, 0x54, 0x00, 0x00, 0x40, 0x00, 0x40, 0x01, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2];
+        let mut header = vec![
+            0x45, 0x00, 0x00, 0x54, 0x00, 0x00, 0x40, 0x00, 0x40, 0x01, 0, 0, 10, 0, 0, 1, 10, 0,
+            0, 2,
+        ];
         let c = checksum(&header);
         header[10..12].copy_from_slice(&c.to_be_bytes());
         assert!(verify(&header));

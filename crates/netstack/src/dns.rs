@@ -180,7 +180,11 @@ impl DnsMessage {
         for _ in 0..qdcount {
             let name = parse_name(buf, &mut pos)?;
             if pos + 4 > buf.len() {
-                return Err(NetError::Truncated { layer: "dns", needed: pos + 4, got: buf.len() });
+                return Err(NetError::Truncated {
+                    layer: "dns",
+                    needed: pos + 4,
+                    got: buf.len(),
+                });
             }
             let qtype = u16::from_be_bytes([buf[pos], buf[pos + 1]]);
             pos += 4; // type + class
@@ -190,14 +194,22 @@ impl DnsMessage {
         for _ in 0..ancount {
             let name = parse_name(buf, &mut pos)?;
             if pos + 10 > buf.len() {
-                return Err(NetError::Truncated { layer: "dns", needed: pos + 10, got: buf.len() });
+                return Err(NetError::Truncated {
+                    layer: "dns",
+                    needed: pos + 10,
+                    got: buf.len(),
+                });
             }
             let rtype = u16::from_be_bytes([buf[pos], buf[pos + 1]]);
             let ttl = u32::from_be_bytes([buf[pos + 4], buf[pos + 5], buf[pos + 6], buf[pos + 7]]);
             let rdlength = u16::from_be_bytes([buf[pos + 8], buf[pos + 9]]) as usize;
             pos += 10;
             if pos + rdlength > buf.len() {
-                return Err(NetError::Truncated { layer: "dns", needed: pos + rdlength, got: buf.len() });
+                return Err(NetError::Truncated {
+                    layer: "dns",
+                    needed: pos + rdlength,
+                    got: buf.len(),
+                });
             }
             if rtype == 1 && rdlength == 4 {
                 answers.push(Answer {
@@ -297,7 +309,10 @@ impl Zone {
     /// Look up a name.
     pub fn lookup(&self, name: &str) -> Option<Ipv4Addr> {
         let name = name.trim_matches('.');
-        self.records.iter().find(|(n, _)| n == name).map(|(_, a)| *a)
+        self.records
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, a)| *a)
     }
 
     /// True if the name falls within this zone.
@@ -389,7 +404,10 @@ mod tests {
         zone.add_record("bob.family.name", Ipv4Addr::new(192, 168, 1, 21));
         zone.add_record("alice.family.name", Ipv4Addr::new(192, 168, 1, 22)); // replace
         assert_eq!(zone.len(), 2);
-        assert_eq!(zone.lookup("alice.family.name"), Some(Ipv4Addr::new(192, 168, 1, 22)));
+        assert_eq!(
+            zone.lookup("alice.family.name"),
+            Some(Ipv4Addr::new(192, 168, 1, 22))
+        );
         assert!(zone.contains("anything.family.name"));
         assert!(zone.contains("family.name"));
         assert!(!zone.contains("example.com"));

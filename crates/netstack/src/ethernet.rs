@@ -99,7 +99,12 @@ pub struct EthernetFrame {
 
 impl EthernetFrame {
     /// Construct a frame.
-    pub fn new(dst: MacAddr, src: MacAddr, ethertype: EtherType, payload: Vec<u8>) -> EthernetFrame {
+    pub fn new(
+        dst: MacAddr,
+        src: MacAddr,
+        ethertype: EtherType,
+        payload: Vec<u8>,
+    ) -> EthernetFrame {
         EthernetFrame {
             dst,
             src,
@@ -172,7 +177,10 @@ mod tests {
     fn truncated_frame_rejected() {
         assert!(matches!(
             EthernetFrame::parse(&[0; 13]),
-            Err(NetError::Truncated { layer: "ethernet", .. })
+            Err(NetError::Truncated {
+                layer: "ethernet",
+                ..
+            })
         ));
         // Exactly a header with no payload is fine.
         let f = EthernetFrame::parse(&[0; 14]).unwrap();

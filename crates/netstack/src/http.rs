@@ -159,14 +159,15 @@ impl HttpResponse {
         let status_line = lines.next().unwrap_or_default();
         let mut parts = status_line.splitn(3, ' ');
         let version = parts.next().unwrap_or_default();
-        let status: u16 = parts
-            .next()
-            .unwrap_or_default()
-            .parse()
-            .map_err(|_| NetError::Malformed {
-                layer: "http",
-                what: format!("bad status line: {status_line:?}"),
-            })?;
+        let status: u16 =
+            parts
+                .next()
+                .unwrap_or_default()
+                .parse()
+                .map_err(|_| NetError::Malformed {
+                    layer: "http",
+                    what: format!("bad status line: {status_line:?}"),
+                })?;
         if !version.starts_with("HTTP/1.") {
             return Err(NetError::Malformed {
                 layer: "http",
@@ -241,9 +242,15 @@ mod tests {
         assert_eq!(parsed, resp);
         assert_eq!(parsed.status, 200);
         let nf = HttpResponse::not_found();
-        assert_eq!(HttpResponse::parse(&nf.emit()).unwrap().unwrap().status, 404);
+        assert_eq!(
+            HttpResponse::parse(&nf.emit()).unwrap().unwrap().status,
+            404
+        );
         let un = HttpResponse::unavailable();
-        assert_eq!(HttpResponse::parse(&un.emit()).unwrap().unwrap().status, 503);
+        assert_eq!(
+            HttpResponse::parse(&un.emit()).unwrap().unwrap().status,
+            503
+        );
     }
 
     #[test]
@@ -258,7 +265,10 @@ mod tests {
         // Same for responses.
         let resp = HttpResponse::ok(vec![0; 50]);
         let rbytes = resp.emit();
-        assert_eq!(HttpResponse::parse(&rbytes[..rbytes.len() - 1]).unwrap(), None);
+        assert_eq!(
+            HttpResponse::parse(&rbytes[..rbytes.len() - 1]).unwrap(),
+            None
+        );
     }
 
     #[test]

@@ -107,7 +107,11 @@ impl Interface {
     /// Start listening for TCP connections on a port.
     pub fn listen_tcp(&mut self, port: u16) {
         if !self.listeners.iter().any(|l| l.local_port == port) {
-            self.listeners.push(Listener::new(self.ip, port, self.isn_seed.wrapping_add(port as u32)));
+            self.listeners.push(Listener::new(
+                self.ip,
+                port,
+                self.isn_seed.wrapping_add(port as u32),
+            ));
         }
     }
 
@@ -130,7 +134,11 @@ impl Interface {
 
     /// Remove and return a connection (Synjitsu extracts connections here to
     /// serialise them for handoff).
-    pub fn extract_connection(&mut self, remote: (Ipv4Addr, u16), local_port: u16) -> Option<Connection> {
+    pub fn extract_connection(
+        &mut self,
+        remote: (Ipv4Addr, u16),
+        local_port: u16,
+    ) -> Option<Connection> {
         self.connections.remove(&(remote.0, remote.1, local_port))
     }
 
@@ -138,7 +146,11 @@ impl Interface {
     /// Synjitsu handoff). Also primes the ARP cache so replies can be sent
     /// without another resolution round trip.
     pub fn adopt_connection(&mut self, conn: Connection, remote_mac: MacAddr) {
-        let key = (conn.tcb.remote_ip, conn.tcb.remote_port, conn.tcb.local_port);
+        let key = (
+            conn.tcb.remote_ip,
+            conn.tcb.remote_port,
+            conn.tcb.local_port,
+        );
         self.arp_cache.insert(conn.tcb.remote_ip, remote_mac);
         self.connections.insert(key, conn);
     }
@@ -154,7 +166,13 @@ impl Interface {
 
     fn wrap_ip(&self, dst_ip: Ipv4Addr, protocol: Protocol, payload: Vec<u8>) -> Vec<u8> {
         let packet = Ipv4Packet::new(self.ip, dst_ip, protocol, payload);
-        EthernetFrame::new(self.lookup_mac(dst_ip), self.mac, EtherType::Ipv4, packet.emit()).emit()
+        EthernetFrame::new(
+            self.lookup_mac(dst_ip),
+            self.mac,
+            EtherType::Ipv4,
+            packet.emit(),
+        )
+        .emit()
     }
 
     /// Build an ARP who-has request frame for `ip`.
@@ -164,13 +182,25 @@ impl Interface {
     }
 
     /// Build an ICMP echo request frame (the Figure 8 client).
-    pub fn icmp_echo_request(&self, dst: Ipv4Addr, ident: u16, seq: u16, payload_len: usize) -> Vec<u8> {
+    pub fn icmp_echo_request(
+        &self,
+        dst: Ipv4Addr,
+        ident: u16,
+        seq: u16,
+        payload_len: usize,
+    ) -> Vec<u8> {
         let echo = IcmpEcho::request(ident, seq, vec![0x42; payload_len]);
         self.wrap_ip(dst, Protocol::Icmp, echo.emit())
     }
 
     /// Build a UDP datagram frame.
-    pub fn udp_send(&self, dst: Ipv4Addr, src_port: u16, dst_port: u16, payload: Vec<u8>) -> Vec<u8> {
+    pub fn udp_send(
+        &self,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: Vec<u8>,
+    ) -> Vec<u8> {
         let datagram = UdpDatagram::new(src_port, dst_port, payload);
         self.wrap_ip(dst, Protocol::Udp, datagram.emit(self.ip, dst))
     }
@@ -179,15 +209,25 @@ impl Interface {
     pub fn tcp_connect(&mut self, dst: Ipv4Addr, dst_port: u16) -> Vec<u8> {
         let local_port = self.next_ephemeral;
         self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(49152);
-        let isn = self.isn_seed.wrapping_add(local_port as u32).wrapping_mul(69069);
+        let isn = self
+            .isn_seed
+            .wrapping_add(local_port as u32)
+            .wrapping_mul(69069);
         let (conn, syn) = Connection::connect(self.ip, local_port, dst, dst_port, isn);
         self.connections.insert((dst, dst_port, local_port), conn);
         self.wrap_ip(dst, Protocol::Tcp, syn.emit(self.ip, dst))
     }
 
     /// Send data on an established connection; returns the frame.
-    pub fn tcp_send(&mut self, remote: (Ipv4Addr, u16), local_port: u16, data: &[u8]) -> Option<Vec<u8>> {
-        let conn = self.connections.get_mut(&(remote.0, remote.1, local_port))?;
+    pub fn tcp_send(
+        &mut self,
+        remote: (Ipv4Addr, u16),
+        local_port: u16,
+        data: &[u8],
+    ) -> Option<Vec<u8>> {
+        let conn = self
+            .connections
+            .get_mut(&(remote.0, remote.1, local_port))?;
         let seg = conn.send(data);
         let bytes = seg.emit(self.ip, remote.0);
         Some(self.wrap_ip(remote.0, Protocol::Tcp, bytes))
@@ -195,7 +235,9 @@ impl Interface {
 
     /// Close a connection; returns the FIN frame.
     pub fn tcp_close(&mut self, remote: (Ipv4Addr, u16), local_port: u16) -> Option<Vec<u8>> {
-        let conn = self.connections.get_mut(&(remote.0, remote.1, local_port))?;
+        let conn = self
+            .connections
+            .get_mut(&(remote.0, remote.1, local_port))?;
         let fin = conn.close();
         let bytes = fin.emit(self.ip, remote.0);
         Some(self.wrap_ip(remote.0, Protocol::Tcp, bytes))
@@ -218,8 +260,13 @@ impl Interface {
                     if arp.op == ArpOp::Request && arp.target_ip == self.ip {
                         let reply = ArpPacket::reply_to(&arp, self.mac);
                         out.push(
-                            EthernetFrame::new(arp.sender_mac, self.mac, EtherType::Arp, reply.emit())
-                                .emit(),
+                            EthernetFrame::new(
+                                arp.sender_mac,
+                                self.mac,
+                                EtherType::Arp,
+                                reply.emit(),
+                            )
+                            .emit(),
                         );
                     }
                 }
@@ -243,7 +290,12 @@ impl Interface {
         (out, events)
     }
 
-    fn handle_icmp(&mut self, packet: &Ipv4Packet, out: &mut Vec<Vec<u8>>, events: &mut Vec<IfaceEvent>) {
+    fn handle_icmp(
+        &mut self,
+        packet: &Ipv4Packet,
+        out: &mut Vec<Vec<u8>>,
+        events: &mut Vec<IfaceEvent>,
+    ) {
         if let Ok(echo) = IcmpEcho::parse(&packet.payload) {
             if echo.is_request {
                 let reply = echo.reply();
@@ -269,7 +321,12 @@ impl Interface {
         }
     }
 
-    fn handle_tcp(&mut self, packet: &Ipv4Packet, out: &mut Vec<Vec<u8>>, events: &mut Vec<IfaceEvent>) {
+    fn handle_tcp(
+        &mut self,
+        packet: &Ipv4Packet,
+        out: &mut Vec<Vec<u8>>,
+        events: &mut Vec<IfaceEvent>,
+    ) {
         let Ok(seg) = TcpSegment::parse(&packet.payload, packet.src, packet.dst) else {
             return;
         };
@@ -413,7 +470,12 @@ mod tests {
         assert!(events_server.is_empty());
         assert_eq!(events_client.len(), 1);
         match &events_client[0] {
-            IfaceEvent::IcmpEchoReply { src, ident, seq, payload_len } => {
+            IfaceEvent::IcmpEchoReply {
+                src,
+                ident,
+                seq,
+                payload_len,
+            } => {
                 assert_eq!(*src, SERVER_IP);
                 assert_eq!(*ident, 0x77);
                 assert_eq!(*seq, 3);
@@ -458,7 +520,9 @@ mod tests {
             .next()
             .map(|(_, _, lp)| *lp)
             .unwrap();
-        let frame = client.tcp_send(remote, local_port, b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        let frame = client
+            .tcp_send(remote, local_port, b"GET / HTTP/1.1\r\n\r\n")
+            .unwrap();
         let (_, events_server) = pump(&mut client, &mut server, vec![frame]);
         let data_event = events_server
             .iter()
@@ -506,8 +570,15 @@ mod tests {
         proxy.listen_tcp(80);
         let syn = client.tcp_connect(SERVER_IP, 80);
         pump(&mut client, &mut proxy, vec![syn]);
-        let local_port = client.connections.keys().next().map(|(_, _, lp)| *lp).unwrap();
-        let req = client.tcp_send((SERVER_IP, 80), local_port, b"GET /").unwrap();
+        let local_port = client
+            .connections
+            .keys()
+            .next()
+            .map(|(_, _, lp)| *lp)
+            .unwrap();
+        let req = client
+            .tcp_send((SERVER_IP, 80), local_port, b"GET /")
+            .unwrap();
         pump(&mut client, &mut proxy, vec![req]);
 
         let conn = proxy
@@ -533,7 +604,12 @@ mod tests {
         server.listen_tcp(80);
         let syn = client.tcp_connect(SERVER_IP, 80);
         pump(&mut client, &mut server, vec![syn]);
-        let local_port = client.connections.keys().next().map(|(_, _, lp)| *lp).unwrap();
+        let local_port = client
+            .connections
+            .keys()
+            .next()
+            .map(|(_, _, lp)| *lp)
+            .unwrap();
         let fin = client.tcp_close((SERVER_IP, 80), local_port).unwrap();
         let (_, events_server) = pump(&mut client, &mut server, vec![fin]);
         assert!(events_server

@@ -217,7 +217,10 @@ mod tests {
         let p = Ipv4Packet::new(SRC, DST, Protocol::Tcp, vec![0; 8]);
         let mut bytes = p.emit();
         bytes[15] ^= 0x01;
-        assert_eq!(Ipv4Packet::parse(&bytes), Err(NetError::BadChecksum("ipv4")));
+        assert_eq!(
+            Ipv4Packet::parse(&bytes),
+            Err(NetError::BadChecksum("ipv4"))
+        );
     }
 
     #[test]
@@ -259,7 +262,10 @@ mod tests {
 
     #[test]
     fn address_parsing_and_display() {
-        assert_eq!(Ipv4Addr::parse("192.168.1.20"), Some(Ipv4Addr::new(192, 168, 1, 20)));
+        assert_eq!(
+            Ipv4Addr::parse("192.168.1.20"),
+            Some(Ipv4Addr::new(192, 168, 1, 20))
+        );
         assert_eq!(Ipv4Addr::parse("1.2.3"), None);
         assert_eq!(Ipv4Addr::parse("1.2.3.4.5"), None);
         assert_eq!(Ipv4Addr::parse("1.2.3.x"), None);

@@ -63,7 +63,10 @@ impl std::fmt::Display for NetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NetError::Truncated { layer, needed, got } => {
-                write!(f, "{layer}: truncated packet (need {needed} bytes, got {got})")
+                write!(
+                    f,
+                    "{layer}: truncated packet (need {needed} bytes, got {got})"
+                )
             }
             NetError::BadChecksum(layer) => write!(f, "{layer}: checksum mismatch"),
             NetError::Malformed { layer, what } => write!(f, "{layer}: {what}"),

@@ -41,12 +41,17 @@ impl Listener {
     /// Handle an incoming SYN addressed to this listener. Returns the new
     /// half-open connection and the SYN-ACK to transmit. Non-SYN segments
     /// return `None` (the caller may send an RST).
-    pub fn on_syn(&mut self, remote_ip: Ipv4Addr, syn: &TcpSegment) -> Option<(Connection, TcpSegment)> {
+    pub fn on_syn(
+        &mut self,
+        remote_ip: Ipv4Addr,
+        syn: &TcpSegment,
+    ) -> Option<(Connection, TcpSegment)> {
         if !syn.flags.syn || syn.flags.ack || syn.dst_port != self.local_port {
             return None;
         }
         let isn = self.next_isn();
-        let mut tcb = Tcb::for_listener(self.local_ip, self.local_port, remote_ip, syn.src_port, isn);
+        let mut tcb =
+            Tcb::for_listener(self.local_ip, self.local_port, remote_ip, syn.src_port, isn);
         tcb.state = TcpState::SynReceived;
         tcb.rcv_nxt = syn.seq.wrapping_add(1);
         tcb.snd_nxt = isn.wrapping_add(1);
@@ -148,14 +153,19 @@ impl Connection {
                 if seg.flags.fin && seg.seq == self.tcb.rcv_nxt {
                     self.tcb.rcv_nxt = self.tcb.rcv_nxt.wrapping_add(1);
                     match self.tcb.state {
-                        TcpState::FinWait1 | TcpState::FinWait2 => self.tcb.state = TcpState::Closed,
+                        TcpState::FinWait1 | TcpState::FinWait2 => {
+                            self.tcb.state = TcpState::Closed
+                        }
                         _ => self.tcb.state = TcpState::CloseWait,
                     }
                     out.push(self.make_ack());
                 }
             }
             TcpState::CloseWait | TcpState::LastAck => {
-                if seg.flags.ack && seg.ack == self.tcb.snd_nxt && self.tcb.state == TcpState::LastAck {
+                if seg.flags.ack
+                    && seg.ack == self.tcb.snd_nxt
+                    && self.tcb.state == TcpState::LastAck
+                {
                     self.tcb.state = TcpState::Closed;
                 }
             }
@@ -262,7 +272,10 @@ mod tests {
         let acks = client.on_segment(&reply);
         assert_eq!(client.take_received(), b"HTTP/1.1 200 OK\r\n\r\nhello");
         server.on_segment(&acks[0]);
-        assert_eq!(server.tcb.snd_una, server.tcb.snd_nxt, "all data acknowledged");
+        assert_eq!(
+            server.tcb.snd_una, server.tcb.snd_nxt,
+            "all data acknowledged"
+        );
     }
 
     #[test]

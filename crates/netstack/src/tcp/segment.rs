@@ -114,7 +114,13 @@ pub struct TcpSegment {
 
 impl TcpSegment {
     /// Construct a segment with an empty payload.
-    pub fn control(src_port: u16, dst_port: u16, seq: u32, ack: u32, flags: TcpFlags) -> TcpSegment {
+    pub fn control(
+        src_port: u16,
+        dst_port: u16,
+        seq: u32,
+        ack: u32,
+        flags: TcpFlags,
+    ) -> TcpSegment {
         TcpSegment {
             src_port,
             dst_port,
@@ -241,7 +247,10 @@ mod tests {
         let mut bytes = seg.emit(SRC, DST);
         let last = bytes.len() - 1;
         bytes[last] ^= 0xff;
-        assert_eq!(TcpSegment::parse(&bytes, SRC, DST), Err(NetError::BadChecksum("tcp")));
+        assert_eq!(
+            TcpSegment::parse(&bytes, SRC, DST),
+            Err(NetError::BadChecksum("tcp"))
+        );
     }
 
     #[test]

@@ -117,7 +117,12 @@ impl Tcb {
 
     /// The connection 4-tuple `(local ip, local port, remote ip, remote port)`.
     pub fn four_tuple(&self) -> (Ipv4Addr, u16, Ipv4Addr, u16) {
-        (self.local_ip, self.local_port, self.remote_ip, self.remote_port)
+        (
+            self.local_ip,
+            self.local_port,
+            self.remote_ip,
+            self.remote_port,
+        )
     }
 
     /// Serialise to the XenStore handoff format: an s-expression-like record
@@ -172,7 +177,7 @@ fn hex_decode(s: &str) -> Option<Vec<u8>> {
     if s == "-" {
         return Some(Vec::new());
     }
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len())
@@ -271,7 +276,12 @@ mod tests {
         assert_eq!(t.snd_nxt, 999);
         assert_eq!(
             t.four_tuple(),
-            (Ipv4Addr::new(10, 0, 0, 2), 80, Ipv4Addr::new(10, 0, 0, 9), 4000)
+            (
+                Ipv4Addr::new(10, 0, 0, 2),
+                80,
+                Ipv4Addr::new(10, 0, 0, 9),
+                4000
+            )
         );
     }
 }

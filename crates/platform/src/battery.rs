@@ -82,11 +82,8 @@ mod tests {
         // A Cubieboard2 with Ethernet, mostly idle (logging the date once a
         // minute), on a typical power bank ran for 9 hours in the paper.
         let b = Battery::typical_power_bank();
-        let hours = b.runtime_hours_duty_cycle(
-            BoardKind::Cubieboard2,
-            &[PowerComponent::Ethernet],
-            0.05,
-        );
+        let hours =
+            b.runtime_hours_duty_cycle(BoardKind::Cubieboard2, &[PowerComponent::Ethernet], 0.05);
         assert!((7.0..16.0).contains(&hours), "hours={hours}");
         // Reported observation was 9h — our model must be the same order and
         // not wildly optimistic.

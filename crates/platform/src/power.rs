@@ -139,7 +139,12 @@ impl PowerModel {
     }
 
     /// Energy in joules consumed over `seconds` at a given state.
-    pub fn energy_joules(&self, state: PowerState, components: &[PowerComponent], seconds: f64) -> f64 {
+    pub fn energy_joules(
+        &self,
+        state: PowerState,
+        components: &[PowerComponent],
+        seconds: f64,
+    ) -> f64 {
         self.watts(state, components) * seconds.max(0.0)
     }
 }
@@ -157,12 +162,27 @@ mod tests {
         let m = PowerModel::for_board(BoardKind::Cubieboard2);
         assert!(close(m.watts(PowerState::Idle, &[]), 1.43));
         assert!(close(m.watts(PowerState::Spinning, &[]), 2.61));
-        assert!(close(m.watts(PowerState::Idle, &[PowerComponent::Ethernet]), 2.10));
-        assert!(close(m.watts(PowerState::Spinning, &[PowerComponent::Ethernet]), 2.58));
-        assert!(close(m.watts(PowerState::Idle, &[PowerComponent::Ssd]), 3.36));
-        assert!(close(m.watts(PowerState::Spinning, &[PowerComponent::Ssd]), 4.49));
         assert!(close(
-            m.watts(PowerState::Idle, &[PowerComponent::Ssd, PowerComponent::Ethernet]),
+            m.watts(PowerState::Idle, &[PowerComponent::Ethernet]),
+            2.10
+        ));
+        assert!(close(
+            m.watts(PowerState::Spinning, &[PowerComponent::Ethernet]),
+            2.58
+        ));
+        assert!(close(
+            m.watts(PowerState::Idle, &[PowerComponent::Ssd]),
+            3.36
+        ));
+        assert!(close(
+            m.watts(PowerState::Spinning, &[PowerComponent::Ssd]),
+            4.49
+        ));
+        assert!(close(
+            m.watts(
+                PowerState::Idle,
+                &[PowerComponent::Ssd, PowerComponent::Ethernet]
+            ),
             4.03
         ));
     }
@@ -172,8 +192,14 @@ mod tests {
         let m = PowerModel::for_board(BoardKind::Cubietruck);
         assert!(close(m.watts(PowerState::Idle, &[]), 1.72));
         assert!(close(m.watts(PowerState::Spinning, &[]), 2.86));
-        assert!(close(m.watts(PowerState::Idle, &[PowerComponent::Ethernet]), 2.58));
-        assert!(close(m.watts(PowerState::Spinning, &[PowerComponent::Ssd]), 5.51));
+        assert!(close(
+            m.watts(PowerState::Idle, &[PowerComponent::Ethernet]),
+            2.58
+        ));
+        assert!(close(
+            m.watts(PowerState::Spinning, &[PowerComponent::Ssd]),
+            5.51
+        ));
     }
 
     #[test]

@@ -168,7 +168,9 @@ mod tests {
         let mb = 1024 * 1024;
         let sd = StorageKind::SdCard.device().read_time(10 * mb, &mut r);
         let ssd = StorageKind::Ssd.device().read_time(10 * mb, &mut r);
-        let tmpfs = StorageKind::TmpfsLoopback.device().read_time(10 * mb, &mut r);
+        let tmpfs = StorageKind::TmpfsLoopback
+            .device()
+            .read_time(10 * mb, &mut r);
         assert!(sd > ssd, "SD card slower than SSD");
         assert!(ssd > tmpfs, "SSD slower than tmpfs");
         // 10 MB at 10 MB/s is about a second.
@@ -181,7 +183,10 @@ mod tests {
         let sd = StorageKind::SdCard.device();
         let read = sd.read_time(1024 * 1024, &mut r);
         let write = sd.write_time(1024 * 1024, &mut r);
-        assert!(write > read - SimDuration::from_millis(3), "writes should not be faster");
+        assert!(
+            write > read - SimDuration::from_millis(3),
+            "writes should not be faster"
+        );
     }
 
     #[test]
@@ -190,7 +195,10 @@ mod tests {
         let sd = StorageKind::SdCard.device();
         let one = sd.read_time(4096, &mut r);
         let many = sd.random_io_time(100, 4096, &mut r);
-        assert!(many > one * 50, "100 random ops must cost much more than one");
+        assert!(
+            many > one * 50,
+            "100 random ops must cost much more than one"
+        );
     }
 
     #[test]

@@ -84,40 +84,232 @@ const fn props(
 /// The 32 CVEs of Table 2, in the order the paper lists them.
 pub const CVE_DATASET: &[Cve] = &[
     // --- Embedded systems: protocol parser overflows in unsafe languages.
-    Cve { id: "CVE-2011-3992", description: "SSH overflow", component: Component::EmbeddedSystem, properties: props(true, true, true, true, true, true, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2012-1800", description: "DCP overflow", component: Component::EmbeddedSystem, properties: props(true, true, true, true, true, true, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2013-0659", description: "UDP overflow", component: Component::EmbeddedSystem, properties: props(true, true, true, true, true, true, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2013-1605", description: "HTTP overflow", component: Component::EmbeddedSystem, properties: props(true, true, true, true, true, true, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2013-2338", description: "SSO overflow", component: Component::EmbeddedSystem, properties: props(true, true, true, true, true, true, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2013-4977", description: "RTSP overflow", component: Component::EmbeddedSystem, properties: props(true, true, true, true, true, true, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2013-4980", description: "RTSP overflow", component: Component::EmbeddedSystem, properties: props(true, true, true, true, true, true, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2013-6343", description: "HTTP overflow", component: Component::EmbeddedSystem, properties: props(true, true, true, true, true, true, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2014-0355", description: "HTTP overflow", component: Component::EmbeddedSystem, properties: props(true, true, true, true, true, true, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2014-3936", description: "HNAP overflow", component: Component::EmbeddedSystem, properties: props(true, true, true, true, true, true, false), affects_jitsu_in_paper: false },
+    Cve {
+        id: "CVE-2011-3992",
+        description: "SSH overflow",
+        component: Component::EmbeddedSystem,
+        properties: props(true, true, true, true, true, true, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2012-1800",
+        description: "DCP overflow",
+        component: Component::EmbeddedSystem,
+        properties: props(true, true, true, true, true, true, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2013-0659",
+        description: "UDP overflow",
+        component: Component::EmbeddedSystem,
+        properties: props(true, true, true, true, true, true, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2013-1605",
+        description: "HTTP overflow",
+        component: Component::EmbeddedSystem,
+        properties: props(true, true, true, true, true, true, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2013-2338",
+        description: "SSO overflow",
+        component: Component::EmbeddedSystem,
+        properties: props(true, true, true, true, true, true, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2013-4977",
+        description: "RTSP overflow",
+        component: Component::EmbeddedSystem,
+        properties: props(true, true, true, true, true, true, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2013-4980",
+        description: "RTSP overflow",
+        component: Component::EmbeddedSystem,
+        properties: props(true, true, true, true, true, true, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2013-6343",
+        description: "HTTP overflow",
+        component: Component::EmbeddedSystem,
+        properties: props(true, true, true, true, true, true, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2014-0355",
+        description: "HTTP overflow",
+        component: Component::EmbeddedSystem,
+        properties: props(true, true, true, true, true, true, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2014-3936",
+        description: "HNAP overflow",
+        component: Component::EmbeddedSystem,
+        properties: props(true, true, true, true, true, true, false),
+        affects_jitsu_in_paper: false,
+    },
     // --- Linux kernel.
-    Cve { id: "CVE-2014-0077", description: "KVM overflow", component: Component::LinuxKernel, properties: props(false, false, true, true, true, false, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2014-0100", description: "IP fragmentation", component: Component::LinuxKernel, properties: props(false, true, false, true, false, false, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2014-0155", description: "KVM IOAPIC", component: Component::LinuxKernel, properties: props(false, false, false, true, false, false, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2014-0206", description: "AIO kernel mem", component: Component::LinuxKernel, properties: props(false, false, false, false, true, false, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2014-1690", description: "IRC netfilter", component: Component::LinuxKernel, properties: props(false, true, true, false, true, false, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2014-2309", description: "IPv6 routing mem", component: Component::LinuxKernel, properties: props(false, true, false, true, false, false, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2014-2672", description: "Atheros WLAN DoS", component: Component::LinuxKernel, properties: props(false, true, false, true, false, false, true), affects_jitsu_in_paper: true },
-    Cve { id: "CVE-2014-2706", description: "MAC 802.11 race", component: Component::LinuxKernel, properties: props(false, true, false, true, false, false, true), affects_jitsu_in_paper: true },
-    Cve { id: "CVE-2014-5206", description: "MNT NS bypass", component: Component::LinuxKernel, properties: props(false, false, false, false, true, false, false), affects_jitsu_in_paper: false },
-    Cve { id: "CVE-2014-5207", description: "MNT NS remount", component: Component::LinuxKernel, properties: props(false, false, false, true, true, false, false), affects_jitsu_in_paper: false },
+    Cve {
+        id: "CVE-2014-0077",
+        description: "KVM overflow",
+        component: Component::LinuxKernel,
+        properties: props(false, false, true, true, true, false, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2014-0100",
+        description: "IP fragmentation",
+        component: Component::LinuxKernel,
+        properties: props(false, true, false, true, false, false, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2014-0155",
+        description: "KVM IOAPIC",
+        component: Component::LinuxKernel,
+        properties: props(false, false, false, true, false, false, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2014-0206",
+        description: "AIO kernel mem",
+        component: Component::LinuxKernel,
+        properties: props(false, false, false, false, true, false, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2014-1690",
+        description: "IRC netfilter",
+        component: Component::LinuxKernel,
+        properties: props(false, true, true, false, true, false, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2014-2309",
+        description: "IPv6 routing mem",
+        component: Component::LinuxKernel,
+        properties: props(false, true, false, true, false, false, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2014-2672",
+        description: "Atheros WLAN DoS",
+        component: Component::LinuxKernel,
+        properties: props(false, true, false, true, false, false, true),
+        affects_jitsu_in_paper: true,
+    },
+    Cve {
+        id: "CVE-2014-2706",
+        description: "MAC 802.11 race",
+        component: Component::LinuxKernel,
+        properties: props(false, true, false, true, false, false, true),
+        affects_jitsu_in_paper: true,
+    },
+    Cve {
+        id: "CVE-2014-5206",
+        description: "MNT NS bypass",
+        component: Component::LinuxKernel,
+        properties: props(false, false, false, false, true, false, false),
+        affects_jitsu_in_paper: false,
+    },
+    Cve {
+        id: "CVE-2014-5207",
+        description: "MNT NS remount",
+        component: Component::LinuxKernel,
+        properties: props(false, false, false, true, true, false, false),
+        affects_jitsu_in_paper: false,
+    },
     // --- Xen on ARM.
-    Cve { id: "CVE-2014-2580", description: "Net disable mutex", component: Component::XenArm, properties: props(false, false, false, true, false, false, false), affects_jitsu_in_paper: true },
-    Cve { id: "CVE-2014-2915", description: "Processor control", component: Component::XenArm, properties: props(false, false, false, true, false, false, false), affects_jitsu_in_paper: true },
-    Cve { id: "CVE-2014-2986", description: "NULL deref in VGIC", component: Component::XenArm, properties: props(false, false, false, true, false, false, false), affects_jitsu_in_paper: true },
-    Cve { id: "CVE-2014-3125", description: "Timer context switch", component: Component::XenArm, properties: props(false, false, false, true, false, false, false), affects_jitsu_in_paper: true },
-    Cve { id: "CVE-2014-3714", description: "Kernel load overflow", component: Component::XenArm, properties: props(false, false, true, true, false, false, false), affects_jitsu_in_paper: true },
-    Cve { id: "CVE-2014-3715", description: "DTB append", component: Component::XenArm, properties: props(false, false, true, true, false, false, false), affects_jitsu_in_paper: true },
-    Cve { id: "CVE-2014-3716", description: "DTB alignment", component: Component::XenArm, properties: props(false, false, false, true, false, false, false), affects_jitsu_in_paper: true },
-    Cve { id: "CVE-2014-3717", description: "Kernel load overflow", component: Component::XenArm, properties: props(false, false, true, true, false, false, false), affects_jitsu_in_paper: true },
-    Cve { id: "CVE-2014-3969", description: "Vmem privs", component: Component::XenArm, properties: props(false, false, true, true, true, false, false), affects_jitsu_in_paper: true },
-    Cve { id: "CVE-2014-4021", description: "Dirty recovery", component: Component::XenArm, properties: props(false, false, false, false, true, false, false), affects_jitsu_in_paper: true },
-    Cve { id: "CVE-2014-4022", description: "Dirty init", component: Component::XenArm, properties: props(false, false, false, false, true, false, false), affects_jitsu_in_paper: true },
-    Cve { id: "CVE-2014-5147", description: "32-bit traps", component: Component::XenArm, properties: props(false, false, false, true, false, false, false), affects_jitsu_in_paper: true },
+    Cve {
+        id: "CVE-2014-2580",
+        description: "Net disable mutex",
+        component: Component::XenArm,
+        properties: props(false, false, false, true, false, false, false),
+        affects_jitsu_in_paper: true,
+    },
+    Cve {
+        id: "CVE-2014-2915",
+        description: "Processor control",
+        component: Component::XenArm,
+        properties: props(false, false, false, true, false, false, false),
+        affects_jitsu_in_paper: true,
+    },
+    Cve {
+        id: "CVE-2014-2986",
+        description: "NULL deref in VGIC",
+        component: Component::XenArm,
+        properties: props(false, false, false, true, false, false, false),
+        affects_jitsu_in_paper: true,
+    },
+    Cve {
+        id: "CVE-2014-3125",
+        description: "Timer context switch",
+        component: Component::XenArm,
+        properties: props(false, false, false, true, false, false, false),
+        affects_jitsu_in_paper: true,
+    },
+    Cve {
+        id: "CVE-2014-3714",
+        description: "Kernel load overflow",
+        component: Component::XenArm,
+        properties: props(false, false, true, true, false, false, false),
+        affects_jitsu_in_paper: true,
+    },
+    Cve {
+        id: "CVE-2014-3715",
+        description: "DTB append",
+        component: Component::XenArm,
+        properties: props(false, false, true, true, false, false, false),
+        affects_jitsu_in_paper: true,
+    },
+    Cve {
+        id: "CVE-2014-3716",
+        description: "DTB alignment",
+        component: Component::XenArm,
+        properties: props(false, false, false, true, false, false, false),
+        affects_jitsu_in_paper: true,
+    },
+    Cve {
+        id: "CVE-2014-3717",
+        description: "Kernel load overflow",
+        component: Component::XenArm,
+        properties: props(false, false, true, true, false, false, false),
+        affects_jitsu_in_paper: true,
+    },
+    Cve {
+        id: "CVE-2014-3969",
+        description: "Vmem privs",
+        component: Component::XenArm,
+        properties: props(false, false, true, true, true, false, false),
+        affects_jitsu_in_paper: true,
+    },
+    Cve {
+        id: "CVE-2014-4021",
+        description: "Dirty recovery",
+        component: Component::XenArm,
+        properties: props(false, false, false, false, true, false, false),
+        affects_jitsu_in_paper: true,
+    },
+    Cve {
+        id: "CVE-2014-4022",
+        description: "Dirty init",
+        component: Component::XenArm,
+        properties: props(false, false, false, false, true, false, false),
+        affects_jitsu_in_paper: true,
+    },
+    Cve {
+        id: "CVE-2014-5147",
+        description: "32-bit traps",
+        component: Component::XenArm,
+        properties: props(false, false, false, true, false, false, false),
+        affects_jitsu_in_paper: true,
+    },
 ];
 
 #[cfg(test)]
@@ -127,9 +319,18 @@ mod tests {
     #[test]
     fn dataset_has_thirty_two_rows_in_three_groups() {
         assert_eq!(CVE_DATASET.len(), 32);
-        let embedded = CVE_DATASET.iter().filter(|c| c.component == Component::EmbeddedSystem).count();
-        let linux = CVE_DATASET.iter().filter(|c| c.component == Component::LinuxKernel).count();
-        let xen = CVE_DATASET.iter().filter(|c| c.component == Component::XenArm).count();
+        let embedded = CVE_DATASET
+            .iter()
+            .filter(|c| c.component == Component::EmbeddedSystem)
+            .count();
+        let linux = CVE_DATASET
+            .iter()
+            .filter(|c| c.component == Component::LinuxKernel)
+            .count();
+        let xen = CVE_DATASET
+            .iter()
+            .filter(|c| c.component == Component::XenArm)
+            .count();
         assert_eq!(embedded, 10);
         assert_eq!(linux, 10);
         assert_eq!(xen, 12);
@@ -151,9 +352,16 @@ mod tests {
     fn embedded_rows_are_full_row_ticks() {
         // The top group of Table 2 has every column ticked: app-level,
         // remote, code execution, DoS and exposure.
-        for cve in CVE_DATASET.iter().filter(|c| c.component == Component::EmbeddedSystem) {
+        for cve in CVE_DATASET
+            .iter()
+            .filter(|c| c.component == Component::EmbeddedSystem)
+        {
             let p = cve.properties;
-            assert!(p.app && p.remote && p.execute && p.dos && p.exposure, "{}", cve.id);
+            assert!(
+                p.app && p.remote && p.execute && p.dos && p.exposure,
+                "{}",
+                cve.id
+            );
             assert!(p.unsafe_protocol_parsing);
         }
     }
@@ -161,9 +369,16 @@ mod tests {
     #[test]
     fn xen_rows_are_not_remotely_exploitable() {
         // §4: "none of these are exploitable remotely."
-        for cve in CVE_DATASET.iter().filter(|c| c.component == Component::XenArm) {
+        for cve in CVE_DATASET
+            .iter()
+            .filter(|c| c.component == Component::XenArm)
+        {
             assert!(!cve.properties.remote, "{}", cve.id);
-            assert!(cve.affects_jitsu_in_paper, "Xen bugs remain in the TCB: {}", cve.id);
+            assert!(
+                cve.affects_jitsu_in_paper,
+                "Xen bugs remain in the TCB: {}",
+                cve.id
+            );
         }
     }
 

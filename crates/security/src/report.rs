@@ -59,20 +59,27 @@ pub struct LayerSummary {
 
 /// Summarise the dataset per layer, in Table 2 group order.
 pub fn summary() -> Vec<LayerSummary> {
-    [Component::EmbeddedSystem, Component::LinuxKernel, Component::XenArm]
-        .into_iter()
-        .map(|component| {
-            let rows: Vec<&Cve> = CVE_DATASET.iter().filter(|c| c.component == component).collect();
-            let eliminated = rows.iter().filter(|c| eliminated_by_jitsu(c)).count();
-            LayerSummary {
-                component,
-                total: rows.len(),
-                eliminated,
-                remaining: rows.len() - eliminated,
-                remote: rows.iter().filter(|c| c.properties.remote).count(),
-            }
-        })
-        .collect()
+    [
+        Component::EmbeddedSystem,
+        Component::LinuxKernel,
+        Component::XenArm,
+    ]
+    .into_iter()
+    .map(|component| {
+        let rows: Vec<&Cve> = CVE_DATASET
+            .iter()
+            .filter(|c| c.component == component)
+            .collect();
+        let eliminated = rows.iter().filter(|c| eliminated_by_jitsu(c)).count();
+        LayerSummary {
+            component,
+            total: rows.len(),
+            eliminated,
+            remaining: rows.len() - eliminated,
+            remote: rows.iter().filter(|c| c.properties.remote).count(),
+        }
+    })
+    .collect()
 }
 
 #[cfg(test)]
@@ -123,7 +130,10 @@ mod tests {
         assert_eq!(s.total, 12);
         assert_eq!(s.eliminated, 0);
         assert_eq!(s.remaining, 12);
-        assert_eq!(s.remote, 0, "none of the Xen/ARM bugs are remotely exploitable");
+        assert_eq!(
+            s.remote, 0,
+            "none of the Xen/ARM bugs are remotely exploitable"
+        );
     }
 
     #[test]
@@ -131,6 +141,9 @@ mod tests {
         let eliminated: usize = summary().iter().map(|s| s.eliminated).sum();
         let total: usize = summary().iter().map(|s| s.total).sum();
         assert_eq!(total, 32);
-        assert!(eliminated * 2 > total, "Jitsu eliminates the majority ({eliminated}/{total})");
+        assert!(
+            eliminated * 2 > total,
+            "Jitsu eliminates the majority ({eliminated}/{total})"
+        );
     }
 }

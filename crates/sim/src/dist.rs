@@ -207,8 +207,12 @@ mod tests {
         let d = Distribution::normal_millis(100.0, 5.0);
         let mut r = rng();
         let n = 5_000;
-        let mean =
-            d.sample_n(&mut r, n).iter().map(|x| x.as_millis_f64()).sum::<f64>() / n as f64;
+        let mean = d
+            .sample_n(&mut r, n)
+            .iter()
+            .map(|x| x.as_millis_f64())
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 100.0).abs() < 1.0, "mean={mean}");
     }
 
@@ -237,8 +241,12 @@ mod tests {
         };
         let mut r = rng();
         let n = 10_000;
-        let mean =
-            d.sample_n(&mut r, n).iter().map(|x| x.as_millis_f64()).sum::<f64>() / n as f64;
+        let mean = d
+            .sample_n(&mut r, n)
+            .iter()
+            .map(|x| x.as_millis_f64())
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 10.0).abs() < 0.5, "mean={mean}");
     }
 

@@ -229,9 +229,7 @@ impl Cdf {
             return 0.0;
         }
         self.ensure_sorted();
-        let n = self
-            .samples
-            .partition_point(|&x| x <= value);
+        let n = self.samples.partition_point(|&x| x <= value);
         n as f64 / self.samples.len() as f64
     }
 

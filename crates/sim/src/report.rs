@@ -99,7 +99,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -256,8 +260,14 @@ mod tests {
     #[test]
     fn figure_renders_series_columns() {
         let mut f = Figure::new("Figure 3", "parallel sequences", "time (s)");
-        f.add_series(Series::from_points("C xenstored", [(50.0, 300.0), (100.0, 700.0)]));
-        f.add_series(Series::from_points("Jitsu xenstored", [(50.0, 50.0), (100.0, 100.0)]));
+        f.add_series(Series::from_points(
+            "C xenstored",
+            [(50.0, 300.0), (100.0, 700.0)],
+        ));
+        f.add_series(Series::from_points(
+            "Jitsu xenstored",
+            [(50.0, 50.0), (100.0, 100.0)],
+        ));
         let out = f.render();
         assert!(out.contains("Figure 3"));
         assert!(out.contains("C xenstored"));
@@ -284,7 +294,7 @@ mod tests {
     #[test]
     fn format_num_behaviour() {
         assert_eq!(format_num(3.0), "3");
-        assert_eq!(format_num(3.14159), "3.142");
+        assert_eq!(format_num(1.23456), "1.235");
         assert_eq!(format_num(-2.0), "-2");
     }
 }

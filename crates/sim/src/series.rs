@@ -28,7 +28,10 @@ impl Series {
     }
 
     /// Create a series from `(x, y)` tuples.
-    pub fn from_points(label: impl Into<String>, pts: impl IntoIterator<Item = (f64, f64)>) -> Series {
+    pub fn from_points(
+        label: impl Into<String>,
+        pts: impl IntoIterator<Item = (f64, f64)>,
+    ) -> Series {
         let mut s = Series::new(label);
         for (x, y) in pts {
             s.push(x, y);

@@ -325,7 +325,10 @@ mod tests {
             SimTime::MAX
         );
         let d = SimDuration::from_millis(1);
-        assert_eq!(d.saturating_sub(SimDuration::from_secs(1)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_secs(1)),
+            SimDuration::ZERO
+        );
         assert_eq!(
             SimDuration::MAX.saturating_add(SimDuration::from_secs(1)),
             SimDuration::MAX

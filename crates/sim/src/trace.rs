@@ -21,7 +21,13 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {:<12} {}", self.at.to_string(), self.component, self.message)
+        write!(
+            f,
+            "[{:>12}] {:<12} {}",
+            self.at.to_string(),
+            self.component,
+            self.message
+        )
     }
 }
 
@@ -125,7 +131,11 @@ mod tests {
     #[test]
     fn emit_and_query() {
         let mut t = Tracer::new();
-        t.emit(SimTime::from_millis(1), "jitsud", "DNS query for alice.family.name");
+        t.emit(
+            SimTime::from_millis(1),
+            "jitsud",
+            "DNS query for alice.family.name",
+        );
         t.emit(SimTime::from_millis(2), "synjitsu", "buffered SYN");
         t.emit(SimTime::from_millis(300), "unikernel", "handoff committed");
         assert_eq!(t.len(), 3);

@@ -135,7 +135,11 @@ mod tests {
     fn mirage_x86_boot_is_about_ten_ms() {
         let board = BoardKind::X86Server.board();
         let p = BootPipeline::for_image(ImageKind::MirageUnikernel, &board);
-        assert!((20..40).contains(&p.total().as_millis()), "total={}", p.total());
+        assert!(
+            (20..40).contains(&p.total().as_millis()),
+            "total={}",
+            p.total()
+        );
     }
 
     #[test]
@@ -143,7 +147,10 @@ mod tests {
         let board = BoardKind::Cubieboard2.board();
         let p = BootPipeline::for_image(ImageKind::LinuxVm, &board);
         let secs = p.total().as_secs_f64();
-        assert!((3.0..6.0).contains(&secs), "paper: 3-5 s Linux VM boot, got {secs}");
+        assert!(
+            (3.0..6.0).contains(&secs),
+            "paper: 3-5 s Linux VM boot, got {secs}"
+        );
         let mirage = BootPipeline::for_image(ImageKind::MirageUnikernel, &board);
         assert!(p.total() > mirage.total() * 10);
     }
@@ -164,7 +171,9 @@ mod tests {
 
     #[test]
     fn stage_labels_are_descriptive() {
-        for (stage, _) in BootPipeline::for_image(ImageKind::LinuxVm, &BoardKind::X86Server.board()).stages() {
+        for (stage, _) in
+            BootPipeline::for_image(ImageKind::LinuxVm, &BoardKind::X86Server.board()).stages()
+        {
             assert!(!stage.label().is_empty());
         }
         assert!(BootStage::AssemblerSetup.label().contains("MMU"));

@@ -87,7 +87,9 @@ impl Bridge {
 
     /// Detach a port, dropping its queue and learned addresses.
     pub fn detach(&mut self, port: PortId) -> Result<(), BridgeError> {
-        self.ports.remove(&port).ok_or(BridgeError::NoSuchPort(port))?;
+        self.ports
+            .remove(&port)
+            .ok_or(BridgeError::NoSuchPort(port))?;
         self.fdb.retain(|_, p| *p != port);
         Ok(())
     }
@@ -139,9 +141,18 @@ impl Bridge {
         // Learn the source address.
         self.fdb.insert(src, ingress);
         let is_broadcast = dst == [0xff; 6] || (dst[0] & 0x01) != 0;
-        let known = if is_broadcast { None } else { self.fdb.get(&dst).copied() };
+        let known = if is_broadcast {
+            None
+        } else {
+            self.fdb.get(&dst).copied()
+        };
         let mut delivered_to_known = false;
-        let targets: Vec<PortId> = self.ports.keys().copied().filter(|p| *p != ingress).collect();
+        let targets: Vec<PortId> = self
+            .ports
+            .keys()
+            .copied()
+            .filter(|p| *p != ingress)
+            .collect();
         for port in targets {
             let deliver = match known {
                 Some(k) if k == port => {
@@ -233,7 +244,8 @@ mod tests {
         let pa = br.attach("eth0");
         let pb = br.attach("vif1.0");
         let pc = br.attach("vif2.0");
-        br.transmit(pa, &frame(BCAST, MAC_A, b"arp who-has")).unwrap();
+        br.transmit(pa, &frame(BCAST, MAC_A, b"arp who-has"))
+            .unwrap();
         assert_eq!(br.pending(pa), 0);
         assert_eq!(br.pending(pb), 1);
         assert_eq!(br.pending(pc), 1);
@@ -276,10 +288,7 @@ mod tests {
     fn runt_frames_and_bad_ports_are_errors() {
         let mut br = Bridge::new();
         let pa = br.attach("eth0");
-        assert_eq!(
-            br.transmit(pa, &[1, 2, 3]),
-            Err(BridgeError::RuntFrame(3))
-        );
+        assert_eq!(br.transmit(pa, &[1, 2, 3]), Err(BridgeError::RuntFrame(3)));
         assert_eq!(
             br.transmit(PortId(99), &frame(MAC_A, MAC_B, b"")),
             Err(BridgeError::NoSuchPort(PortId(99)))

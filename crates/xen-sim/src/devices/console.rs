@@ -42,8 +42,18 @@ impl ConsoleDevice {
             .expect("fresh domain has grant capacity");
         let port = evtchn.alloc_unbound(dom, DomId::DOM0);
         let dir = frontend_path(dom, DeviceKind::Console, 0);
-        xs.write(DomId::DOM0, None, &format!("{dir}/ring-ref"), ring_ref.0.to_string().as_bytes())?;
-        xs.write(DomId::DOM0, None, &format!("{dir}/port"), port.0.to_string().as_bytes())?;
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{dir}/ring-ref"),
+            ring_ref.0.to_string().as_bytes(),
+        )?;
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{dir}/port"),
+            port.0.to_string().as_bytes(),
+        )?;
         xs.write(DomId::DOM0, None, &format!("{dir}/type"), b"xenconsoled")?;
         write_state(xs, DomId::DOM0, &dir, XenbusState::Initialised)?;
         Ok(ConsoleDevice {
@@ -105,16 +115,24 @@ mod tests {
         let console = ConsoleDevice::setup(&mut xs, &mut gt, &mut ec, DomId(5)).unwrap();
         let dir = frontend_path(DomId(5), DeviceKind::Console, 0);
         assert_eq!(
-            xs.read_string(DomId::DOM0, None, &format!("{dir}/ring-ref")).unwrap(),
+            xs.read_string(DomId::DOM0, None, &format!("{dir}/ring-ref"))
+                .unwrap(),
             console.ring_ref.0.to_string()
         );
         assert_eq!(
-            xs.read_string(DomId::DOM0, None, &format!("{dir}/port")).unwrap(),
+            xs.read_string(DomId::DOM0, None, &format!("{dir}/port"))
+                .unwrap(),
             console.port.0.to_string()
         );
-        assert_eq!(read_state(&mut xs, DomId::DOM0, &dir), XenbusState::Initialised);
+        assert_eq!(
+            read_state(&mut xs, DomId::DOM0, &dir),
+            XenbusState::Initialised
+        );
         console.mark_connected(&mut xs).unwrap();
-        assert_eq!(read_state(&mut xs, DomId::DOM0, &dir), XenbusState::Connected);
+        assert_eq!(
+            read_state(&mut xs, DomId::DOM0, &dir),
+            XenbusState::Connected
+        );
     }
 
     #[test]
@@ -131,7 +149,10 @@ mod tests {
         let mut console = ConsoleDevice::setup(&mut xs, &mut gt, &mut ec, DomId(5)).unwrap();
         console.guest_write(b"MirageOS booting...\n");
         console.guest_write(b"TCP/IP ready\n");
-        assert_eq!(console.buffered(), "MirageOS booting...\nTCP/IP ready\n".len());
+        assert_eq!(
+            console.buffered(),
+            "MirageOS booting...\nTCP/IP ready\n".len()
+        );
         let out = console.drain();
         assert!(out.starts_with(b"MirageOS"));
         assert_eq!(console.buffered(), 0);

@@ -92,7 +92,12 @@ impl XenbusState {
 /// The XenStore path of a device frontend directory:
 /// `/local/domain/<domid>/device/<kind>/<index>`.
 pub fn frontend_path(dom: DomId, kind: DeviceKind, index: u32) -> String {
-    format!("/local/domain/{}/device/{}/{}", dom.0, kind.dir_name(), index)
+    format!(
+        "/local/domain/{}/device/{}/{}",
+        dom.0,
+        kind.dir_name(),
+        index
+    )
 }
 
 /// The XenStore path of a device backend directory:
@@ -116,8 +121,18 @@ pub fn read_state(xs: &mut XenStore, reader: DomId, dir: &str) -> XenbusState {
 }
 
 /// Write an end's XenBus state key.
-pub fn write_state(xs: &mut XenStore, writer: DomId, dir: &str, state: XenbusState) -> XsResult<()> {
-    xs.write(writer, None, &format!("{dir}/state"), state.as_str().as_bytes())
+pub fn write_state(
+    xs: &mut XenStore,
+    writer: DomId,
+    dir: &str,
+    state: XenbusState,
+) -> XsResult<()> {
+    xs.write(
+        writer,
+        None,
+        &format!("{dir}/state"),
+        state.as_str().as_bytes(),
+    )
 }
 
 #[cfg(test)]
@@ -158,8 +173,14 @@ mod tests {
         let dir = frontend_path(DomId(5), DeviceKind::Vif, 0);
         assert_eq!(read_state(&mut xs, DomId::DOM0, &dir), XenbusState::Unknown);
         write_state(&mut xs, DomId::DOM0, &dir, XenbusState::Initialised).unwrap();
-        assert_eq!(read_state(&mut xs, DomId::DOM0, &dir), XenbusState::Initialised);
+        assert_eq!(
+            read_state(&mut xs, DomId::DOM0, &dir),
+            XenbusState::Initialised
+        );
         write_state(&mut xs, DomId::DOM0, &dir, XenbusState::Connected).unwrap();
-        assert_eq!(read_state(&mut xs, DomId::DOM0, &dir), XenbusState::Connected);
+        assert_eq!(
+            read_state(&mut xs, DomId::DOM0, &dir),
+            XenbusState::Connected
+        );
     }
 }

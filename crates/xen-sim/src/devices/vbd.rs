@@ -42,15 +42,32 @@ impl VbdDevice {
         index: u32,
         backing: StorageDevice,
     ) -> XsResult<VbdDevice> {
-        let ring = grants.grant(dom, DomId::DOM0, false).expect("grant capacity");
+        let ring = grants
+            .grant(dom, DomId::DOM0, false)
+            .expect("grant capacity");
         let port = evtchn.alloc_unbound(dom, DomId::DOM0);
         let fe = frontend_path(dom, DeviceKind::Vbd, index);
         let be = backend_path(DomId::DOM0, dom, DeviceKind::Vbd, index);
-        xs.write(DomId::DOM0, None, &format!("{fe}/ring-ref"), ring.0.to_string().as_bytes())?;
-        xs.write(DomId::DOM0, None, &format!("{fe}/event-channel"), port.0.to_string().as_bytes())?;
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{fe}/ring-ref"),
+            ring.0.to_string().as_bytes(),
+        )?;
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{fe}/event-channel"),
+            port.0.to_string().as_bytes(),
+        )?;
         xs.write(DomId::DOM0, None, &format!("{fe}/backend"), be.as_bytes())?;
         write_state(xs, DomId::DOM0, &fe, XenbusState::Initialised)?;
-        xs.write(DomId::DOM0, None, &format!("{be}/params"), backing.kind.label().as_bytes())?;
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{be}/params"),
+            backing.kind.label().as_bytes(),
+        )?;
         write_state(xs, DomId::DOM0, &be, XenbusState::Connected)?;
         write_state(xs, DomId::DOM0, &fe, XenbusState::Connected)?;
         Ok(VbdDevice {
@@ -105,7 +122,9 @@ mod tests {
         )
         .unwrap();
         let fe = frontend_path(DomId(5), DeviceKind::Vbd, 0);
-        assert!(xs.exists(DomId::DOM0, None, &format!("{fe}/ring-ref")).unwrap());
+        assert!(xs
+            .exists(DomId::DOM0, None, &format!("{fe}/ring-ref"))
+            .unwrap());
 
         let t_read = vbd.read(1024 * 1024, &mut rng);
         let t_write = vbd.write(512 * 1024, &mut rng);
@@ -120,8 +139,24 @@ mod tests {
         let mut gt = GrantTable::new();
         let mut ec = EventChannelTable::new();
         let mut rng = SimRng::seed_from_u64(4);
-        let mut sd = VbdDevice::setup(&mut xs, &mut gt, &mut ec, DomId(5), 0, StorageKind::SdCard.device()).unwrap();
-        let mut ssd = VbdDevice::setup(&mut xs, &mut gt, &mut ec, DomId(6), 0, StorageKind::Ssd.device()).unwrap();
+        let mut sd = VbdDevice::setup(
+            &mut xs,
+            &mut gt,
+            &mut ec,
+            DomId(5),
+            0,
+            StorageKind::SdCard.device(),
+        )
+        .unwrap();
+        let mut ssd = VbdDevice::setup(
+            &mut xs,
+            &mut gt,
+            &mut ec,
+            DomId(6),
+            0,
+            StorageKind::Ssd.device(),
+        )
+        .unwrap();
         let t_sd = sd.read(4 * 1024 * 1024, &mut rng);
         let t_ssd = ssd.read(4 * 1024 * 1024, &mut rng);
         assert!(t_sd > t_ssd);

@@ -61,8 +61,12 @@ impl VifDevice {
         index: u32,
     ) -> XsResult<VifDevice> {
         let mac = Self::mac_for(dom, index);
-        let tx_ring = grants.grant(dom, DomId::DOM0, false).expect("grant capacity");
-        let rx_ring = grants.grant(dom, DomId::DOM0, false).expect("grant capacity");
+        let tx_ring = grants
+            .grant(dom, DomId::DOM0, false)
+            .expect("grant capacity");
+        let rx_ring = grants
+            .grant(dom, DomId::DOM0, false)
+            .expect("grant capacity");
         let port = evtchn.alloc_unbound(dom, DomId::DOM0);
 
         let fe = frontend_path(dom, DeviceKind::Vif, index);
@@ -74,9 +78,24 @@ impl VifDevice {
 
         xs.write(DomId::DOM0, None, &format!("{fe}/mac"), mac_str.as_bytes())?;
         xs.write(DomId::DOM0, None, &format!("{fe}/backend"), be.as_bytes())?;
-        xs.write(DomId::DOM0, None, &format!("{fe}/tx-ring-ref"), tx_ring.0.to_string().as_bytes())?;
-        xs.write(DomId::DOM0, None, &format!("{fe}/rx-ring-ref"), rx_ring.0.to_string().as_bytes())?;
-        xs.write(DomId::DOM0, None, &format!("{fe}/event-channel"), port.0.to_string().as_bytes())?;
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{fe}/tx-ring-ref"),
+            tx_ring.0.to_string().as_bytes(),
+        )?;
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{fe}/rx-ring-ref"),
+            rx_ring.0.to_string().as_bytes(),
+        )?;
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{fe}/event-channel"),
+            port.0.to_string().as_bytes(),
+        )?;
         write_state(xs, DomId::DOM0, &fe, XenbusState::Initialised)?;
 
         xs.write(DomId::DOM0, None, &format!("{be}/frontend"), fe.as_bytes())?;
@@ -195,16 +214,24 @@ mod tests {
         let vif = VifDevice::setup(&mut xs, &mut gt, &mut ec, DomId(5), 0).unwrap();
         let fe = frontend_path(DomId(5), DeviceKind::Vif, 0);
         let be = backend_path(DomId::DOM0, DomId(5), DeviceKind::Vif, 0);
-        assert!(xs.read_string(DomId::DOM0, None, &format!("{fe}/mac")).unwrap().contains(':'));
+        assert!(xs
+            .read_string(DomId::DOM0, None, &format!("{fe}/mac"))
+            .unwrap()
+            .contains(':'));
         assert_eq!(
-            xs.read_string(DomId::DOM0, None, &format!("{fe}/backend")).unwrap(),
+            xs.read_string(DomId::DOM0, None, &format!("{fe}/backend"))
+                .unwrap(),
             be
         );
         assert_eq!(
-            xs.read_string(DomId::DOM0, None, &format!("{be}/bridge")).unwrap(),
+            xs.read_string(DomId::DOM0, None, &format!("{be}/bridge"))
+                .unwrap(),
             "xenbr0"
         );
-        assert_eq!(read_state(&mut xs, DomId::DOM0, &fe), XenbusState::Initialised);
+        assert_eq!(
+            read_state(&mut xs, DomId::DOM0, &fe),
+            XenbusState::Initialised
+        );
         assert_eq!(read_state(&mut xs, DomId::DOM0, &be), XenbusState::InitWait);
         assert!(!vif.is_connected(&mut xs));
         assert_ne!(vif.tx_ring, vif.rx_ring);
@@ -214,7 +241,8 @@ mod tests {
     fn backend_connect_attaches_to_bridge_and_connects_both_ends() {
         let (mut xs, mut gt, mut ec, mut br) = env();
         let mut vif = VifDevice::setup(&mut xs, &mut gt, &mut ec, DomId(5), 0).unwrap();
-        vif.backend_connect(&mut xs, &mut gt, &mut ec, &mut br).unwrap();
+        vif.backend_connect(&mut xs, &mut gt, &mut ec, &mut br)
+            .unwrap();
         assert!(vif.is_connected(&mut xs));
         assert_eq!(br.port_count(), 1);
         assert_eq!(br.port_name(vif.bridge_port.unwrap()), Some("vif5.0"));
@@ -226,7 +254,8 @@ mod tests {
     fn close_detaches_from_bridge() {
         let (mut xs, mut gt, mut ec, mut br) = env();
         let mut vif = VifDevice::setup(&mut xs, &mut gt, &mut ec, DomId(5), 0).unwrap();
-        vif.backend_connect(&mut xs, &mut gt, &mut ec, &mut br).unwrap();
+        vif.backend_connect(&mut xs, &mut gt, &mut ec, &mut br)
+            .unwrap();
         vif.close(&mut xs, &mut br).unwrap();
         assert_eq!(br.port_count(), 0);
         assert!(vif.bridge_port.is_none());

@@ -103,17 +103,21 @@ impl DomainBuilder {
 
     /// Build a domain: assign and zero memory, load the kernel, write the
     /// FDT and advance the domain to [`DomainState::Built`].
-    pub fn build(&mut self, domain: &mut Domain, config: &DomainConfig) -> Result<BuildReport, BuildError> {
+    pub fn build(
+        &mut self,
+        domain: &mut Domain,
+        config: &DomainConfig,
+    ) -> Result<BuildReport, BuildError> {
         if domain.state != DomainState::Created {
             return Err(BuildError::WrongState(domain.state));
         }
-        let zeroing = self
-            .allocator
-            .assign(domain.id, config.memory_mib)
-            .ok_or(BuildError::OutOfMemory {
-                requested_mib: config.memory_mib,
-                available_mib: self.allocator.free_mib(),
-            })?;
+        let zeroing =
+            self.allocator
+                .assign(domain.id, config.memory_mib)
+                .ok_or(BuildError::OutOfMemory {
+                    requested_mib: config.memory_mib,
+                    available_mib: self.allocator.free_mib(),
+                })?;
 
         let ram_bytes = config.memory_mib as u64 * 1024 * 1024;
         let layout = MemoryLayout::mirage_arm(ram_bytes.min(u32::MAX as u64) as u32);
@@ -167,7 +171,11 @@ mod tests {
         let report = b.build(&mut dom, &config).unwrap();
         assert_eq!(dom.state, DomainState::Built);
         // 16 MiB of zeroing plus small fixed costs: a few tens of ms on ARM.
-        assert!((25..70).contains(&report.total().as_millis()), "total={}", report.total());
+        assert!(
+            (25..70).contains(&report.total().as_millis()),
+            "total={}",
+            report.total()
+        );
         assert!(report.zeroing > report.kernel_load);
         assert!(report.fdt_bytes > 0);
         assert!(report.layout.region_order_is_valid());
@@ -208,7 +216,10 @@ mod tests {
         let cfg = DomainConfig::linux_vm("second").with_memory_mib(700);
         let mut second = Domain::new(DomId(2), cfg.clone());
         match b.build(&mut second, &cfg) {
-            Err(BuildError::OutOfMemory { requested_mib, available_mib }) => {
+            Err(BuildError::OutOfMemory {
+                requested_mib,
+                available_mib,
+            }) => {
                 assert_eq!(requested_mib, 700);
                 assert!(available_mib < 700);
             }

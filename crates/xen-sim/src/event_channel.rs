@@ -153,7 +153,12 @@ impl EventChannelTable {
     }
 
     /// Mask or unmask a port (masked ports do not receive notifications).
-    pub fn set_masked(&mut self, dom: DomId, port: Port, masked: bool) -> Result<(), EventChannelError> {
+    pub fn set_masked(
+        &mut self,
+        dom: DomId,
+        port: Port,
+        masked: bool,
+    ) -> Result<(), EventChannelError> {
         let chan = self
             .channels
             .get_mut(&(dom, port))
@@ -212,7 +217,9 @@ mod tests {
 
     fn connected_pair(table: &mut EventChannelTable) -> (Port, Port) {
         let server_port = table.alloc_unbound(DomId(3), DomId(7));
-        let client_port = table.bind_interdomain(DomId(7), DomId(3), server_port).unwrap();
+        let client_port = table
+            .bind_interdomain(DomId(7), DomId(3), server_port)
+            .unwrap();
         (server_port, client_port)
     }
 
@@ -268,14 +275,20 @@ mod tests {
     #[test]
     fn bad_ports_are_errors() {
         let mut t = EventChannelTable::new();
-        assert!(matches!(t.notify(DomId(1), Port(9)), Err(EventChannelError::BadPort(_))));
+        assert!(matches!(
+            t.notify(DomId(1), Port(9)),
+            Err(EventChannelError::BadPort(_))
+        ));
         assert!(matches!(
             t.bind_interdomain(DomId(1), DomId(2), Port(9)),
             Err(EventChannelError::BadPort(_))
         ));
         let unbound = t.alloc_unbound(DomId(1), DomId(2));
         // Notifying an unbound port is an error.
-        assert!(matches!(t.notify(DomId(1), unbound), Err(EventChannelError::NotBindable)));
+        assert!(matches!(
+            t.notify(DomId(1), unbound),
+            Err(EventChannelError::NotBindable)
+        ));
     }
 
     #[test]
@@ -283,7 +296,10 @@ mod tests {
         let mut t = EventChannelTable::new();
         let (sp, cp) = connected_pair(&mut t);
         t.close(DomId(3), sp).unwrap();
-        assert!(matches!(t.notify(DomId(7), cp), Err(EventChannelError::NotBindable)));
+        assert!(matches!(
+            t.notify(DomId(7), cp),
+            Err(EventChannelError::NotBindable)
+        ));
         assert_eq!(t.ports_of(DomId(3)), 0);
         assert_eq!(t.ports_of(DomId(7)), 0);
     }
@@ -293,7 +309,10 @@ mod tests {
         let mut t = EventChannelTable::new();
         let (_sp, cp) = connected_pair(&mut t);
         t.domain_destroyed(DomId(3));
-        assert!(matches!(t.notify(DomId(7), cp), Err(EventChannelError::NotBindable)));
+        assert!(matches!(
+            t.notify(DomId(7), cp),
+            Err(EventChannelError::NotBindable)
+        ));
         assert_eq!(t.ports_of(DomId(3)), 0);
     }
 

@@ -54,7 +54,11 @@ impl FdtNode {
 
     /// Total number of nodes in this subtree.
     pub fn node_count(&self) -> usize {
-        1 + self.children.values().map(FdtNode::node_count).sum::<usize>()
+        1 + self
+            .children
+            .values()
+            .map(FdtNode::node_count)
+            .sum::<usize>()
     }
 }
 
@@ -191,8 +195,8 @@ fn decode_node(buf: &[u8], pos: &mut usize) -> Option<(String, FdtNode)> {
     let name = String::from_utf8_lossy(read_bytes(buf, pos, name_len)?).into_owned();
     let mut node = FdtNode::default();
     loop {
-        match buf.get(*pos)? {
-            &TAG_PROP => {
+        match *buf.get(*pos)? {
+            TAG_PROP => {
                 *pos += 1;
                 let pname_len = read_u32(buf, pos)? as usize;
                 let pname = String::from_utf8_lossy(read_bytes(buf, pos, pname_len)?).into_owned();
@@ -200,11 +204,11 @@ fn decode_node(buf: &[u8], pos: &mut usize) -> Option<(String, FdtNode)> {
                 let value = read_bytes(buf, pos, vlen)?.to_vec();
                 node.properties.insert(pname, value);
             }
-            &TAG_BEGIN_NODE => {
+            TAG_BEGIN_NODE => {
                 let (cname, child) = decode_node(buf, pos)?;
                 node.children.insert(cname, child);
             }
-            &TAG_END_NODE => {
+            TAG_END_NODE => {
                 *pos += 1;
                 return Some((name, node));
             }
@@ -237,8 +241,20 @@ mod tests {
         b.set_str("/chosen", "bootargs", "console=hvc0");
         b.set_u64("/memory", "reg-size", 16 * 1024 * 1024);
         let root = b.build();
-        assert_eq!(root.find("chosen").unwrap().property_str("bootargs").unwrap(), "console=hvc0");
-        assert_eq!(root.find("memory").unwrap().property_u64("reg-size").unwrap(), 16 * 1024 * 1024);
+        assert_eq!(
+            root.find("chosen")
+                .unwrap()
+                .property_str("bootargs")
+                .unwrap(),
+            "console=hvc0"
+        );
+        assert_eq!(
+            root.find("memory")
+                .unwrap()
+                .property_u64("reg-size")
+                .unwrap(),
+            16 * 1024 * 1024
+        );
         assert!(root.find("missing").is_none());
         assert_eq!(root.node_count(), 3);
     }
@@ -253,12 +269,19 @@ mod tests {
         let hyp = fdt.find("hypervisor").unwrap();
         assert_eq!(hyp.property_u64("xenstore-evtchn").unwrap(), 1);
         assert_eq!(hyp.property_u64("console-evtchn").unwrap(), 2);
-        assert_eq!(fdt.find("chosen").unwrap().property_str("bootargs").unwrap(), "jitsu=1");
+        assert_eq!(
+            fdt.find("chosen")
+                .unwrap()
+                .property_str("bootargs")
+                .unwrap(),
+            "jitsu=1"
+        );
     }
 
     #[test]
     fn encode_decode_round_trip() {
-        let fdt = FdtBuilder::standard_guest(0x4000_0000, 256 << 20, "root=/dev/xvda1", 3, 4).build();
+        let fdt =
+            FdtBuilder::standard_guest(0x4000_0000, 256 << 20, "root=/dev/xvda1", 3, 4).build();
         let bytes = encode(&fdt);
         let decoded = decode(&bytes).unwrap();
         assert_eq!(decoded, fdt);
@@ -281,7 +304,11 @@ mod tests {
         let root = b.build();
         assert_eq!(root.property_u64("name"), None, "string is not a u64 cell");
         assert_eq!(root.property("missing"), None);
-        assert_eq!(root.property("name").unwrap().last(), Some(&0u8), "NUL terminated");
+        assert_eq!(
+            root.property("name").unwrap().last(),
+            Some(&0u8),
+            "NUL terminated"
+        );
     }
 
     #[test]

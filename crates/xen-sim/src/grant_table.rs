@@ -79,7 +79,12 @@ impl GrantTable {
     }
 
     /// Grant `peer` access to a fresh shared page owned by `granter`.
-    pub fn grant(&mut self, granter: DomId, peer: DomId, readonly: bool) -> Result<GrantRef, GrantError> {
+    pub fn grant(
+        &mut self,
+        granter: DomId,
+        peer: DomId,
+        readonly: bool,
+    ) -> Result<GrantRef, GrantError> {
         if self.grants_of(granter) as u32 >= self.max_per_domain {
             return Err(GrantError::TableFull);
         }
@@ -216,7 +221,8 @@ mod tests {
         let mut gt = GrantTable::new();
         let gref = gt.grant(DomId(3), DomId(7), false).unwrap();
         gt.map(DomId(3), gref, DomId(7)).unwrap();
-        gt.write_page(DomId(3), gref, DomId(7), 0, b"hello from dom7").unwrap();
+        gt.write_page(DomId(3), gref, DomId(7), 0, b"hello from dom7")
+            .unwrap();
         let data = gt.read_page(DomId(3), gref, DomId(3), 0, 15).unwrap();
         assert_eq!(&data, b"hello from dom7");
         gt.unmap(DomId(3), gref).unwrap();
@@ -258,7 +264,10 @@ mod tests {
         let mut gt = GrantTable::new();
         let gref = gt.grant(DomId(3), DomId(7), false).unwrap();
         gt.map(DomId(3), gref, DomId(7)).unwrap();
-        assert_eq!(gt.revoke(DomId(3), gref), Err(GrantError::StillMapped(gref)));
+        assert_eq!(
+            gt.revoke(DomId(3), gref),
+            Err(GrantError::StillMapped(gref))
+        );
         gt.unmap(DomId(3), gref).unwrap();
         assert!(gt.revoke(DomId(3), gref).is_ok());
     }
@@ -282,7 +291,10 @@ mod tests {
         let mut gt = GrantTable::with_capacity(2);
         gt.grant(DomId(3), DomId(7), false).unwrap();
         gt.grant(DomId(3), DomId(7), false).unwrap();
-        assert_eq!(gt.grant(DomId(3), DomId(7), false), Err(GrantError::TableFull));
+        assert_eq!(
+            gt.grant(DomId(3), DomId(7), false),
+            Err(GrantError::TableFull)
+        );
         // Another domain has its own budget.
         assert!(gt.grant(DomId(4), DomId(7), false).is_ok());
     }

@@ -151,7 +151,9 @@ mod tests {
     fn sampled_durations_are_near_the_mean() {
         let board = BoardKind::Cubieboard2.board();
         let mut rng = SimRng::seed_from_u64(7);
-        let mean = HotplugStyle::BashScript.mean_duration(&board).as_millis_f64();
+        let mean = HotplugStyle::BashScript
+            .mean_duration(&board)
+            .as_millis_f64();
         for _ in 0..100 {
             let d = HotplugStyle::BashScript
                 .sample_duration(&board, &mut rng)

@@ -252,7 +252,10 @@ mod tests {
         let pa = PageAllocator::new(1024, 70.0);
         let t16 = pa.zeroing_time_mib(16);
         let t256 = pa.zeroing_time_mib(256);
-        assert!(t256 > t16 * 15 && t256 < t16 * 17, "zeroing is linear in pages");
+        assert!(
+            t256 > t16 * 15 && t256 < t16 * 17,
+            "zeroing is linear in pages"
+        );
     }
 
     #[test]

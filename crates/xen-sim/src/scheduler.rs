@@ -96,7 +96,9 @@ impl CreditScheduler {
             let share = share.min(duration);
             self.vcpus[i].ran += share;
             self.vcpus[i].credit += share.as_micros() as i64;
-            *granted.entry(self.vcpus[i].dom).or_insert(SimDuration::ZERO) += share;
+            *granted
+                .entry(self.vcpus[i].dom)
+                .or_insert(SimDuration::ZERO) += share;
         }
         granted
     }

@@ -240,14 +240,24 @@ impl Toolstack {
         let home = format!("/local/domain/{}", dom.0);
         self.xenstore
             .with_transaction(DomId::DOM0, 8, |xs, t| {
-                xs.write(DomId::DOM0, Some(t), &format!("{home}/name"), config.name.as_bytes())?;
+                xs.write(
+                    DomId::DOM0,
+                    Some(t),
+                    &format!("{home}/name"),
+                    config.name.as_bytes(),
+                )?;
                 xs.write(
                     DomId::DOM0,
                     Some(t),
                     &format!("{home}/memory/target"),
                     (config.memory_mib as u64 * 1024).to_string().as_bytes(),
                 )?;
-                xs.write(DomId::DOM0, Some(t), &format!("{home}/vm"), format!("/vm/{}", dom.0).as_bytes())?;
+                xs.write(
+                    DomId::DOM0,
+                    Some(t),
+                    &format!("{home}/vm"),
+                    format!("/vm/{}", dom.0).as_bytes(),
+                )?;
                 Ok(())
             })
             .map_err(ToolstackError::Store)?;
@@ -394,7 +404,10 @@ mod tests {
         let ms = report.total.as_millis();
         assert!((550..750).contains(&ms), "total={ms}ms");
         assert!(!report.parallelised);
-        assert!(report.vif_hotplug > report.build.total(), "bash hotplug dominates");
+        assert!(
+            report.vif_hotplug > report.build.total(),
+            "bash hotplug dominates"
+        );
     }
 
     #[test]
@@ -455,7 +468,10 @@ mod tests {
     fn create_populates_xenstore_and_bridge() {
         let mut ts = arm_toolstack();
         let report = ts
-            .create_domain(DomainConfig::unikernel("http_server"), BootOptimisations::jitsu())
+            .create_domain(
+                DomainConfig::unikernel("http_server"),
+                BootOptimisations::jitsu(),
+            )
             .unwrap();
         let dom = report.dom;
         assert_eq!(
@@ -486,7 +502,11 @@ mod tests {
         assert!(ts.domain(report.dom).is_none());
         assert!(!ts
             .xenstore
-            .exists(DomId::DOM0, None, &format!("/local/domain/{}", report.dom.0))
+            .exists(
+                DomId::DOM0,
+                None,
+                &format!("/local/domain/{}", report.dom.0)
+            )
             .unwrap());
         assert_eq!(
             ts.destroy(report.dom),

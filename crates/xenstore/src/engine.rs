@@ -61,7 +61,11 @@ pub enum EngineKind {
 
 impl EngineKind {
     /// All engine kinds, in the order the paper's Figure 3 legend lists them.
-    pub const ALL: [EngineKind; 3] = [EngineKind::Serial, EngineKind::Merge, EngineKind::JitsuMerge];
+    pub const ALL: [EngineKind; 3] = [
+        EngineKind::Serial,
+        EngineKind::Merge,
+        EngineKind::JitsuMerge,
+    ];
 
     /// The label used in Figure 3.
     pub fn label(self) -> &'static str {
@@ -249,7 +253,8 @@ mod tests {
     /// interleaving produced by parallel VM starts.
     fn parallel_domain_build() -> (Tree, Transaction) {
         let mut live = Tree::new();
-        live.write(DomId::DOM0, &p("/local/domain/0/name"), b"dom0").unwrap();
+        live.write(DomId::DOM0, &p("/local/domain/0/name"), b"dom0")
+            .unwrap();
 
         let mut txn = Transaction::begin(1, DomId::DOM0, &live);
         txn.apply(TxnOp::Write {
@@ -264,8 +269,10 @@ mod tests {
         .unwrap();
 
         // Meanwhile another toolstack thread commits domain 6.
-        live.write(DomId::DOM0, &p("/local/domain/6/name"), b"unikernel-6").unwrap();
-        live.write(DomId::DOM0, &p("/local/domain/6/device/vif/0/state"), b"1").unwrap();
+        live.write(DomId::DOM0, &p("/local/domain/6/name"), b"unikernel-6")
+            .unwrap();
+        live.write(DomId::DOM0, &p("/local/domain/6/device/vif/0/state"), b"1")
+            .unwrap();
         (live, txn)
     }
 
@@ -273,7 +280,10 @@ mod tests {
     fn serial_engine_aborts_on_any_concurrent_commit() {
         let (live, txn) = parallel_domain_build();
         let engine = SerialEngine;
-        assert!(matches!(engine.reconcile(&live, &txn), Reconcile::Conflict { .. }));
+        assert!(matches!(
+            engine.reconcile(&live, &txn),
+            Reconcile::Conflict { .. }
+        ));
         assert_eq!(engine.kind(), EngineKind::Serial);
     }
 
@@ -281,7 +291,11 @@ mod tests {
     fn serial_engine_commits_when_no_interleaving() {
         let live = Tree::new();
         let mut txn = Transaction::begin(1, DomId::DOM0, &live);
-        txn.apply(TxnOp::Write { path: p("/a"), value: vec![1] }).unwrap();
+        txn.apply(TxnOp::Write {
+            path: p("/a"),
+            value: vec![1],
+        })
+        .unwrap();
         assert_eq!(SerialEngine.reconcile(&live, &txn), Reconcile::Commit);
     }
 
@@ -309,9 +323,14 @@ mod tests {
         let mut live = Tree::new();
         live.write(DomId::DOM0, &p("/state"), b"a").unwrap();
         let mut txn = Transaction::begin(1, DomId::DOM0, &live);
-        txn.apply(TxnOp::Write { path: p("/state"), value: b"from-txn".to_vec() }).unwrap();
+        txn.apply(TxnOp::Write {
+            path: p("/state"),
+            value: b"from-txn".to_vec(),
+        })
+        .unwrap();
         // Concurrent write to the same node.
-        live.write(DomId::DOM0, &p("/state"), b"concurrent").unwrap();
+        live.write(DomId::DOM0, &p("/state"), b"concurrent")
+            .unwrap();
         for kind in EngineKind::ALL {
             let engine = kind.build();
             assert!(
@@ -327,10 +346,20 @@ mod tests {
         live.write(DomId::DOM0, &p("/config"), b"v1").unwrap();
         let mut txn = Transaction::begin(1, DomId::DOM0, &live);
         txn.note_read(&p("/config"));
-        txn.apply(TxnOp::Write { path: p("/derived"), value: b"from-v1".to_vec() }).unwrap();
+        txn.apply(TxnOp::Write {
+            path: p("/derived"),
+            value: b"from-v1".to_vec(),
+        })
+        .unwrap();
         live.write(DomId::DOM0, &p("/config"), b"v2").unwrap();
-        assert!(matches!(MergeEngine.reconcile(&live, &txn), Reconcile::Conflict { .. }));
-        assert!(matches!(JitsuMergeEngine.reconcile(&live, &txn), Reconcile::Conflict { .. }));
+        assert!(matches!(
+            MergeEngine.reconcile(&live, &txn),
+            Reconcile::Conflict { .. }
+        ));
+        assert!(matches!(
+            JitsuMergeEngine.reconcile(&live, &txn),
+            Reconcile::Conflict { .. }
+        ));
     }
 
     #[test]
@@ -339,11 +368,18 @@ mod tests {
         live.write(DomId::DOM0, &p("/config"), b"v1").unwrap();
         let mut txn = Transaction::begin(1, DomId::DOM0, &live);
         txn.note_read(&p("/config"));
-        txn.apply(TxnOp::Write { path: p("/derived"), value: vec![1] }).unwrap();
+        txn.apply(TxnOp::Write {
+            path: p("/derived"),
+            value: vec![1],
+        })
+        .unwrap();
         live.rm(DomId::DOM0, &p("/config")).unwrap();
         for kind in [EngineKind::Merge, EngineKind::JitsuMerge] {
             assert!(
-                matches!(kind.build().reconcile(&live, &txn), Reconcile::Conflict { .. }),
+                matches!(
+                    kind.build().reconcile(&live, &txn),
+                    Reconcile::Conflict { .. }
+                ),
                 "{kind:?}"
             );
         }
@@ -356,13 +392,20 @@ mod tests {
         live.mkdir(DomId::DOM0, &p("/b")).unwrap();
         live.mkdir(DomId::DOM0, &p("/c")).unwrap();
         let mut txn = Transaction::begin(1, DomId::DOM0, &live);
-        txn.apply(TxnOp::Write { path: p("/b/x"), value: vec![1] }).unwrap();
+        txn.apply(TxnOp::Write {
+            path: p("/b/x"),
+            value: vec![1],
+        })
+        .unwrap();
         // Unrelated concurrent commit.
         live.write(DomId::DOM0, &p("/c/y"), b"2").unwrap();
         assert_eq!(MergeEngine.reconcile(&live, &txn), Reconcile::Commit);
         assert_eq!(JitsuMergeEngine.reconcile(&live, &txn), Reconcile::Commit);
         // The serial engine still aborts.
-        assert!(matches!(SerialEngine.reconcile(&live, &txn), Reconcile::Conflict { .. }));
+        assert!(matches!(
+            SerialEngine.reconcile(&live, &txn),
+            Reconcile::Conflict { .. }
+        ));
     }
 
     #[test]

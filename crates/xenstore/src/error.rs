@@ -84,13 +84,17 @@ mod tests {
     #[test]
     fn display_contains_errno() {
         assert!(Error::NoEntry("/a".into()).to_string().contains("ENOENT"));
-        assert!(Error::PermissionDenied("/a".into()).to_string().contains("EACCES"));
+        assert!(Error::PermissionDenied("/a".into())
+            .to_string()
+            .contains("EACCES"));
         assert!(Error::Again.to_string().contains("EAGAIN"));
         assert!(Error::Invalid("bad".into()).to_string().contains("bad"));
         assert!(Error::Exists("/a".into()).to_string().contains("EEXIST"));
         assert!(Error::UnknownTransaction(9).to_string().contains('9'));
         assert!(Error::QuotaExceeded("nodes").to_string().contains("nodes"));
-        assert!(Error::Protocol("trunc".into()).to_string().contains("trunc"));
+        assert!(Error::Protocol("trunc".into())
+            .to_string()
+            .contains("trunc"));
     }
 
     #[test]

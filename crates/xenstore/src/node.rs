@@ -41,7 +41,11 @@ impl Node {
 
     /// Number of nodes in this subtree, including this node.
     pub fn subtree_size(&self) -> usize {
-        1 + self.children.values().map(Node::subtree_size).sum::<usize>()
+        1 + self
+            .children
+            .values()
+            .map(Node::subtree_size)
+            .sum::<usize>()
     }
 
     /// Child names in deterministic (sorted) order.

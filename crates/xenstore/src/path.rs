@@ -21,7 +21,9 @@ pub struct Path {
 impl Path {
     /// The root path `/`.
     pub fn root() -> Path {
-        Path { components: Vec::new() }
+        Path {
+            components: Vec::new(),
+        }
     }
 
     /// Parse and validate an absolute path string.
@@ -30,7 +32,9 @@ impl Path {
             return Err(Error::Invalid("empty path".into()));
         }
         if s.len() > MAX_PATH_LEN {
-            return Err(Error::Invalid(format!("path longer than {MAX_PATH_LEN} bytes")));
+            return Err(Error::Invalid(format!(
+                "path longer than {MAX_PATH_LEN} bytes"
+            )));
         }
         if !s.starts_with('/') {
             return Err(Error::Invalid(format!("path must be absolute: {s}")));
@@ -48,12 +52,16 @@ impl Path {
 
     fn validate_component(comp: &str) -> Result<()> {
         if comp == "." || comp == ".." {
-            return Err(Error::Invalid(format!("relative component not allowed: {comp}")));
+            return Err(Error::Invalid(format!(
+                "relative component not allowed: {comp}"
+            )));
         }
         for c in comp.chars() {
             let ok = c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | '@' | ':' | '+');
             if !ok {
-                return Err(Error::Invalid(format!("invalid character {c:?} in component {comp:?}")));
+                return Err(Error::Invalid(format!(
+                    "invalid character {c:?} in component {comp:?}"
+                )));
             }
         }
         Ok(())
@@ -297,7 +305,7 @@ mod tests {
 
     #[test]
     fn ordering_is_lexicographic_by_component() {
-        let mut v = vec![
+        let mut v = [
             Path::parse("/b").unwrap(),
             Path::parse("/a/z").unwrap(),
             Path::parse("/a").unwrap(),

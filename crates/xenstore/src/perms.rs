@@ -268,7 +268,12 @@ mod tests {
 
     #[test]
     fn perm_level_codes() {
-        for l in [PermLevel::None, PermLevel::Read, PermLevel::Write, PermLevel::ReadWrite] {
+        for l in [
+            PermLevel::None,
+            PermLevel::Read,
+            PermLevel::Write,
+            PermLevel::ReadWrite,
+        ] {
             assert_eq!(PermLevel::from_code(l.code()), Some(l));
         }
         assert_eq!(PermLevel::from_code('x'), None);
@@ -333,7 +338,10 @@ mod tests {
         assert!(child.check(DomId(7), Access::Read));
         assert!(child.check(DomId(7), Access::Write));
         assert!(child.check(DomId(3), Access::Read));
-        assert!(!child.check(DomId(9), Access::Read), "third parties must not observe the connection");
+        assert!(
+            !child.check(DomId(9), Access::Read),
+            "third parties must not observe the connection"
+        );
     }
 
     #[test]

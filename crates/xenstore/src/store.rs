@@ -302,7 +302,8 @@ impl XenStore {
         }
         let id = self.next_tx_id;
         self.next_tx_id = self.next_tx_id.wrapping_add(1).max(1);
-        self.transactions.insert(id, Transaction::begin(id, dom, &self.tree));
+        self.transactions
+            .insert(id, Transaction::begin(id, dom, &self.tree));
         Ok(TxId(id))
     }
 
@@ -397,13 +398,20 @@ mod tests {
     #[test]
     fn basic_read_write() {
         let mut xs = store();
-        xs.write(DomId::DOM0, None, "/local/domain/3/name", b"http").unwrap();
-        assert_eq!(xs.read(DomId::DOM0, None, "/local/domain/3/name").unwrap(), b"http");
+        xs.write(DomId::DOM0, None, "/local/domain/3/name", b"http")
+            .unwrap();
         assert_eq!(
-            xs.read_string(DomId::DOM0, None, "/local/domain/3/name").unwrap(),
+            xs.read(DomId::DOM0, None, "/local/domain/3/name").unwrap(),
+            b"http"
+        );
+        assert_eq!(
+            xs.read_string(DomId::DOM0, None, "/local/domain/3/name")
+                .unwrap(),
             "http"
         );
-        assert!(xs.exists(DomId::DOM0, None, "/local/domain/3/name").unwrap());
+        assert!(xs
+            .exists(DomId::DOM0, None, "/local/domain/3/name")
+            .unwrap());
         assert!(!xs.exists(DomId::DOM0, None, "/local/domain/9").unwrap());
         assert_eq!(
             xs.directory(DomId::DOM0, None, "/local/domain").unwrap(),
@@ -429,14 +437,22 @@ mod tests {
     fn transaction_commit_applies_batch_atomically() {
         let mut xs = store();
         let t = xs.transaction_start(DomId::DOM0).unwrap();
-        xs.write(DomId::DOM0, Some(t), "/conduit/http_server", b"3").unwrap();
-        xs.write(DomId::DOM0, Some(t), "/conduit/flows/1", b"(connecting)").unwrap();
+        xs.write(DomId::DOM0, Some(t), "/conduit/http_server", b"3")
+            .unwrap();
+        xs.write(DomId::DOM0, Some(t), "/conduit/flows/1", b"(connecting)")
+            .unwrap();
         // Not visible outside the transaction yet.
-        assert!(!xs.exists(DomId::DOM0, None, "/conduit/http_server").unwrap());
+        assert!(!xs
+            .exists(DomId::DOM0, None, "/conduit/http_server")
+            .unwrap());
         // Visible inside.
-        assert!(xs.exists(DomId::DOM0, Some(t), "/conduit/http_server").unwrap());
+        assert!(xs
+            .exists(DomId::DOM0, Some(t), "/conduit/http_server")
+            .unwrap());
         xs.transaction_end(DomId::DOM0, t, true).unwrap();
-        assert!(xs.exists(DomId::DOM0, None, "/conduit/http_server").unwrap());
+        assert!(xs
+            .exists(DomId::DOM0, None, "/conduit/http_server")
+            .unwrap());
         assert_eq!(xs.stats().commits, 1);
         assert_eq!(xs.open_transactions(), 0);
     }
@@ -499,13 +515,19 @@ mod tests {
         // Two "toolstack threads" each build a domain in a transaction.
         let t1 = xs.transaction_start(DomId::DOM0).unwrap();
         let t2 = xs.transaction_start(DomId::DOM0).unwrap();
-        xs.write(DomId::DOM0, Some(t1), "/local/domain/5/name", b"u5").unwrap();
-        xs.write(DomId::DOM0, Some(t2), "/local/domain/6/name", b"u6").unwrap();
+        xs.write(DomId::DOM0, Some(t1), "/local/domain/5/name", b"u5")
+            .unwrap();
+        xs.write(DomId::DOM0, Some(t2), "/local/domain/6/name", b"u6")
+            .unwrap();
         xs.transaction_end(DomId::DOM0, t1, true).unwrap();
         // With the Jitsu merge the second commit also succeeds.
         xs.transaction_end(DomId::DOM0, t2, true).unwrap();
-        assert!(xs.exists(DomId::DOM0, None, "/local/domain/5/name").unwrap());
-        assert!(xs.exists(DomId::DOM0, None, "/local/domain/6/name").unwrap());
+        assert!(xs
+            .exists(DomId::DOM0, None, "/local/domain/5/name")
+            .unwrap());
+        assert!(xs
+            .exists(DomId::DOM0, None, "/local/domain/6/name")
+            .unwrap());
         assert_eq!(xs.stats().conflicts, 0);
     }
 
@@ -514,8 +536,10 @@ mod tests {
         let mut xs = XenStore::new(EngineKind::Merge);
         let t1 = xs.transaction_start(DomId::DOM0).unwrap();
         let t2 = xs.transaction_start(DomId::DOM0).unwrap();
-        xs.write(DomId::DOM0, Some(t1), "/local/domain/5/name", b"u5").unwrap();
-        xs.write(DomId::DOM0, Some(t2), "/local/domain/6/name", b"u6").unwrap();
+        xs.write(DomId::DOM0, Some(t1), "/local/domain/5/name", b"u5")
+            .unwrap();
+        xs.write(DomId::DOM0, Some(t2), "/local/domain/6/name", b"u6")
+            .unwrap();
         xs.transaction_end(DomId::DOM0, t1, true).unwrap();
         assert_eq!(xs.transaction_end(DomId::DOM0, t2, true), Err(Error::Again));
     }
@@ -539,7 +563,12 @@ mod tests {
             .with_transaction(DomId::DOM0, 5, |xs, t| {
                 let v = xs.read_string(DomId::DOM0, Some(t), "/counter")?;
                 let n: u64 = v.parse().unwrap_or(0);
-                xs.write(DomId::DOM0, Some(t), "/counter", (n + 1).to_string().as_bytes())
+                xs.write(
+                    DomId::DOM0,
+                    Some(t),
+                    "/counter",
+                    (n + 1).to_string().as_bytes(),
+                )
             })
             .unwrap();
         assert_eq!(attempts, 1);
@@ -549,20 +578,33 @@ mod tests {
     #[test]
     fn watches_fire_on_direct_and_transactional_writes() {
         let mut xs = store();
-        xs.mkdir(DomId::DOM0, None, "/conduit/http_server/listen").unwrap();
-        xs.watch(DomId(3), "/conduit/http_server/listen", "listen-token").unwrap();
+        xs.mkdir(DomId::DOM0, None, "/conduit/http_server/listen")
+            .unwrap();
+        xs.watch(DomId(3), "/conduit/http_server/listen", "listen-token")
+            .unwrap();
         // Drain the initial synthetic event.
         assert_eq!(xs.take_watch_events(DomId(3)).len(), 1);
 
-        xs.write(DomId::DOM0, None, "/conduit/http_server/listen/conn1", b"7").unwrap();
+        xs.write(DomId::DOM0, None, "/conduit/http_server/listen/conn1", b"7")
+            .unwrap();
         let evs = xs.take_watch_events(DomId(3));
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].path.to_string(), "/conduit/http_server/listen/conn1");
         assert_eq!(evs[0].token, "listen-token");
 
         let t = xs.transaction_start(DomId::DOM0).unwrap();
-        xs.write(DomId::DOM0, Some(t), "/conduit/http_server/listen/conn2", b"9").unwrap();
-        assert_eq!(xs.pending_watch_events(DomId(3)), 0, "no events until commit");
+        xs.write(
+            DomId::DOM0,
+            Some(t),
+            "/conduit/http_server/listen/conn2",
+            b"9",
+        )
+        .unwrap();
+        assert_eq!(
+            xs.pending_watch_events(DomId(3)),
+            0,
+            "no events until commit"
+        );
         xs.transaction_end(DomId::DOM0, t, true).unwrap();
         assert_eq!(xs.take_watch_events(DomId(3)).len(), 1);
     }
@@ -632,7 +674,8 @@ mod tests {
     #[test]
     fn domain_destroyed_cleans_up() {
         let mut xs = store();
-        xs.write(DomId::DOM0, None, "/local/domain/9/name", b"gone").unwrap();
+        xs.write(DomId::DOM0, None, "/local/domain/9/name", b"gone")
+            .unwrap();
         xs.watch(DomId(9), "/local/domain/9", "t").unwrap();
         let _t = xs.transaction_start(DomId(9)).unwrap();
         xs.domain_destroyed(DomId(9));

@@ -237,10 +237,16 @@ mod tests {
             value: b"web".to_vec(),
         })
         .unwrap();
-        assert!(!tree.exists(&p("/local/domain/5/name")), "live tree untouched");
+        assert!(
+            !tree.exists(&p("/local/domain/5/name")),
+            "live tree untouched"
+        );
         assert!(txn.snapshot.exists(&p("/local/domain/5/name")));
         txn.replay_onto(&mut tree).unwrap();
-        assert_eq!(tree.read(DomId::DOM0, &p("/local/domain/5/name")).unwrap(), b"web");
+        assert_eq!(
+            tree.read(DomId::DOM0, &p("/local/domain/5/name")).unwrap(),
+            b"web"
+        );
         assert!(!txn.is_read_only());
     }
 
@@ -249,15 +255,24 @@ mod tests {
         let mut tree = Tree::new();
         tree.mkdir(DomId::DOM0, &p("/local/domain")).unwrap();
         let mut txn = Transaction::begin(1, DomId::DOM0, &tree);
-        txn.apply(TxnOp::Mkdir { path: p("/local/domain/5") }).unwrap();
+        txn.apply(TxnOp::Mkdir {
+            path: p("/local/domain/5"),
+        })
+        .unwrap();
         assert_eq!(
             txn.read_set.get(&p("/local/domain")),
             Some(&ReadKind::Directory)
         );
         // A second creation below the new node depends only on state the
         // transaction itself created, so no new shared dependency appears.
-        txn.apply(TxnOp::Mkdir { path: p("/local/domain/5/device") }).unwrap();
-        assert!(txn.read_set.get(&p("/local/domain/5")).is_none() || txn.created_by_txn(&p("/local/domain/5")));
+        txn.apply(TxnOp::Mkdir {
+            path: p("/local/domain/5/device"),
+        })
+        .unwrap();
+        assert!(
+            !txn.read_set.contains_key(&p("/local/domain/5"))
+                || txn.created_by_txn(&p("/local/domain/5"))
+        );
         assert!(txn.created_by_txn(&p("/local/domain/5")));
         assert!(!txn.created_by_txn(&p("/local/domain")));
     }
@@ -303,13 +318,14 @@ mod tests {
     fn written_paths_and_op_path() {
         let tree = Tree::new();
         let mut txn = Transaction::begin(1, DomId::DOM0, &tree);
-        txn.apply(TxnOp::Write { path: p("/x"), value: vec![1] }).unwrap();
+        txn.apply(TxnOp::Write {
+            path: p("/x"),
+            value: vec![1],
+        })
+        .unwrap();
         txn.apply(TxnOp::Mkdir { path: p("/y") }).unwrap();
         let paths: Vec<String> = txn.written_paths().map(|p| p.to_string()).collect();
         assert_eq!(paths, vec!["/x", "/y"]);
-        assert_eq!(
-            TxnOp::Rm { path: p("/z") }.path().to_string(),
-            "/z"
-        );
+        assert_eq!(TxnOp::Rm { path: p("/z") }.path().to_string(), "/z");
     }
 }

@@ -155,9 +155,10 @@ impl Tree {
                 let perms = self.new_child_perms(dom, &parent)?;
                 let gen = self.bump();
                 let parent_node = self.get_mut(&parent).expect("parent exists");
-                parent_node
-                    .children
-                    .insert(p.basename().expect("non-root").to_string(), Node::new(perms, gen));
+                parent_node.children.insert(
+                    p.basename().expect("non-root").to_string(),
+                    Node::new(perms, gen),
+                );
                 parent_node.children_gen = gen;
             }
         }
@@ -266,11 +267,15 @@ mod tests {
     #[test]
     fn write_creates_missing_parents() {
         let mut t = Tree::new();
-        t.write(DomId::DOM0, &p("/local/domain/3/name"), b"http").unwrap();
+        t.write(DomId::DOM0, &p("/local/domain/3/name"), b"http")
+            .unwrap();
         assert!(t.exists(&p("/local")));
         assert!(t.exists(&p("/local/domain")));
         assert!(t.exists(&p("/local/domain/3")));
-        assert_eq!(t.read(DomId::DOM0, &p("/local/domain/3/name")).unwrap(), b"http");
+        assert_eq!(
+            t.read(DomId::DOM0, &p("/local/domain/3/name")).unwrap(),
+            b"http"
+        );
         assert_eq!(t.node_count(), 5);
     }
 
@@ -313,7 +318,10 @@ mod tests {
         assert!(!t.exists(&p("/a/b")));
         assert!(!t.exists(&p("/a/b/c")));
         assert!(t.exists(&p("/a")));
-        assert_eq!(t.rm(DomId::DOM0, &p("/a/b")), Err(Error::NoEntry("/a/b".into())));
+        assert_eq!(
+            t.rm(DomId::DOM0, &p("/a/b")),
+            Err(Error::NoEntry("/a/b".into()))
+        );
         assert!(t.rm(DomId::DOM0, &Path::root()).is_err());
     }
 
@@ -350,7 +358,8 @@ mod tests {
     fn unprivileged_domains_cannot_touch_others_nodes() {
         let mut t = Tree::new();
         // dom0 creates a private area for dom3.
-        t.write(DomId::DOM0, &p("/local/domain/3/name"), b"x").unwrap();
+        t.write(DomId::DOM0, &p("/local/domain/3/name"), b"x")
+            .unwrap();
         // A guest cannot read or write dom0-owned nodes...
         assert!(matches!(
             t.read(DomId(7), &p("/local/domain/3/name")),
@@ -362,7 +371,8 @@ mod tests {
         ));
         // ...until granted access.
         let perms = Permissions::owned_by(DomId::DOM0).granting(DomId(7), PermLevel::Read);
-        t.set_perms(DomId::DOM0, &p("/local/domain/3/name"), perms).unwrap();
+        t.set_perms(DomId::DOM0, &p("/local/domain/3/name"), perms)
+            .unwrap();
         assert!(t.read(DomId(7), &p("/local/domain/3/name")).is_ok());
         assert!(t.write(DomId(7), &p("/local/domain/3/name"), b"y").is_err());
     }
@@ -378,11 +388,14 @@ mod tests {
             Permissions::owned_by(DomId(7)),
         )
         .unwrap();
-        t.write(DomId(7), &p("/local/domain/7/data/feature"), b"1").unwrap();
+        t.write(DomId(7), &p("/local/domain/7/data/feature"), b"1")
+            .unwrap();
         let node = t.get(&p("/local/domain/7/data/feature")).unwrap();
         assert_eq!(node.perms.owner(), DomId(7));
         // Another guest cannot see it.
-        assert!(t.read(DomId(9), &p("/local/domain/7/data/feature")).is_err());
+        assert!(t
+            .read(DomId(9), &p("/local/domain/7/data/feature"))
+            .is_err());
     }
 
     #[test]
@@ -390,7 +403,8 @@ mod tests {
         let mut t = Tree::new();
         // The server (dom3) owns its listen queue and marks it
         // create-restricted so clients can enqueue connection requests.
-        t.mkdir(DomId::DOM0, &p("/conduit/http_server/listen")).unwrap();
+        t.mkdir(DomId::DOM0, &p("/conduit/http_server/listen"))
+            .unwrap();
         t.set_perms(
             DomId::DOM0,
             &p("/conduit/http_server/listen"),
@@ -398,11 +412,18 @@ mod tests {
         )
         .unwrap();
         // A client (dom7) may create its connection key...
-        t.write(DomId(7), &p("/conduit/http_server/listen/conn1"), b"7").unwrap();
+        t.write(DomId(7), &p("/conduit/http_server/listen/conn1"), b"7")
+            .unwrap();
         // ...which the server and the client can read, but others cannot.
-        assert!(t.read(DomId(3), &p("/conduit/http_server/listen/conn1")).is_ok());
-        assert!(t.read(DomId(7), &p("/conduit/http_server/listen/conn1")).is_ok());
-        assert!(t.read(DomId(9), &p("/conduit/http_server/listen/conn1")).is_err());
+        assert!(t
+            .read(DomId(3), &p("/conduit/http_server/listen/conn1"))
+            .is_ok());
+        assert!(t
+            .read(DomId(7), &p("/conduit/http_server/listen/conn1"))
+            .is_ok());
+        assert!(t
+            .read(DomId(9), &p("/conduit/http_server/listen/conn1"))
+            .is_err());
         // Without the flag, foreign creation is denied.
         t.mkdir(DomId::DOM0, &p("/conduit/other/listen")).unwrap();
         t.set_perms(
@@ -411,24 +432,40 @@ mod tests {
             Permissions::owned_by(DomId(3)),
         )
         .unwrap();
-        assert!(t.write(DomId(7), &p("/conduit/other/listen/conn1"), b"7").is_err());
+        assert!(t
+            .write(DomId(7), &p("/conduit/other/listen/conn1"), b"7")
+            .is_err());
     }
 
     #[test]
     fn set_perms_requires_ownership() {
         let mut t = Tree::new();
         t.mkdir(DomId::DOM0, &p("/local/domain/3")).unwrap();
-        t.set_perms(DomId::DOM0, &p("/local/domain/3"), Permissions::owned_by(DomId(3)))
-            .unwrap();
+        t.set_perms(
+            DomId::DOM0,
+            &p("/local/domain/3"),
+            Permissions::owned_by(DomId(3)),
+        )
+        .unwrap();
         // dom7 does not own the node, so cannot change its perms.
         assert!(t
-            .set_perms(DomId(7), &p("/local/domain/3"), Permissions::owned_by(DomId(7)))
+            .set_perms(
+                DomId(7),
+                &p("/local/domain/3"),
+                Permissions::owned_by(DomId(7))
+            )
             .is_err());
         // dom3 owns it and may.
         assert!(t
-            .set_perms(DomId(3), &p("/local/domain/3"), Permissions::with_default(DomId(3), PermLevel::Read))
+            .set_perms(
+                DomId(3),
+                &p("/local/domain/3"),
+                Permissions::with_default(DomId(3), PermLevel::Read)
+            )
             .is_ok());
-        assert!(t.set_perms(DomId::DOM0, &p("/missing"), Permissions::owned_by(DomId(0))).is_err());
+        assert!(t
+            .set_perms(DomId::DOM0, &p("/missing"), Permissions::owned_by(DomId(0)))
+            .is_err());
     }
 
     #[test]
@@ -436,8 +473,12 @@ mod tests {
         let mut t = Tree::new();
         t.write(DomId::DOM0, &p("/a/b"), b"").unwrap();
         t.mkdir(DomId::DOM0, &p("/local/domain/7")).unwrap();
-        t.set_perms(DomId::DOM0, &p("/local/domain/7"), Permissions::owned_by(DomId(7)))
-            .unwrap();
+        t.set_perms(
+            DomId::DOM0,
+            &p("/local/domain/7"),
+            Permissions::owned_by(DomId(7)),
+        )
+        .unwrap();
         t.write(DomId(7), &p("/local/domain/7/x"), b"1").unwrap();
         assert_eq!(t.owned_count(DomId(7)), 2);
         let paths = t.all_paths();

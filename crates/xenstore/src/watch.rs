@@ -162,7 +162,8 @@ mod tests {
     #[test]
     fn registration_queues_initial_event() {
         let mut wm = WatchManager::new();
-        wm.watch(DomId(3), p("/conduit/http_server/listen"), "tok").unwrap();
+        wm.watch(DomId(3), p("/conduit/http_server/listen"), "tok")
+            .unwrap();
         let evs = wm.take_events(DomId(3));
         assert_eq!(evs.len(), 1);
         assert_eq!(evs[0].path, p("/conduit/http_server/listen"));
@@ -183,8 +184,10 @@ mod tests {
     #[test]
     fn fire_matches_subtree() {
         let mut wm = WatchManager::new();
-        wm.watch(DomId(3), p("/conduit/http_server"), "srv").unwrap();
-        wm.watch(DomId(7), p("/conduit/http_client"), "cli").unwrap();
+        wm.watch(DomId(3), p("/conduit/http_server"), "srv")
+            .unwrap();
+        wm.watch(DomId(7), p("/conduit/http_client"), "cli")
+            .unwrap();
         wm.take_events(DomId(3));
         wm.take_events(DomId(7));
 
@@ -228,7 +231,10 @@ mod tests {
         wm.take_events(DomId(1));
         wm.unwatch(DomId(1), &p("/a"), "t").unwrap();
         assert_eq!(wm.fire(&p("/a/x")), 0);
-        assert_eq!(wm.unwatch(DomId(1), &p("/a"), "t"), Err(Error::WatchNotFound));
+        assert_eq!(
+            wm.unwatch(DomId(1), &p("/a"), "t"),
+            Err(Error::WatchNotFound)
+        );
         assert_eq!(wm.watches().len(), 0);
     }
 

@@ -212,7 +212,9 @@ mod tests {
         let m = Message::from_segments(MsgType::Read, 1, 0, &["/a"]);
         let bytes = m.encode();
         assert!(Message::decode(&bytes[..10]).unwrap().is_none());
-        assert!(Message::decode(&bytes[..bytes.len() - 1]).unwrap().is_none());
+        assert!(Message::decode(&bytes[..bytes.len() - 1])
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -22,12 +22,19 @@ fn main() {
     let mut jitsud = Jitsud::new(config, BoardKind::Cubieboard2.board(), 7);
     let client = Ipv4Addr::new(192, 168, 1, 100);
 
-    println!("Hosting {} personal sites on one Cubieboard2\n", members.len());
+    println!(
+        "Hosting {} personal sites on one Cubieboard2\n",
+        members.len()
+    );
     println!("{:<22} {:>14} {:>14}", "site", "cold start", "warm request");
     for member in members {
         let name = format!("{member}.family.name");
-        let cold = jitsud.cold_start_request(&name, client, "/").expect("cold start");
-        let warm = jitsud.warm_request(&name, client, "/").expect("warm request");
+        let cold = jitsud
+            .cold_start_request(&name, client, "/")
+            .expect("cold start");
+        let warm = jitsud
+            .warm_request(&name, client, "/")
+            .expect("warm request");
         assert_eq!(cold.http_status, 200);
         assert_eq!(warm.http_status, 200);
         println!(

@@ -17,7 +17,10 @@ use jitsu_repro::security::{classify, summary, JitsuImpact, CVE_DATASET};
 
 fn main() {
     println!("== Table 2: what a Jitsu front-end eliminates ==\n");
-    println!("{:<18} {:>6} {:>11} {:>10}", "layer", "CVEs", "eliminated", "remaining");
+    println!(
+        "{:<18} {:>6} {:>11} {:>10}",
+        "layer", "CVEs", "eliminated", "remaining"
+    );
     for s in summary() {
         println!(
             "{:<18} {:>6} {:>11} {:>10}",
@@ -32,7 +35,10 @@ fn main() {
         .filter(|c| classify(c) == JitsuImpact::StillApplicable)
         .map(|c| c.id)
         .collect();
-    println!("\nStill in the trusted computing base: {}", remaining.join(", "));
+    println!(
+        "\nStill in the trusted computing base: {}",
+        remaining.join(", ")
+    );
 
     println!("\n== Malformed traffic against the memory-safe stack ==\n");
     let src = Ipv4Addr::new(10, 0, 0, 66);
@@ -41,30 +47,36 @@ fn main() {
     // A truncated IPv4 header, an overflow-length TCP segment and a
     // garbage DNS/HTTP payload: each is rejected as data, not executed.
     let cases: Vec<(&str, bool)> = vec![
-        ("truncated IPv4 header", Ipv4Packet::parse(&[0x45, 0, 0]).is_err()),
         (
-            "TCP segment with corrupt checksum",
-            {
-                let mut seg = TcpSegment::control(1, 80, 1, 0, jitsu_repro::netstack::TcpFlags::SYN).emit(src, dst);
-                seg[16] ^= 0xff;
-                TcpSegment::parse(&seg, src, dst).is_err()
-            },
+            "truncated IPv4 header",
+            Ipv4Packet::parse(&[0x45, 0, 0]).is_err(),
         ),
-        (
-            "DNS message with a compression bomb pointer",
-            {
-                let mut q = DnsMessage::query(1, "legit.family.name").emit();
-                q[12] = 0xc0;
-                DnsMessage::parse(&q).is_err()
-            },
-        ),
+        ("TCP segment with corrupt checksum", {
+            let mut seg = TcpSegment::control(1, 80, 1, 0, jitsu_repro::netstack::TcpFlags::SYN)
+                .emit(src, dst);
+            seg[16] ^= 0xff;
+            TcpSegment::parse(&seg, src, dst).is_err()
+        }),
+        ("DNS message with a compression bomb pointer", {
+            let mut q = DnsMessage::query(1, "legit.family.name").emit();
+            q[12] = 0xc0;
+            DnsMessage::parse(&q).is_err()
+        }),
         (
             "HTTP request line from a fuzzer",
             HttpRequest::parse(b"\x00\x01\x02GET\x00/ HTTP/9.9\r\n\r\n").is_err(),
         ),
     ];
     for (what, rejected) in &cases {
-        println!("  {:<44} {}", what, if *rejected { "rejected safely" } else { "ACCEPTED (!)" });
+        println!(
+            "  {:<44} {}",
+            what,
+            if *rejected {
+                "rejected safely"
+            } else {
+                "ACCEPTED (!)"
+            }
+        );
     }
     assert!(cases.iter().all(|(_, rejected)| *rejected));
 
@@ -74,8 +86,14 @@ fn main() {
     let allowed = HttpRequest::get("/status", "camera.family.name");
     let blocked = HttpRequest::get("/cgi-bin/../../etc/passwd", "camera.family.name");
     let forward = |req: &HttpRequest| req.path == "/status" && req.method == "GET";
-    println!("  GET /status                         -> forwarded: {}", forward(&allowed));
-    println!("  GET /cgi-bin/../../etc/passwd       -> forwarded: {}", forward(&blocked));
+    println!(
+        "  GET /status                         -> forwarded: {}",
+        forward(&allowed)
+    );
+    println!(
+        "  GET /cgi-bin/../../etc/passwd       -> forwarded: {}",
+        forward(&blocked)
+    );
     assert!(forward(&allowed));
     assert!(!forward(&blocked));
 }

@@ -24,7 +24,10 @@ fn main() {
     let cold = jitsud
         .cold_start_request("photos.family.name", viewer, "/")
         .expect("vault summoned");
-    println!("photo vault summoned: HTTP {} in {}", cold.http_status, cold.http_response_time);
+    println!(
+        "photo vault summoned: HTTP {} in {}",
+        cold.http_status, cold.http_response_time
+    );
 
     // --- Serve an album from local storage --------------------------------
     // The album is larger than RAM, so the appliance streams it from the
@@ -37,7 +40,8 @@ fn main() {
     let mut total = SimDuration::ZERO;
     let mut served = 0u64;
     while !vault.is_empty() {
-        let (resp, cost) = vault.handle(&HttpRequest::get("/photo", "photos.family.name"), &mut rng);
+        let (resp, cost) =
+            vault.handle(&HttpRequest::get("/photo", "photos.family.name"), &mut rng);
         assert_eq!(resp.status, 200);
         served += resp.body.len() as u64;
         total += cost;
@@ -55,7 +59,11 @@ fn main() {
     let arm = PowerModel::for_board(BoardKind::Cubieboard2);
     let nuc = PowerModel::for_board(BoardKind::IntelNuc);
     let day = 24.0 * 3600.0;
-    let arm_kwh = arm.energy_joules(PowerState::Idle, &[PowerComponent::Ethernet, PowerComponent::Ssd], day) / 3.6e6;
+    let arm_kwh = arm.energy_joules(
+        PowerState::Idle,
+        &[PowerComponent::Ethernet, PowerComponent::Ssd],
+        day,
+    ) / 3.6e6;
     let nuc_kwh = nuc.energy_joules(PowerState::Idle, &[], day) / 3.6e6;
     println!(
         "always-on cost: Cubieboard2+SSD {:.2} kWh/day vs Intel NUC {:.2} kWh/day ({:.1}x)",

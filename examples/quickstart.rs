@@ -24,14 +24,20 @@ fn main() {
         .expect("cold start");
     println!("  DNS answered in        {}", cold.dns_response_time);
     println!("  unikernel ready after  {}", cold.unikernel_ready_after);
-    println!("  HTTP {} received after {}", cold.http_status, cold.http_response_time);
+    println!(
+        "  HTTP {} received after {}",
+        cold.http_status, cold.http_response_time
+    );
     println!("  proxied by Synjitsu:   {}", cold.proxied);
 
     println!("\n== Warm request: the unikernel is already running ==");
     let warm = jitsud
         .warm_request("alice.family.name", client, "/")
         .expect("warm request");
-    println!("  HTTP {} received after {}", warm.http_status, warm.response_time);
+    println!(
+        "  HTTP {} received after {}",
+        warm.http_status, warm.response_time
+    );
 
     println!("\n== Control-plane trace (Figure 6's flow) ==");
     print!("{}", jitsud.tracer.render());

@@ -57,7 +57,9 @@ pub mod prelude {
     pub use crate::netstack::http::{HttpRequest, HttpResponse};
     pub use crate::netstack::ipv4::Ipv4Addr;
     pub use crate::netstack::MacAddr;
-    pub use crate::platform::{Board, BoardKind, PowerComponent, PowerModel, PowerState, StorageKind};
+    pub use crate::platform::{
+        Board, BoardKind, PowerComponent, PowerModel, PowerState, StorageKind,
+    };
     pub use crate::sim::{SimDuration, SimTime};
     pub use crate::unikernel::appliance::{QueueAppliance, StaticSiteAppliance};
     pub use crate::unikernel::image::UnikernelImage;

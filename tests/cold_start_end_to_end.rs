@@ -68,7 +68,9 @@ fn warm_requests_hit_the_running_unikernel_in_milliseconds() {
         .cold_start_request("alice.family.name", CLIENT, "/")
         .unwrap();
     for _ in 0..5 {
-        let warm = jitsud.warm_request("alice.family.name", CLIENT, "/").unwrap();
+        let warm = jitsud
+            .warm_request("alice.family.name", CLIENT, "/")
+            .unwrap();
         assert_eq!(warm.http_status, 200);
         assert!(warm.response_time < SimDuration::from_millis(15));
     }
@@ -84,7 +86,9 @@ fn multiple_tenants_are_isolated_domains_on_one_board() {
     }
     assert_eq!(jitsud.running_count(), 3);
     // Each tenant got its own response body (served by its own appliance).
-    let a = jitsud.warm_request("alice.family.name", CLIENT, "/").unwrap();
+    let a = jitsud
+        .warm_request("alice.family.name", CLIENT, "/")
+        .unwrap();
     let b = jitsud.warm_request("bob.family.name", CLIENT, "/").unwrap();
     assert_eq!(a.http_status, 200);
     assert_eq!(b.http_status, 200);
@@ -102,9 +106,14 @@ fn x86_cold_starts_are_an_order_of_magnitude_faster_than_arm() {
         BoardKind::X86Server.board(),
         5,
     );
-    let arm_report = arm.cold_start_request("alice.family.name", CLIENT, "/").unwrap();
-    let x86_report = x86.cold_start_request("alice.family.name", CLIENT, "/").unwrap();
-    let ratio = arm_report.http_response_time.as_secs_f64() / x86_report.http_response_time.as_secs_f64();
+    let arm_report = arm
+        .cold_start_request("alice.family.name", CLIENT, "/")
+        .unwrap();
+    let x86_report = x86
+        .cold_start_request("alice.family.name", CLIENT, "/")
+        .unwrap();
+    let ratio =
+        arm_report.http_response_time.as_secs_f64() / x86_report.http_response_time.as_secs_f64();
     assert!(ratio > 4.0, "ARM/x86 cold-start ratio = {ratio:.1}");
     assert!(x86_report.http_response_time < SimDuration::from_millis(80));
 }
@@ -115,13 +124,17 @@ fn idle_retirement_frees_memory_for_other_tenants() {
     let mut config = config_with(&names);
     config.idle_timeout = Some(SimDuration::from_secs(60));
     let mut jitsud = Jitsud::new(config, BoardKind::Cubieboard2.board(), 6);
-    jitsud.cold_start_request("alice.family.name", CLIENT, "/").unwrap();
+    jitsud
+        .cold_start_request("alice.family.name", CLIENT, "/")
+        .unwrap();
     assert!(jitsud.is_running("alice.family.name"));
     jitsud.advance_clock(SimDuration::from_secs(300));
     let retired = jitsud.retire_idle();
     assert_eq!(retired.len(), 1);
     assert!(!jitsud.is_running("alice.family.name"));
     // And it can be resummoned.
-    let again = jitsud.cold_start_request("alice.family.name", CLIENT, "/").unwrap();
+    let again = jitsud
+        .cold_start_request("alice.family.name", CLIENT, "/")
+        .unwrap();
     assert_eq!(again.http_status, 200);
 }

@@ -13,7 +13,10 @@ fn toolstack_domain_lifecycle_keeps_xenstore_and_bridge_consistent() {
     let mut doms = Vec::new();
     for i in 0..4 {
         let report = ts
-            .create_domain(DomainConfig::unikernel(format!("svc-{i}")), BootOptimisations::jitsu())
+            .create_domain(
+                DomainConfig::unikernel(format!("svc-{i}")),
+                BootOptimisations::jitsu(),
+            )
             .unwrap();
         ts.unpause(report.dom).unwrap();
         doms.push(report.dom);
@@ -66,11 +69,17 @@ fn conduit_rendezvous_runs_over_the_toolstacks_own_tables() {
     // toolstack manages — the multilingual-proxy scenario of §5.
     let mut ts = Toolstack::new(BoardKind::Cubieboard2.board(), EngineKind::JitsuMerge, 11);
     let server = ts
-        .create_domain(DomainConfig::unikernel("http_server"), BootOptimisations::jitsu())
+        .create_domain(
+            DomainConfig::unikernel("http_server"),
+            BootOptimisations::jitsu(),
+        )
         .unwrap()
         .dom;
     let client = ts
-        .create_domain(DomainConfig::unikernel("php_backend"), BootOptimisations::jitsu())
+        .create_domain(
+            DomainConfig::unikernel("php_backend"),
+            BootOptimisations::jitsu(),
+        )
         .unwrap()
         .dom;
     ts.unpause(server).unwrap();
@@ -96,12 +105,20 @@ fn conduit_rendezvous_runs_over_the_toolstacks_own_tables() {
 
     // Proxy a request across the shared-memory channel, no bridge involved.
     conn.channel
-        .write(Side::Client, b"GET /generated-by-php HTTP/1.1\r\n\r\n", &mut ts.event_channels)
+        .write(
+            Side::Client,
+            b"GET /generated-by-php HTTP/1.1\r\n\r\n",
+            &mut ts.event_channels,
+        )
         .unwrap();
     let request = conn.channel.read(Side::Server, 128).unwrap();
     assert!(request.starts_with(b"GET /generated-by-php"));
     conn.channel
-        .write(Side::Server, b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok", &mut ts.event_channels)
+        .write(
+            Side::Server,
+            b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok",
+            &mut ts.event_channels,
+        )
         .unwrap();
     let response = conn.channel.read(Side::Client, 128).unwrap();
     assert!(response.starts_with(b"HTTP/1.1 200 OK"));
@@ -126,8 +143,10 @@ fn parallel_domain_creation_conflicts_depend_on_the_store_engine() {
         let mut xs = XenStore::new(engine);
         let t1 = xs.transaction_start(DomId::DOM0).unwrap();
         let t2 = xs.transaction_start(DomId::DOM0).unwrap();
-        xs.write(DomId::DOM0, Some(t1), "/local/domain/5/name", b"a").unwrap();
-        xs.write(DomId::DOM0, Some(t2), "/local/domain/6/name", b"b").unwrap();
+        xs.write(DomId::DOM0, Some(t1), "/local/domain/5/name", b"a")
+            .unwrap();
+        xs.write(DomId::DOM0, Some(t2), "/local/domain/6/name", b"b")
+            .unwrap();
         xs.transaction_end(DomId::DOM0, t1, true).unwrap();
         let second = xs.transaction_end(DomId::DOM0, t2, true);
         assert_eq!(second.is_err(), expect_conflict, "{engine:?}");
@@ -174,7 +193,11 @@ fn unikernel_instances_serve_http_over_simulated_bridge_frames() {
     }
     // Request/response.
     let req = client
-        .tcp_send((service_ip, 80), 49152, &HttpRequest::get("/", "docs.family.name").emit())
+        .tcp_send(
+            (service_ip, 80),
+            49152,
+            &HttpRequest::get("/", "docs.family.name").emit(),
+        )
         .unwrap();
     let (frames, _) = instance.handle_frame(&req);
     let mut body = Vec::new();

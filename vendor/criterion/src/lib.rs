@@ -1,0 +1,205 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the subset
+//! of the criterion API the workspace's benches use is vendored here:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups with `sample_size`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, [`black_box`],
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! timed with `std::time::Instant` over a fixed-duration measurement loop
+//! and reported as mean ns/iter on stdout — enough for relative comparisons
+//! between engines, not a statistics suite.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// An opaque identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Prevents the optimiser from deleting a computation whose result is
+/// otherwise unused.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Passed to benchmark closures; its [`iter`](Bencher::iter) method runs and
+/// times the routine under measurement.
+pub struct Bencher {
+    sample_size: usize,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call, then calibrate a batch that runs long
+        // enough for Instant to resolve it.
+        black_box(routine());
+        let budget = Duration::from_millis(2 * self.sample_size as u64);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget {
+            black_box(routine());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        self.iters = iters.max(1);
+        self.mean_ns = total.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(None, &id.into(), 10, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into(), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    sample_size: usize,
+    f: F,
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        mean_ns: 0.0,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let full_name = match group {
+        Some(group) => format!("{}/{}", group, id),
+        None => id.to_string(),
+    };
+    println!(
+        "bench {:<50} {:>14.1} ns/iter ({} iters)",
+        full_name, bencher.mean_ns, bencher.iters
+    );
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_infrastructure_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(1);
+        let mut count = 0u64;
+        group.bench_function("increment", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(1 + 1)));
+        assert!(count > 0);
+    }
+}
