@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod boot_storm;
 pub mod fig3;
 pub mod fig4;
 pub mod fig8;

@@ -1,0 +1,1012 @@
+//! The concurrent boot-storm engine: an event-driven jitsud.
+//!
+//! [`Jitsud`](crate::jitsud::Jitsud) drives exactly one cold-start timeline
+//! at a time, which is faithful to Figure 9a but cannot exercise the regime
+//! §3.3 actually describes: "If the name requested does not correspond to a
+//! running unikernel, Jitsu launches the desired unikernel while
+//! simultaneously returning an appropriate endpoint", idle unikernels are
+//! reaped to reclaim memory, and "resource exhaustion is reported as
+//! `SERVFAIL` so clients fail over to another board". All three behaviours
+//! only become interesting when many DNS queries for many names overlap —
+//! the boot storm.
+//!
+//! [`ConcurrentJitsud`] is that daemon, rebuilt as a *world* scheduled on
+//! the [`jitsu_sim`] discrete-event engine. Every configured service owns a
+//! lifecycle state machine:
+//!
+//! ```text
+//!            admission           slot granted          app ready
+//!   Idle ──────────────▶ AwaitingSlot ──────▶ Launching ──────▶ Running
+//!    ▲   (memory check,   {queued SYNs}      {queued SYNs}        │
+//!    │    SERVFAIL on                                             │ idle ≥ TTL
+//!    │    exhaustion)                                             ▼
+//!    └──────────────────────── teardown done ◀──────────────── Draining
+//! ```
+//!
+//! * **Concurrency** — overlapping queries for *different* names boot
+//!   domains concurrently, bounded by a [`LaunchSlots`] semaphore (domain
+//!   construction is dom0-CPU-bound; §3.1). Launches past the slot capacity
+//!   queue FIFO, which is what turns overload into graceful tail-latency
+//!   growth instead of thrash.
+//! * **Coalescing** — duplicate queries for a *mid-launch* name join the
+//!   in-flight boot's SYN queue instead of double-launching (§3.3: Synjitsu
+//!   buffers the early SYNs; the unikernel replays them after handoff).
+//! * **Admission control** — board memory is accounted (including
+//!   reservations for launches still waiting on a slot); a query that
+//!   cannot fit is answered `SERVFAIL` so the client fails over to another
+//!   board (§3.3.2).
+//! * **Idle reaping** — a service idle longer than the configured TTL is
+//!   drained: its domain is torn down (taking
+//!   [`Toolstack::teardown_time`](xen_sim::toolstack::Toolstack) of
+//!   virtual time) and its memory returns to the pool, after which the name
+//!   can be summoned again from scratch.
+//!
+//! The SYN queue is not a counter: while a service boots, each queued
+//! client completes a real TCP handshake against the real
+//! [`Synjitsu`] proxy (same `netstack` the unikernels use), and at
+//! network-ready the whole queue is handed over through XenStore exactly as
+//! in the linear daemon.
+
+use crate::config::{JitsuConfig, ServiceConfig};
+use crate::directory::{DirectoryAction, DirectoryService};
+use crate::launcher::Launcher;
+use crate::synjitsu::Synjitsu;
+use jitsu_sim::{LatencyRecorder, Sim, SimDuration, SimTime, Tracer};
+use netstack::dns::{DnsMessage, Rcode};
+use netstack::ethernet::MacAddr;
+use netstack::iface::Interface;
+use netstack::ipv4::Ipv4Addr;
+use platform::Board;
+use std::collections::{HashMap, VecDeque};
+use xen_sim::toolstack::{LaunchSlots, Toolstack};
+use xenstore::DomId;
+
+/// One client whose first connection is parked on a booting service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedClient {
+    /// Engine-wide client id (used to derive a unique IP/MAC).
+    pub id: u32,
+    /// When the client's DNS query arrived.
+    pub arrived: SimTime,
+}
+
+/// The lifecycle state machine of one configured service.
+#[derive(Debug)]
+pub enum Lifecycle {
+    /// No domain exists and nothing is in flight.
+    Idle,
+    /// Admitted (memory reserved) but waiting for a launch slot.
+    AwaitingSlot {
+        /// Clients parked on this boot, in arrival order.
+        queued: Vec<QueuedClient>,
+    },
+    /// The toolstack is constructing / the guest is booting the domain.
+    Launching {
+        /// Clients parked on this boot, in arrival order.
+        queued: Vec<QueuedClient>,
+        /// The domain being built.
+        dom: DomId,
+        /// When the guest's network stack attaches (Synjitsu handoff point).
+        network_ready_at: SimTime,
+        /// When the application can serve requests.
+        app_ready_at: SimTime,
+    },
+    /// The unikernel is serving requests.
+    Running {
+        /// The serving domain.
+        dom: DomId,
+        /// Last time the service saw a request (the idle clock).
+        last_activity: SimTime,
+    },
+    /// Reaped: the domain is being torn down; memory frees when it is done.
+    Draining {
+        /// The domain being destroyed.
+        dom: DomId,
+        /// Clients that asked for the name mid-drain (they relaunch it).
+        queued: Vec<QueuedClient>,
+    },
+}
+
+/// A copyable label for a service's current lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecyclePhase {
+    /// No domain exists.
+    Idle,
+    /// Waiting for a launch slot.
+    AwaitingSlot,
+    /// Domain construction / guest boot in flight.
+    Launching,
+    /// Serving.
+    Running,
+    /// Being torn down.
+    Draining,
+}
+
+/// Counters and latency samples accumulated over a storm.
+#[derive(Debug, Default)]
+pub struct StormMetrics {
+    /// DNS queries handled.
+    pub queries: u64,
+    /// Queries for names outside the configuration (NXDOMAIN / refused).
+    pub unknown: u64,
+    /// Domains actually constructed.
+    pub launches: u64,
+    /// Requests answered by a cold start (parked on a boot, then served).
+    pub cold_served: u64,
+    /// Queries that coalesced onto an in-flight boot or drain.
+    pub coalesced: u64,
+    /// Queries answered by an already-running unikernel.
+    pub warm_hits: u64,
+    /// Queries answered `SERVFAIL` because memory was exhausted (the client
+    /// fails over to another board, §3.3.2).
+    pub servfails: u64,
+    /// Idle unikernels reaped.
+    pub reaps: u64,
+    /// TCP connections handed from Synjitsu to a freshly booted unikernel.
+    pub syn_handoffs: u64,
+    /// Time from a client's DNS query to its first response byte, for every
+    /// served request (cold and warm).
+    pub ttfb: LatencyRecorder,
+}
+
+impl StormMetrics {
+    /// Served requests (cold + warm).
+    pub fn served(&self) -> u64 {
+        self.cold_served + self.warm_hits
+    }
+
+    /// Fraction of service queries answered `SERVFAIL`, in `[0, 1]`.
+    pub fn servfail_rate(&self) -> f64 {
+        let eligible = self.served() + self.servfails;
+        if eligible == 0 {
+            0.0
+        } else {
+            self.servfails as f64 / eligible as f64
+        }
+    }
+}
+
+/// The event-driven concurrent Jitsu daemon: the world of a
+/// [`Sim<ConcurrentJitsud>`].
+pub struct ConcurrentJitsud {
+    config: JitsuConfig,
+    directory: DirectoryService,
+    launcher: Launcher,
+    synjitsu: Synjitsu,
+    slots: LaunchSlots,
+    services: HashMap<String, Lifecycle>,
+    /// Services admitted and waiting for a launch slot, FIFO.
+    launch_queue: VecDeque<String>,
+    /// Memory reserved for admitted-but-not-yet-built domains, in MiB.
+    reserved_mib: u32,
+    metrics: StormMetrics,
+    one_way_delay: SimDuration,
+    dns_processing: SimDuration,
+    handoff_cost: SimDuration,
+    /// Application-level cost of producing one response.
+    service_cost: SimDuration,
+    syn_rto: SimDuration,
+    next_client_id: u32,
+    seed_counter: u64,
+    /// Event trace (reuses the Figure 6 vocabulary).
+    pub tracer: Tracer,
+}
+
+/// The simulator type the engine runs on.
+pub type StormSim = Sim<ConcurrentJitsud>;
+
+impl ConcurrentJitsud {
+    /// Build the world and wrap it in a simulator at time zero.
+    pub fn sim(config: JitsuConfig, board: Board, seed: u64) -> StormSim {
+        let toolstack = Toolstack::new(board.clone(), config.engine, seed);
+        let launcher = Launcher::new(toolstack, config.boot);
+        let directory = DirectoryService::new(config.clone());
+        let slots = LaunchSlots::new(config.launch_slots);
+        Sim::new(ConcurrentJitsud {
+            directory,
+            launcher,
+            synjitsu: Synjitsu::new(),
+            slots,
+            services: HashMap::new(),
+            launch_queue: VecDeque::new(),
+            reserved_mib: 0,
+            metrics: StormMetrics::default(),
+            one_way_delay: SimDuration::from_micros(2_500),
+            dns_processing: board.scale_cpu(SimDuration::from_micros(150)),
+            handoff_cost: board.scale_cpu(SimDuration::from_micros(700)),
+            service_cost: board.scale_cpu(SimDuration::from_micros(700)),
+            syn_rto: SimDuration::from_secs(1),
+            next_client_id: 0,
+            seed_counter: seed,
+            tracer: Tracer::new(),
+            config,
+        })
+    }
+
+    /// Schedule a DNS query for `name` to arrive at `at`.
+    pub fn inject_query(sim: &mut StormSim, at: SimTime, name: &str) {
+        let name = name.to_string();
+        sim.schedule_at(at, move |sim| Self::on_query(sim, name));
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &JitsuConfig {
+        &self.config
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &StormMetrics {
+        &self.metrics
+    }
+
+    /// The launch-slot semaphore.
+    pub fn slots(&self) -> &LaunchSlots {
+        &self.slots
+    }
+
+    /// The current lifecycle phase of a service.
+    pub fn phase(&self, name: &str) -> LifecyclePhase {
+        match self.services.get(name.trim_matches('.')) {
+            None | Some(Lifecycle::Idle) => LifecyclePhase::Idle,
+            Some(Lifecycle::AwaitingSlot { .. }) => LifecyclePhase::AwaitingSlot,
+            Some(Lifecycle::Launching { .. }) => LifecyclePhase::Launching,
+            Some(Lifecycle::Running { .. }) => LifecyclePhase::Running,
+            Some(Lifecycle::Draining { .. }) => LifecyclePhase::Draining,
+        }
+    }
+
+    /// Number of services currently in the `Running` phase.
+    pub fn running_count(&self) -> usize {
+        self.services
+            .values()
+            .filter(|s| matches!(s, Lifecycle::Running { .. }))
+            .count()
+    }
+
+    /// Free board memory minus reservations for launches still waiting on a
+    /// slot — the quantity admission control checks.
+    pub fn effective_free_mib(&self) -> u32 {
+        self.launcher.free_mib().saturating_sub(self.reserved_mib)
+    }
+
+    /// The directory service (for inspecting phases and counters).
+    pub fn directory(&self) -> &DirectoryService {
+        &self.directory
+    }
+
+    /// The Synjitsu proxy (for inspecting SYN queues mid-boot).
+    pub fn synjitsu(&self) -> &Synjitsu {
+        &self.synjitsu
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.seed_counter = self
+            .seed_counter
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
+        self.seed_counter
+    }
+
+    fn new_client(&mut self, arrived: SimTime) -> QueuedClient {
+        self.next_client_id += 1;
+        QueuedClient {
+            id: self.next_client_id,
+            arrived,
+        }
+    }
+
+    fn client_ip(id: u32) -> Ipv4Addr {
+        // 10.x.y.z, never colliding with the 192.168.* service addresses.
+        Ipv4Addr::new(10, (id >> 16) as u8, (id >> 8) as u8, id as u8)
+    }
+
+    fn client_mac(id: u32) -> MacAddr {
+        MacAddr([
+            2,
+            0,
+            (id >> 24) as u8,
+            (id >> 16) as u8,
+            (id >> 8) as u8,
+            id as u8,
+        ])
+    }
+
+    /// Complete a real TCP handshake for `client` against the Synjitsu
+    /// proxy, parking the connection in the service's SYN queue.
+    fn park_syn(world: &mut ConcurrentJitsud, svc: &ServiceConfig, client: QueuedClient) {
+        if !world.config.use_synjitsu || !world.synjitsu.is_proxying(&svc.name) {
+            return;
+        }
+        let mut iface = Interface::new(Self::client_mac(client.id), Self::client_ip(client.id));
+        iface.add_arp_entry(svc.ip, svc.mac());
+        let mut to_proxy = vec![iface.tcp_connect(svc.ip, svc.port)];
+        for _ in 0..4 {
+            if to_proxy.is_empty() {
+                break;
+            }
+            let mut to_client = Vec::new();
+            for frame in to_proxy.drain(..) {
+                to_client.extend(
+                    world
+                        .synjitsu
+                        .handle_frame(&mut world.launcher.toolstack.xenstore, &svc.name, &frame)
+                        .expect("synjitsu accepts proxied frames"),
+                );
+            }
+            for frame in to_client {
+                let (out, _) = iface.handle_frame(&frame);
+                to_proxy.extend(out);
+            }
+        }
+    }
+
+    /// Event: a DNS query for `name` arrives.
+    fn on_query(sim: &mut StormSim, name: String) {
+        let now = sim.now();
+        let world = sim.world_mut();
+        world.metrics.queries += 1;
+        let qid = (world.metrics.queries & 0xffff) as u16;
+        // Admission: memory for the service, net of reservations for boots
+        // still waiting on a slot. A draining service is exempt — the drain
+        // is about to free exactly the memory it needs.
+        let draining = matches!(
+            world.services.get(name.trim_matches('.')),
+            Some(Lifecycle::Draining { .. })
+        );
+        let resources = draining
+            || match world.config.service(&name) {
+                Some(svc) => world.effective_free_mib() >= svc.image.memory_mib,
+                None => true,
+            };
+        let query = DnsMessage::query(qid, &name);
+        let (response, action) = world.directory.handle_query(&query, now, resources);
+        match action {
+            DirectoryAction::None => {
+                if response.rcode != Rcode::NoError {
+                    world.metrics.unknown += 1;
+                }
+            }
+            DirectoryAction::ResourceExhausted { name } => {
+                world.metrics.servfails += 1;
+                world.tracer.emit(
+                    now,
+                    "jitsud",
+                    format!("SERVFAIL for {name}: memory exhausted, client fails over"),
+                );
+            }
+            DirectoryAction::AlreadyRunning { name } => Self::on_alive_query(sim, name),
+            DirectoryAction::Launch { name } => Self::on_admitted(sim, name),
+        }
+    }
+
+    /// A query for a service the directory considers alive (mid-launch or
+    /// running) — coalesce or serve warm.
+    fn on_alive_query(sim: &mut StormSim, name: String) {
+        let now = sim.now();
+        let world = sim.world_mut();
+        let client = world.new_client(now);
+        let svc = world
+            .config
+            .service(&name)
+            .cloned()
+            .expect("directory only answers configured names");
+        match world.services.get_mut(&name) {
+            Some(Lifecycle::AwaitingSlot { queued, .. }) => {
+                queued.push(client);
+                world.metrics.coalesced += 1;
+                Self::park_syn(world, &svc, client);
+            }
+            Some(Lifecycle::Launching { queued, .. }) => {
+                queued.push(client);
+                world.metrics.coalesced += 1;
+                world.tracer.emit(
+                    now,
+                    "jitsud",
+                    format!("query for mid-launch {name} coalesced onto in-flight boot"),
+                );
+                Self::park_syn(world, &svc, client);
+            }
+            Some(Lifecycle::Draining { queued, .. }) => {
+                // A relaunch is already committed (the query that triggered
+                // it marked the directory); ride along.
+                queued.push(client);
+                world.metrics.coalesced += 1;
+            }
+            Some(Lifecycle::Running { last_activity, .. }) => {
+                // Warm hit: DNS round plus handshake, request and response
+                // against the running unikernel (the ≈5 ms local path, §3).
+                let ttfb = world.dns_processing
+                    + world.one_way_delay * 6
+                    + world.service_cost
+                    + world.one_way_delay;
+                world.metrics.ttfb.record(ttfb);
+                world.metrics.warm_hits += 1;
+                // The engine's `last_activity` is the idle clock the reaper
+                // consults; the directory's copy was already refreshed by
+                // `handle_query`.
+                *last_activity = now;
+                Self::schedule_reap_check(sim, name, now);
+            }
+            None | Some(Lifecycle::Idle) => {
+                debug_assert!(false, "directory alive but engine idle for {name}");
+            }
+        }
+    }
+
+    /// A query the directory admitted for launch: reserve memory, start
+    /// Synjitsu proxying, and queue for a launch slot.
+    fn on_admitted(sim: &mut StormSim, name: String) {
+        let now = sim.now();
+        let world = sim.world_mut();
+        let svc = world
+            .config
+            .service(&name)
+            .cloned()
+            .expect("directory only launches configured names");
+        if matches!(world.services.get(&name), Some(Lifecycle::Draining { .. })) {
+            // Reap/resummon race: the domain is still tearing down; the
+            // relaunch starts the moment the drain completes.
+            let client = world.new_client(now);
+            if let Some(Lifecycle::Draining { queued, .. }) = world.services.get_mut(&name) {
+                queued.push(client);
+            }
+            world.metrics.coalesced += 1;
+            return;
+        }
+        debug_assert!(
+            matches!(world.services.get(&name), None | Some(Lifecycle::Idle)),
+            "Launch action for {name} in a non-idle state"
+        );
+        let client = world.new_client(now);
+        if world.config.use_synjitsu {
+            world
+                .synjitsu
+                .start_proxying(&mut world.launcher.toolstack.xenstore, &svc)
+                .expect("synjitsu can begin proxying");
+            Self::park_syn(world, &svc, client);
+        }
+        world.reserved_mib += svc.image.memory_mib;
+        world.services.insert(
+            name.clone(),
+            Lifecycle::AwaitingSlot {
+                queued: vec![client],
+            },
+        );
+        world.launch_queue.push_back(name);
+        Self::dispatch(sim);
+    }
+
+    /// Grant launch slots to queued services, in admission order, for as
+    /// long as slots are free.
+    fn dispatch(sim: &mut StormSim) {
+        loop {
+            let now = sim.now();
+            let world = sim.world_mut();
+            if world.launch_queue.is_empty() || !world.slots.try_acquire() {
+                return;
+            }
+            let name = world
+                .launch_queue
+                .pop_front()
+                .expect("checked non-empty above");
+            let Some(Lifecycle::AwaitingSlot { queued, .. }) = world.services.remove(&name) else {
+                // The service left AwaitingSlot some other way (launch
+                // failure cleanup); give the slot back and keep going.
+                world.slots.release();
+                continue;
+            };
+            let svc = world
+                .config
+                .service(&name)
+                .cloned()
+                .expect("queued services are configured");
+            world.reserved_mib = world.reserved_mib.saturating_sub(svc.image.memory_mib);
+            let seed = world.next_seed();
+            match world.launcher.summon(&svc, now, seed) {
+                Ok((outcome, _instance)) => {
+                    world.metrics.launches += 1;
+                    let construction_done_at = now + outcome.construction.total;
+                    let network_ready_at = outcome.network_ready_at();
+                    let app_ready_at = outcome.app_ready_at();
+                    world.tracer.emit(
+                        now,
+                        "jitsud",
+                        format!(
+                            "summoning {} as dom{} ({} queued SYN(s))",
+                            name,
+                            outcome.dom.0,
+                            queued.len()
+                        ),
+                    );
+                    world.services.insert(
+                        name.clone(),
+                        Lifecycle::Launching {
+                            queued,
+                            dom: outcome.dom,
+                            network_ready_at,
+                            app_ready_at,
+                        },
+                    );
+                    // The slot covers dom0's construction work only; the
+                    // guest boots on its own vcpu.
+                    sim.schedule_at(construction_done_at, |sim| {
+                        sim.world_mut().slots.release();
+                        Self::dispatch(sim);
+                    });
+                    let handoff_name = name.clone();
+                    sim.schedule_at(network_ready_at, move |sim| {
+                        Self::on_network_ready(sim, handoff_name);
+                    });
+                    sim.schedule_at(app_ready_at, move |sim| Self::on_app_ready(sim, name));
+                }
+                Err(err) => {
+                    // Reservations should make this unreachable; degrade to
+                    // SERVFAIL for every parked client rather than wedging.
+                    world.tracer.emit(
+                        now,
+                        "jitsud",
+                        format!("launch of {name} failed ({err:?}); SERVFAIL for queued clients"),
+                    );
+                    world.metrics.servfails += queued.len() as u64;
+                    world.directory.mark_stopped(&name);
+                    world.services.insert(name, Lifecycle::Idle);
+                    world.slots.release();
+                }
+            }
+        }
+    }
+
+    /// Event: the booting unikernel's network stack attached — hand the SYN
+    /// queue over through XenStore (§3.3.1).
+    fn on_network_ready(sim: &mut StormSim, name: String) {
+        let now = sim.now();
+        let world = sim.world_mut();
+        if !world.config.use_synjitsu || !world.synjitsu.is_proxying(&name) {
+            return;
+        }
+        let tcbs = world
+            .synjitsu
+            .handoff(&mut world.launcher.toolstack.xenstore, &name)
+            .expect("handoff commits");
+        world.metrics.syn_handoffs += tcbs.len() as u64;
+        world.tracer.emit(
+            now,
+            "synjitsu",
+            format!("handed over {} connection(s) for {}", tcbs.len(), name),
+        );
+    }
+
+    /// Event: the application is up — serve the queued clients, enter
+    /// `Running`, and arm the idle reaper.
+    fn on_app_ready(sim: &mut StormSim, name: String) {
+        let now = sim.now();
+        let world = sim.world_mut();
+        let Some(Lifecycle::Launching {
+            queued,
+            dom,
+            network_ready_at,
+            app_ready_at,
+        }) = world.services.remove(&name)
+        else {
+            debug_assert!(false, "app-ready without a Launching {name}");
+            return;
+        };
+        world.directory.mark_ready(&name, now);
+        for client in &queued {
+            let ttfb = world.cold_ttfb(client.arrived, network_ready_at, app_ready_at);
+            world.metrics.ttfb.record(ttfb);
+        }
+        world.metrics.cold_served += queued.len() as u64;
+        world.tracer.emit(
+            now,
+            "unikernel",
+            format!(
+                "{} ready; replayed {} buffered request(s)",
+                name,
+                queued.len()
+            ),
+        );
+        world.services.insert(
+            name.clone(),
+            Lifecycle::Running {
+                dom,
+                last_activity: now,
+            },
+        );
+        Self::schedule_reap_check(sim, name, now);
+    }
+
+    /// Time from a client's DNS query to its first response byte, for a
+    /// client parked on a boot. Mirrors the linear daemon's timeline
+    /// arithmetic (`Jitsud::cold_start_request`).
+    fn cold_ttfb(
+        &self,
+        arrived: SimTime,
+        network_ready_at: SimTime,
+        app_ready_at: SimTime,
+    ) -> SimDuration {
+        if self.config.use_synjitsu {
+            // Synjitsu completes the handshake immediately; the unikernel
+            // replays the buffered request right after adopting it.
+            let request_buffered = arrived + self.dns_processing + self.one_way_delay * 4;
+            let handoff_done = network_ready_at + self.handoff_cost;
+            let first_byte_sent = handoff_done.max(request_buffered) + self.service_cost;
+            (first_byte_sent + self.one_way_delay).duration_since(arrived)
+        } else {
+            // The SYN is lost until the app listens; the client retransmits
+            // with exponential backoff (1 s, 2 s, 4 s, …).
+            let mut attempt = arrived + self.dns_processing + self.one_way_delay * 2;
+            let mut retransmissions = 0u32;
+            while attempt < app_ready_at {
+                retransmissions += 1;
+                let backoff = self.syn_rto * (1u64 << (retransmissions - 1).min(6));
+                attempt += backoff;
+            }
+            let first_byte_sent = attempt + self.one_way_delay * 4 + self.service_cost;
+            (first_byte_sent + self.one_way_delay).duration_since(arrived)
+        }
+    }
+
+    /// Arm an idle check at `activity_at + TTL`. Stale checks (the service
+    /// saw traffic in the meantime, or was already reaped) fizzle.
+    fn schedule_reap_check(sim: &mut StormSim, name: String, activity_at: SimTime) {
+        let Some(ttl) = sim.world().config.idle_timeout else {
+            return;
+        };
+        sim.schedule_at(activity_at + ttl, move |sim| Self::on_reap_check(sim, name));
+    }
+
+    /// Event: an idle check fires.
+    fn on_reap_check(sim: &mut StormSim, name: String) {
+        let now = sim.now();
+        let world = sim.world_mut();
+        let Some(ttl) = world.config.idle_timeout else {
+            return;
+        };
+        let Some(Lifecycle::Running { dom, last_activity }) = world.services.get(&name) else {
+            return;
+        };
+        if now.duration_since(*last_activity) < ttl {
+            return; // refreshed since this check was armed; a newer one is pending
+        }
+        let dom = *dom;
+        world.services.insert(
+            name.clone(),
+            Lifecycle::Draining {
+                dom,
+                queued: Vec::new(),
+            },
+        );
+        world.directory.mark_stopped(&name);
+        world.metrics.reaps += 1;
+        world
+            .tracer
+            .emit(now, "jitsud", format!("reaping idle {name} (dom{})", dom.0));
+        let teardown = world.launcher.teardown_time();
+        sim.schedule_in(teardown, move |sim| Self::on_drain_done(sim, name));
+    }
+
+    /// Event: teardown finished — free the domain and either go idle or
+    /// immediately relaunch for clients that arrived mid-drain.
+    fn on_drain_done(sim: &mut StormSim, name: String) {
+        let now = sim.now();
+        let world = sim.world_mut();
+        let Some(Lifecycle::Draining { dom, queued }) = world.services.remove(&name) else {
+            debug_assert!(false, "drain-done without a Draining {name}");
+            return;
+        };
+        world
+            .launcher
+            .retire(dom)
+            .expect("draining domain exists until retired");
+        world
+            .tracer
+            .emit(now, "jitsud", format!("retired idle service {name}"));
+        if queued.is_empty() {
+            world.services.insert(name, Lifecycle::Idle);
+            return;
+        }
+        // Re-entry: waiters arrived while the old domain drained. Launch
+        // again from scratch (the directory already shows it as launching).
+        let svc = world
+            .config
+            .service(&name)
+            .cloned()
+            .expect("drained services are configured");
+        if world.config.use_synjitsu {
+            world
+                .synjitsu
+                .start_proxying(&mut world.launcher.toolstack.xenstore, &svc)
+                .expect("synjitsu can begin proxying");
+            for client in &queued {
+                Self::park_syn(world, &svc, *client);
+            }
+        }
+        world.reserved_mib += svc.image.memory_mib;
+        world
+            .services
+            .insert(name.clone(), Lifecycle::AwaitingSlot { queued });
+        world.launch_queue.push_back(name);
+        Self::dispatch(sim);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform::BoardKind;
+
+    const ALICE: &str = "alice.family.name";
+    const BOB: &str = "bob.family.name";
+
+    /// Base test config with idle reaping off, so `sim.run()` leaves
+    /// services in `Running` (tests that exercise the reaper opt in via
+    /// `with_idle_timeout`).
+    fn config() -> JitsuConfig {
+        let mut cfg = JitsuConfig::new("family.name")
+            .with_service(ServiceConfig::http_site(
+                ALICE,
+                Ipv4Addr::new(192, 168, 1, 20),
+            ))
+            .with_service(ServiceConfig::http_site(
+                BOB,
+                Ipv4Addr::new(192, 168, 1, 21),
+            ));
+        cfg.idle_timeout = None;
+        cfg
+    }
+
+    fn sim(config: JitsuConfig) -> StormSim {
+        ConcurrentJitsud::sim(config, BoardKind::Cubieboard2.board(), 7)
+    }
+
+    #[test]
+    fn duplicate_queries_coalesce_onto_the_in_flight_boot() {
+        let mut sim = sim(config());
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, ALICE);
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_millis(10), ALICE);
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_millis(20), ALICE);
+        sim.run_until(SimTime::from_millis(50));
+        // Mid-boot: one launch in flight, three SYNs parked on it.
+        assert_eq!(sim.world().phase(ALICE), LifecyclePhase::Launching);
+        assert_eq!(sim.world().metrics().coalesced, 2);
+        assert_eq!(sim.world().synjitsu().proxied_connection_count(ALICE), 3);
+        sim.run();
+        let m = sim.world().metrics();
+        assert_eq!(m.launches, 1, "duplicates must not double-launch");
+        assert_eq!(m.cold_served, 3);
+        assert_eq!(m.syn_handoffs, 3, "all parked SYNs handed over");
+        assert_eq!(m.ttfb.count(), 3);
+        assert_eq!(sim.world().phase(ALICE), LifecyclePhase::Running);
+        assert!(sim
+            .world()
+            .tracer
+            .find("coalesced onto in-flight boot")
+            .is_some());
+    }
+
+    #[test]
+    fn different_names_boot_concurrently_within_slot_capacity() {
+        let mut sim = sim(config().with_launch_slots(2));
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, ALICE);
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_millis(1), BOB);
+        sim.run_until(SimTime::from_millis(50));
+        assert_eq!(sim.world().phase(ALICE), LifecyclePhase::Launching);
+        assert_eq!(sim.world().phase(BOB), LifecyclePhase::Launching);
+        assert_eq!(sim.world().slots().in_use(), 2);
+        sim.run();
+        let m = sim.world().metrics();
+        assert_eq!(m.launches, 2);
+        assert_eq!(sim.world().slots().peak(), 2);
+        assert_eq!(sim.world().running_count(), 2);
+    }
+
+    #[test]
+    fn single_slot_serialises_overlapping_launches() {
+        let mut sim = sim(config().with_launch_slots(1));
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, ALICE);
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_millis(1), BOB);
+        sim.run_until(SimTime::from_millis(50));
+        assert_eq!(sim.world().phase(ALICE), LifecyclePhase::Launching);
+        assert_eq!(
+            sim.world().phase(BOB),
+            LifecyclePhase::AwaitingSlot,
+            "second launch queues behind the semaphore"
+        );
+        sim.run();
+        assert_eq!(sim.world().slots().peak(), 1);
+        assert_eq!(sim.world().metrics().launches, 2);
+        // Bob still boots — later, not never.
+        assert_eq!(sim.world().running_count(), 2);
+    }
+
+    #[test]
+    fn synjitsu_syn_queues_hand_off_per_service_under_overlap() {
+        let mut sim = sim(config().with_launch_slots(2));
+        // Alice gets three clients, Bob two, interleaved mid-boot.
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, ALICE);
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_millis(2), BOB);
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_millis(5), ALICE);
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_millis(7), BOB);
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_millis(9), ALICE);
+        sim.run_until(SimTime::from_millis(40));
+        assert_eq!(sim.world().synjitsu().proxied_connection_count(ALICE), 3);
+        assert_eq!(sim.world().synjitsu().proxied_connection_count(BOB), 2);
+        sim.run();
+        let world = sim.world();
+        assert_eq!(world.metrics().syn_handoffs, 5);
+        assert!(world
+            .tracer
+            .find(&format!("handed over 3 connection(s) for {ALICE}"))
+            .is_some());
+        assert!(world
+            .tracer
+            .find(&format!("handed over 2 connection(s) for {BOB}"))
+            .is_some());
+        // Handoff strictly precedes the app serving the replayed requests.
+        assert!(world
+            .tracer
+            .happens_before("handed over 3 connection(s)", "alice.family.name ready"));
+    }
+
+    #[test]
+    fn memory_exhaustion_yields_servfail_and_recovers_after_reaping() {
+        // Three fat services on a board that fits only two (832 MiB free).
+        let mut cfg = JitsuConfig::new("family.name").with_idle_timeout(SimDuration::from_secs(2));
+        for (i, name) in ["a.family.name", "b.family.name", "c.family.name"]
+            .iter()
+            .enumerate()
+        {
+            let mut svc = ServiceConfig::http_site(name, Ipv4Addr::new(192, 168, 1, 30 + i as u8));
+            svc.image.memory_mib = 400;
+            cfg = cfg.with_service(svc);
+        }
+        let mut sim = sim(cfg);
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, "a.family.name");
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_millis(5), "b.family.name");
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_millis(10), "c.family.name");
+        sim.run_until(SimTime::from_secs(1));
+        let m = sim.world().metrics();
+        assert_eq!(m.launches, 2);
+        assert_eq!(m.servfails, 1, "third service cannot fit");
+        assert_eq!(sim.world().phase("c.family.name"), LifecyclePhase::Idle);
+        // After the idle TTL the first two are reaped; c can now be summoned
+        // (the fail-over story: the client retries and this board has room).
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.world().metrics().reaps, 2);
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_secs(11), "c.family.name");
+        sim.run_until(SimTime::from_secs(12));
+        assert_eq!(sim.world().phase("c.family.name"), LifecyclePhase::Running);
+        assert_eq!(sim.world().metrics().launches, 3);
+        assert_eq!(sim.world().metrics().servfail_rate(), 1.0 / 4.0);
+    }
+
+    #[test]
+    fn reap_then_resummon_re_enters_the_lifecycle() {
+        let mut sim = sim(config().with_idle_timeout(SimDuration::from_secs(1)));
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, ALICE);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.world().phase(ALICE), LifecyclePhase::Idle);
+        assert_eq!(sim.world().metrics().reaps, 1);
+        assert!(sim.world().tracer.find("reaping idle").is_some());
+        // Resummon from scratch.
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_secs(5), ALICE);
+        sim.run_until(SimTime::from_secs(6));
+        assert_eq!(sim.world().phase(ALICE), LifecyclePhase::Running);
+        assert_eq!(sim.world().metrics().launches, 2);
+        assert_eq!(sim.world().metrics().cold_served, 2);
+        // Left alone, the reaper eventually retires it again.
+        sim.run();
+        assert_eq!(sim.world().phase(ALICE), LifecyclePhase::Idle);
+        assert_eq!(sim.world().metrics().reaps, 2);
+    }
+
+    #[test]
+    fn query_during_drain_relaunches_after_teardown() {
+        let mut sim = sim(config().with_idle_timeout(SimDuration::from_secs(1)));
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, ALICE);
+        // Step in 5 ms increments until the reaper has moved the service
+        // into Draining (the teardown window is ~30 ms on ARM).
+        let mut guard = 0;
+        while sim.world().phase(ALICE) != LifecyclePhase::Draining {
+            sim.run_for(SimDuration::from_millis(5));
+            guard += 1;
+            assert!(guard < 1_000, "service never entered Draining");
+        }
+        // A query lands mid-drain: it must wait out the teardown, then boot.
+        let mid_drain = sim.now();
+        ConcurrentJitsud::inject_query(&mut sim, mid_drain, ALICE);
+        sim.run_until(mid_drain + SimDuration::from_millis(600));
+        assert_eq!(sim.world().phase(ALICE), LifecyclePhase::Running);
+        assert_eq!(sim.world().metrics().launches, 2);
+        assert_eq!(sim.world().metrics().cold_served, 2);
+        assert_eq!(sim.world().metrics().reaps, 1);
+    }
+
+    #[test]
+    fn memory_reservations_are_returned_on_launch() {
+        let mut sim = sim(config().with_launch_slots(1));
+        let free_before = sim.world().effective_free_mib();
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, ALICE);
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_millis(1), BOB);
+        // Bob awaits a slot: his memory is reserved but not allocated.
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.world().effective_free_mib(), free_before - 32);
+        sim.run();
+        // Both allocated for real now; reservations fully drained.
+        assert_eq!(sim.world().effective_free_mib(), free_before - 32);
+        assert_eq!(sim.world().reserved_mib, 0);
+    }
+
+    #[test]
+    fn warm_hits_are_fast_and_refresh_the_idle_clock() {
+        let mut sim = sim(config().with_idle_timeout(SimDuration::from_secs(2)));
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, ALICE);
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(sim.world().phase(ALICE), LifecyclePhase::Running);
+        // A warm query at t=1.5s pushes the reap horizon to 3.5s.
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_millis(1_500), ALICE);
+        sim.run_until(SimTime::from_millis(2_600));
+        assert_eq!(
+            sim.world().phase(ALICE),
+            LifecyclePhase::Running,
+            "warm traffic must delay the reaper"
+        );
+        assert_eq!(sim.world().metrics().warm_hits, 1);
+        sim.run();
+        assert_eq!(sim.world().phase(ALICE), LifecyclePhase::Idle);
+        let m = sim.world().metrics();
+        // Warm TTFB is tens of ms; cold is hundreds.
+        assert!(m.ttfb.percentile_ms(0.0) < 50.0);
+        assert!(m.ttfb.percentile_ms(100.0) > 250.0);
+    }
+
+    #[test]
+    fn without_synjitsu_cold_ttfb_exceeds_one_second() {
+        let mut sim = sim(config().without_synjitsu());
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, ALICE);
+        sim.run();
+        let m = sim.world().metrics();
+        assert_eq!(m.cold_served, 1);
+        assert_eq!(m.syn_handoffs, 0);
+        assert!(
+            m.ttfb.percentile_ms(50.0) > 1_000.0,
+            "lost SYN costs a retransmission timeout"
+        );
+    }
+
+    #[test]
+    fn unknown_names_are_counted_not_launched() {
+        let mut sim = sim(config());
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, "carol.family.name");
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, "example.com");
+        sim.run();
+        let m = sim.world().metrics();
+        assert_eq!(m.unknown, 2);
+        assert_eq!(m.launches, 0);
+        assert_eq!(m.queries, 2);
+    }
+
+    #[test]
+    fn same_seed_same_storm() {
+        let run = || {
+            let mut s = sim(config().with_idle_timeout(SimDuration::from_secs(1)));
+            for i in 0..20u64 {
+                let name = if i % 2 == 0 { ALICE } else { BOB };
+                ConcurrentJitsud::inject_query(&mut s, SimTime::from_millis(i * 137), name);
+            }
+            s.run();
+            let m = s.world().metrics();
+            (
+                m.queries,
+                m.launches,
+                m.coalesced,
+                m.warm_hits,
+                m.ttfb.p50_ms().to_bits(),
+                m.ttfb.p99_ms().to_bits(),
+                s.events_executed(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

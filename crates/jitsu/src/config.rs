@@ -72,6 +72,11 @@ pub struct JitsuConfig {
     pub use_synjitsu: bool,
     /// Retire a unikernel after this much idle time (none = never).
     pub idle_timeout: Option<SimDuration>,
+    /// How many domain constructions the concurrent engine may run at once
+    /// (the launch-slot semaphore capacity; domain building is dom0-CPU
+    /// bound, so this defaults to the dom0 core count of the boards used in
+    /// the paper).
+    pub launch_slots: u32,
     /// The services this host manages.
     pub services: Vec<ServiceConfig>,
 }
@@ -87,6 +92,7 @@ impl JitsuConfig {
             engine: EngineKind::JitsuMerge,
             use_synjitsu: true,
             idle_timeout: Some(SimDuration::from_secs(120)),
+            launch_slots: 2,
             services: Vec::new(),
         }
     }
@@ -107,6 +113,18 @@ impl JitsuConfig {
     pub fn with_vanilla_toolstack(mut self) -> JitsuConfig {
         self.boot = BootOptimisations::vanilla();
         self.engine = EngineKind::Serial;
+        self
+    }
+
+    /// Set the launch-slot semaphore capacity (clamped to at least one).
+    pub fn with_launch_slots(mut self, slots: u32) -> JitsuConfig {
+        self.launch_slots = slots.max(1);
+        self
+    }
+
+    /// Set the idle-retirement TTL.
+    pub fn with_idle_timeout(mut self, timeout: SimDuration) -> JitsuConfig {
+        self.idle_timeout = Some(timeout);
         self
     }
 
@@ -166,5 +184,20 @@ mod tests {
         let vanilla = base.with_vanilla_toolstack();
         assert_eq!(vanilla.engine, EngineKind::Serial);
         assert_eq!(vanilla.boot, BootOptimisations::vanilla());
+    }
+
+    #[test]
+    fn storm_knobs() {
+        let cfg = JitsuConfig::new("family.name")
+            .with_launch_slots(4)
+            .with_idle_timeout(SimDuration::from_secs(5));
+        assert_eq!(cfg.launch_slots, 4);
+        assert_eq!(cfg.idle_timeout, Some(SimDuration::from_secs(5)));
+        assert_eq!(JitsuConfig::new("z").launch_slots, 2, "default");
+        assert_eq!(
+            JitsuConfig::new("z").with_launch_slots(0).launch_slots,
+            1,
+            "clamped"
+        );
     }
 }

@@ -37,13 +37,36 @@ pub enum DirectoryAction {
     },
 }
 
-/// The directory service state: configured services plus which are running.
+/// Which phase of its lifecycle a known-alive service is in, from the
+/// directory's point of view.
+///
+/// The distinction matters under concurrency: a query for a *mid-launch*
+/// name must coalesce onto the in-flight boot (answered as if the service
+/// were already running) rather than trigger a second launch, and a
+/// mid-launch service must never be reaped as "idle" — its launch clock is
+/// not an idle clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServicePhase {
+    /// A launch has been triggered but the unikernel is not yet serving.
+    Launching,
+    /// The unikernel is up and serving requests.
+    Running,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ServiceStatus {
+    phase: ServicePhase,
+    last_activity: SimTime,
+}
+
+/// The directory service state: configured services plus which are alive
+/// (mid-launch or running).
 #[derive(Debug)]
 pub struct DirectoryService {
     config: JitsuConfig,
-    /// Running services and when they last served a request (for the idle
-    /// retirement policy).
-    running: HashMap<String, SimTime>,
+    /// Alive services: their lifecycle phase and when they last served a
+    /// request (for the idle retirement policy).
+    services: HashMap<String, ServiceStatus>,
     queries_handled: u64,
     launches_triggered: u64,
 }
@@ -53,7 +76,7 @@ impl DirectoryService {
     pub fn new(config: JitsuConfig) -> DirectoryService {
         DirectoryService {
             config,
-            running: HashMap::new(),
+            services: HashMap::new(),
             queries_handled: 0,
             launches_triggered: 0,
         }
@@ -64,40 +87,72 @@ impl DirectoryService {
         &self.config
     }
 
-    /// Record that a service is now running (called by the launcher when the
-    /// unikernel is ready, or immediately at launch time so repeat queries
-    /// do not double-launch).
-    pub fn mark_running(&mut self, name: &str, now: SimTime) {
-        self.running.insert(name.trim_matches('.').to_string(), now);
+    /// Record that a launch is in flight for a service, so repeat queries
+    /// coalesce onto it instead of double-launching.
+    pub fn mark_launching(&mut self, name: &str, now: SimTime) {
+        self.services.insert(
+            name.trim_matches('.').to_string(),
+            ServiceStatus {
+                phase: ServicePhase::Launching,
+                last_activity: now,
+            },
+        );
+    }
+
+    /// Record that a service's unikernel is now serving requests (called
+    /// when the launch completes).
+    pub fn mark_ready(&mut self, name: &str, now: SimTime) {
+        self.services.insert(
+            name.trim_matches('.').to_string(),
+            ServiceStatus {
+                phase: ServicePhase::Running,
+                last_activity: now,
+            },
+        );
     }
 
     /// Record that a service served a request (refreshes the idle clock).
     pub fn touch(&mut self, name: &str, now: SimTime) {
-        if let Some(t) = self.running.get_mut(name.trim_matches('.')) {
-            *t = now;
+        if let Some(s) = self.services.get_mut(name.trim_matches('.')) {
+            s.last_activity = now;
         }
     }
 
-    /// Record that a service has been retired.
+    /// Record that a service has been retired (or that its launch failed).
     pub fn mark_stopped(&mut self, name: &str) {
-        self.running.remove(name.trim_matches('.'));
+        self.services.remove(name.trim_matches('.'));
     }
 
-    /// Is the service currently running?
+    /// Is the service alive — mid-launch or running? Either way a query for
+    /// it is answered with its address and must not trigger another launch.
     pub fn is_running(&self, name: &str) -> bool {
-        self.running.contains_key(name.trim_matches('.'))
+        self.services.contains_key(name.trim_matches('.'))
+    }
+
+    /// The service's lifecycle phase, if it is alive.
+    pub fn phase(&self, name: &str) -> Option<ServicePhase> {
+        self.services.get(name.trim_matches('.')).map(|s| s.phase)
     }
 
     /// Services idle for longer than the configured timeout at `now`.
+    ///
+    /// Only [`ServicePhase::Running`] services are candidates: a mid-launch
+    /// service's `last_activity` is its launch-trigger time, and reaping it
+    /// would tear down a domain that is still being constructed.
     pub fn idle_services(&self, now: SimTime) -> Vec<String> {
         let Some(timeout) = self.config.idle_timeout else {
             return Vec::new();
         };
-        self.running
+        let mut idle: Vec<String> = self
+            .services
             .iter()
-            .filter(|(_, last)| now.duration_since(**last) >= timeout)
+            .filter(|(_, s)| {
+                s.phase == ServicePhase::Running && now.duration_since(s.last_activity) >= timeout
+            })
             .map(|(name, _)| name.clone())
-            .collect()
+            .collect();
+        idle.sort();
+        idle
     }
 
     /// Handle a DNS query, given whether the host currently has resources to
@@ -150,8 +205,11 @@ impl DirectoryService {
             );
         }
         // Launch while simultaneously answering with the (future) address.
+        // The service is marked *launching*, not running: further queries
+        // coalesce onto this boot (AlreadyRunning) instead of double-
+        // launching, and the idle reaper leaves it alone until it is ready.
         self.launches_triggered += 1;
-        self.mark_running(&service.name, now);
+        self.mark_launching(&service.name, now);
         (
             DnsMessage::answer(query, service.ip, self.config.dns_ttl),
             DirectoryAction::Launch { name: service.name },
@@ -215,7 +273,43 @@ mod tests {
             }
         );
         assert!(dir.is_running("alice.family.name"));
+        assert_eq!(
+            dir.phase("alice.family.name"),
+            Some(ServicePhase::Launching)
+        );
         assert_eq!(dir.counters(), (1, 1));
+    }
+
+    #[test]
+    fn mid_launch_query_coalesces_instead_of_double_launching() {
+        let mut dir = DirectoryService::new(config());
+        let (_, first) = dir.handle_query(
+            &DnsMessage::query(1, "alice.family.name"),
+            SimTime::ZERO,
+            true,
+        );
+        assert!(matches!(first, DirectoryAction::Launch { .. }));
+        // The launch is still in flight (nobody called mark_ready). A second
+        // query must be answered as already-running, not trigger launch #2.
+        let (resp, action) = dir.handle_query(
+            &DnsMessage::query(2, "alice.family.name"),
+            SimTime::from_millis(40),
+            true,
+        );
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert_eq!(
+            action,
+            DirectoryAction::AlreadyRunning {
+                name: "alice.family.name".into()
+            }
+        );
+        assert_eq!(dir.counters(), (2, 1), "exactly one launch triggered");
+        assert_eq!(
+            dir.phase("alice.family.name"),
+            Some(ServicePhase::Launching)
+        );
+        dir.mark_ready("alice.family.name", SimTime::from_millis(350));
+        assert_eq!(dir.phase("alice.family.name"), Some(ServicePhase::Running));
     }
 
     #[test]
@@ -278,6 +372,10 @@ mod tests {
             SimTime::ZERO,
             true,
         );
+        // Mid-launch the service is never an idle-reaping candidate, no
+        // matter how long the launch takes.
+        assert!(dir.idle_services(SimTime::from_secs(61)).is_empty());
+        dir.mark_ready("alice.family.name", SimTime::ZERO);
         assert!(dir.idle_services(SimTime::from_secs(30)).is_empty());
         assert_eq!(
             dir.idle_services(SimTime::from_secs(61)),
@@ -295,7 +393,7 @@ mod tests {
         let mut cfg = config();
         cfg.idle_timeout = None;
         let mut dir = DirectoryService::new(cfg);
-        dir.mark_running("alice.family.name", SimTime::ZERO);
+        dir.mark_ready("alice.family.name", SimTime::ZERO);
         assert!(dir.idle_services(SimTime::from_secs(10_000)).is_empty());
     }
 }

@@ -238,6 +238,12 @@ impl Jitsud {
         );
         self.instances.insert(service.name.clone(), instance);
         self.doms.insert(service.name.clone(), outcome.dom);
+        // The linear timeline completes the whole launch synchronously, so
+        // promote the directory's Launching entry to Running at the moment
+        // the application comes up (the concurrent engine instead does this
+        // from its app-ready event).
+        self.directory
+            .mark_ready(&service.name, outcome.app_ready_at());
         Ok(outcome)
     }
 

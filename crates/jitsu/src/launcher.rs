@@ -84,6 +84,19 @@ impl Launcher {
         self.toolstack.can_allocate(service.image.memory_mib)
     }
 
+    /// Free guest memory on the board, in MiB. The concurrent engine
+    /// subtracts its own not-yet-built reservations from this when deciding
+    /// admission.
+    pub fn free_mib(&self) -> u32 {
+        self.toolstack.free_mib()
+    }
+
+    /// Time to tear down a retired domain (the `Draining` window of the
+    /// lifecycle state machine).
+    pub fn teardown_time(&self) -> jitsu_sim::SimDuration {
+        self.toolstack.teardown_time()
+    }
+
     /// Summon a unikernel for a service at virtual time `now`. Returns the
     /// launch timeline and a runnable [`UnikernelInstance`] (with a static
     /// site appliance by default; callers may construct their own instance

@@ -19,11 +19,17 @@
 //! * [`handoff`] — the two-phase commit through XenStore that guarantees
 //!   exactly one of Synjitsu or the unikernel answers any given packet;
 //! * [`jitsud`] — the daemon tying it all together, with the end-to-end
-//!   cold-start and warm-request timelines that Figure 9a measures.
+//!   cold-start and warm-request timelines that Figure 9a measures;
+//! * [`concurrent`] — the event-driven concurrent engine: per-service
+//!   lifecycle state machines scheduled on the `jitsu_sim` event engine,
+//!   with launch-slot admission control, duplicate-query coalescing,
+//!   memory-exhaustion `SERVFAIL` and idle reaping (§3.3) — the machinery
+//!   the boot-storm experiment drives.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod config;
 pub mod directory;
 pub mod handoff;
@@ -31,8 +37,9 @@ pub mod jitsud;
 pub mod launcher;
 pub mod synjitsu;
 
+pub use concurrent::{ConcurrentJitsud, Lifecycle, LifecyclePhase, StormMetrics, StormSim};
 pub use config::{JitsuConfig, Protocol, ServiceConfig};
-pub use directory::{DirectoryAction, DirectoryService};
+pub use directory::{DirectoryAction, DirectoryService, ServicePhase};
 pub use handoff::{HandoffCoordinator, HandoffPhase};
 pub use jitsud::{ColdStartMode, ColdStartReport, Jitsud, RequestOutcome};
 pub use launcher::{LaunchOutcome, Launcher};

@@ -58,6 +58,15 @@ impl Synjitsu {
         self.services.len()
     }
 
+    /// Number of live connections currently proxied for one service (the
+    /// length of its SYN queue while its unikernel boots).
+    pub fn proxied_connection_count(&self, name: &str) -> usize {
+        self.services
+            .get(name)
+            .map(|svc| svc.iface.connection_count())
+            .unwrap_or(0)
+    }
+
     /// Begin proxying for a service that has just been summoned: Synjitsu
     /// impersonates the service's IP/MAC on the bridge until handoff.
     pub fn start_proxying(&mut self, xs: &mut XenStore, service: &ServiceConfig) -> XsResult<()> {

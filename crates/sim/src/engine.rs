@@ -184,6 +184,15 @@ impl<W> Sim<W> {
         self.executed - before
     }
 
+    /// Run for `duration` of virtual time from the current clock, then stop
+    /// (a convenience over [`Sim::run_until`] for fixed-length experiment
+    /// windows such as a boot-storm measurement interval). Returns the
+    /// number of events executed.
+    pub fn run_for(&mut self, duration: SimDuration) -> u64 {
+        let deadline = self.now + duration;
+        self.run_until(deadline)
+    }
+
     /// The timestamp of the next pending event, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
         self.queue.peek().map(|e| e.at)
@@ -271,6 +280,19 @@ mod tests {
         assert_eq!(sim.events_pending(), 2);
         sim.run();
         assert_eq!(sim.world(), &vec![5, 15, 25, 35]);
+    }
+
+    #[test]
+    fn run_for_advances_a_fixed_window() {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        for ms in [5u64, 15, 25] {
+            sim.schedule_at(SimTime::from_millis(ms), move |s| s.world_mut().push(ms));
+        }
+        assert_eq!(sim.run_for(SimDuration::from_millis(10)), 1);
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+        assert_eq!(sim.run_for(SimDuration::from_millis(10)), 1);
+        assert_eq!(sim.now(), SimTime::from_millis(20));
+        assert_eq!(sim.world(), &vec![5, 15]);
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod trace;
 
 pub use dist::Distribution;
 pub use engine::Sim;
-pub use metrics::{Cdf, Histogram, SummaryStats};
+pub use metrics::{Cdf, Histogram, LatencyRecorder, SummaryStats};
 pub use report::{Figure, Table};
 pub use rng::SimRng;
 pub use series::{DataPoint, Series};

@@ -264,6 +264,83 @@ impl Cdf {
     }
 }
 
+/// An accumulator for per-request latencies that reports the tail
+/// percentiles the boot-storm experiment cares about (p50/p95/p99
+/// time-to-first-byte).
+///
+/// Unlike [`Histogram`] it keeps the raw samples, so percentiles are exact
+/// regardless of range, and unlike [`Cdf`] it speaks [`SimDuration`]
+/// natively.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples_ms: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// Create an empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, d: SimDuration) {
+        self.samples_ms.push(d.as_millis_f64());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_ms.is_empty()
+    }
+
+    /// The given percentile (0–100) in milliseconds, or 0.0 when empty
+    /// (convenient for rendering report rows for all-SERVFAIL cells).
+    pub fn percentile_ms(&self, pct: f64) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        percentile(&self.samples_ms, pct)
+    }
+
+    /// Several percentiles (0–100) in one pass: the samples are cloned and
+    /// sorted once, not once per percentile. Returns 0.0 entries when no
+    /// samples have been recorded.
+    pub fn percentiles_ms(&self, pcts: &[f64]) -> Vec<f64> {
+        if self.samples_ms.is_empty() {
+            return vec![0.0; pcts.len()];
+        }
+        let mut sorted = self.samples_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        pcts.iter()
+            .map(|&p| percentile_sorted(&sorted, p))
+            .collect()
+    }
+
+    /// Median latency in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.percentile_ms(50.0)
+    }
+
+    /// 95th-percentile latency in milliseconds.
+    pub fn p95_ms(&self) -> f64 {
+        self.percentile_ms(95.0)
+    }
+
+    /// 99th-percentile latency in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.percentile_ms(99.0)
+    }
+
+    /// Full summary statistics over the recorded samples, in milliseconds.
+    pub fn summary(&self) -> Option<SummaryStats> {
+        SummaryStats::from_values(&self.samples_ms)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,5 +447,33 @@ mod tests {
         // Empty CDF yields all-zero fractions.
         let mut empty = Cdf::new();
         assert!(empty.grid(0.0, 1.0, 2).iter().all(|&(_, f)| f == 0.0));
+    }
+
+    #[test]
+    fn latency_recorder_percentiles() {
+        let mut rec = LatencyRecorder::new();
+        assert!(rec.is_empty());
+        assert_eq!(rec.percentile_ms(99.0), 0.0);
+        for ms in 1..=100u64 {
+            rec.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(rec.count(), 100);
+        assert!((rec.p50_ms() - 50.5).abs() < 1e-9);
+        assert!(rec.p95_ms() > rec.p50_ms());
+        assert!(rec.p99_ms() > rec.p95_ms());
+        assert!(rec.p99_ms() <= 100.0);
+        let summary = rec.summary().unwrap();
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.min, 1.0);
+        assert_eq!(summary.max, 100.0);
+        // The batched form agrees with the one-at-a-time form.
+        assert_eq!(
+            rec.percentiles_ms(&[50.0, 95.0, 99.0]),
+            vec![rec.p50_ms(), rec.p95_ms(), rec.p99_ms()]
+        );
+        assert_eq!(
+            LatencyRecorder::new().percentiles_ms(&[50.0, 99.0]),
+            vec![0.0, 0.0]
+        );
     }
 }

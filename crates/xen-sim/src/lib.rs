@@ -55,5 +55,5 @@ pub use grant_table::{GrantRef, GrantTable};
 pub use hotplug::HotplugStyle;
 pub use memory::{MemoryLayout, PageAllocator, PAGE_SIZE};
 pub use scheduler::CreditScheduler;
-pub use toolstack::{BootOptimisations, Toolstack};
+pub use toolstack::{BootOptimisations, LaunchSlots, Toolstack};
 pub use xenstore::DomId;

@@ -92,6 +92,75 @@ impl BootOptimisations {
     }
 }
 
+/// A counting semaphore bounding how many domain constructions dom0 runs
+/// concurrently.
+///
+/// Domain construction is dom0-CPU-bound (page scrubbing, XenStore
+/// transactions, hotplug), so a host can only usefully overlap a small
+/// number of builds — roughly its dom0 vcpu count. Jitsu's concurrent
+/// engine acquires a slot before calling [`Toolstack::create_domain`] and
+/// releases it when construction completes; launches arriving while all
+/// slots are busy queue behind the semaphore, which is what produces the
+/// graceful time-to-first-byte degradation (rather than thrashing) when a
+/// boot storm exceeds the board's build throughput.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchSlots {
+    capacity: u32,
+    in_use: u32,
+    peak: u32,
+}
+
+impl LaunchSlots {
+    /// A semaphore with `capacity` slots (clamped to at least one).
+    pub fn new(capacity: u32) -> LaunchSlots {
+        LaunchSlots {
+            capacity: capacity.max(1),
+            in_use: 0,
+            peak: 0,
+        }
+    }
+
+    /// Total number of slots.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Slots currently held.
+    pub fn in_use(&self) -> u32 {
+        self.in_use
+    }
+
+    /// Slots currently free.
+    pub fn available(&self) -> u32 {
+        self.capacity - self.in_use
+    }
+
+    /// The highest concurrency observed since construction.
+    pub fn peak(&self) -> u32 {
+        self.peak
+    }
+
+    /// Acquire a slot if one is free. Returns whether acquisition succeeded.
+    pub fn try_acquire(&mut self) -> bool {
+        if self.in_use < self.capacity {
+            self.in_use += 1;
+            self.peak = self.peak.max(self.in_use);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release a previously acquired slot.
+    ///
+    /// # Panics
+    /// Panics if no slot is held — that is always a caller bookkeeping bug.
+    pub fn release(&mut self) {
+        assert!(self.in_use > 0, "LaunchSlots::release without acquire");
+        self.in_use -= 1;
+    }
+}
+
 /// Per-stage timing of a whole `create` operation (Figure 4's unit of
 /// measurement: "VM construction time, not boot time").
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -349,6 +418,16 @@ impl Toolstack {
         Ok(())
     }
 
+    /// Time to tear a domain down: deschedule its vcpu, close and unplug
+    /// the vif, release grants/event channels and return its pages to the
+    /// allocator. §3.3 reaps idle unikernels to reclaim memory; teardown is
+    /// much cheaper than construction but not free, so a reaped service
+    /// passes through a short `Draining` window before its memory is
+    /// reusable.
+    pub fn teardown_time(&self) -> SimDuration {
+        self.board.scale_cpu(SimDuration::from_micros(5_000))
+    }
+
     /// Destroy a domain, releasing its memory, devices and XenStore state.
     pub fn destroy(&mut self, dom: DomId) -> Result<(), ToolstackError> {
         let mut d = self
@@ -534,6 +613,45 @@ mod tests {
         // Destroying one frees capacity again.
         ts.destroy(created[0]).unwrap();
         assert!(ts.can_allocate(256));
+    }
+
+    #[test]
+    fn launch_slots_bound_concurrency() {
+        let mut slots = LaunchSlots::new(2);
+        assert_eq!(slots.capacity(), 2);
+        assert_eq!(slots.available(), 2);
+        assert!(slots.try_acquire());
+        assert!(slots.try_acquire());
+        assert!(!slots.try_acquire(), "third acquire must fail");
+        assert_eq!(slots.in_use(), 2);
+        assert_eq!(slots.available(), 0);
+        slots.release();
+        assert!(slots.try_acquire());
+        slots.release();
+        slots.release();
+        assert_eq!(slots.in_use(), 0);
+        assert_eq!(slots.peak(), 2);
+        // Zero capacity is clamped to one so the engine can always progress.
+        assert_eq!(LaunchSlots::new(0).capacity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without acquire")]
+    fn launch_slot_release_without_acquire_panics() {
+        LaunchSlots::new(1).release();
+    }
+
+    #[test]
+    fn teardown_is_cheaper_than_construction_and_scales_with_board() {
+        let mut arm = arm_toolstack();
+        let arm_teardown = arm.teardown_time();
+        let create = arm
+            .create_domain(DomainConfig::unikernel("www"), BootOptimisations::jitsu())
+            .unwrap()
+            .total;
+        assert!(arm_teardown < create, "teardown {arm_teardown} < {create}");
+        let x86 = Toolstack::new(BoardKind::X86Server.board(), EngineKind::JitsuMerge, 42);
+        assert!(x86.teardown_time() < arm_teardown);
     }
 
     #[test]

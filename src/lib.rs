@@ -48,8 +48,9 @@ pub use xenstore;
 
 /// The types most programs need, in one import.
 pub mod prelude {
+    pub use crate::jitsu::concurrent::{ConcurrentJitsud, LifecyclePhase, StormMetrics, StormSim};
     pub use crate::jitsu::config::{JitsuConfig, Protocol, ServiceConfig};
-    pub use crate::jitsu::directory::{DirectoryAction, DirectoryService};
+    pub use crate::jitsu::directory::{DirectoryAction, DirectoryService, ServicePhase};
     pub use crate::jitsu::jitsud::{ColdStartMode, ColdStartReport, Jitsud, RequestOutcome};
     pub use crate::jitsu::launcher::Launcher;
     pub use crate::jitsu::synjitsu::Synjitsu;
@@ -60,7 +61,7 @@ pub mod prelude {
     pub use crate::platform::{
         Board, BoardKind, PowerComponent, PowerModel, PowerState, StorageKind,
     };
-    pub use crate::sim::{SimDuration, SimTime};
+    pub use crate::sim::{Sim, SimDuration, SimRng, SimTime};
     pub use crate::unikernel::appliance::{QueueAppliance, StaticSiteAppliance};
     pub use crate::unikernel::image::UnikernelImage;
     pub use crate::xen::toolstack::{BootOptimisations, Toolstack};

@@ -3,6 +3,7 @@
 //! permissions and transaction atomicity, the TCB handoff format is
 //! loss-free, and the vchan ring never loses or reorders bytes.
 
+use jitsu_repro::netstack::checksum;
 use jitsu_repro::netstack::dns::DnsMessage;
 use jitsu_repro::netstack::http::{HttpRequest, HttpResponse};
 use jitsu_repro::netstack::icmp::IcmpEcho;
@@ -84,6 +85,58 @@ proptest! {
                                flags: TcpFlags::PSH_ACK, window: 8192, payload };
         let parsed = TcpSegment::parse(&seg.emit(src, dst), src, dst).unwrap();
         prop_assert_eq!(parsed, seg);
+    }
+
+    #[test]
+    fn tcp_segment_round_trips_for_every_flag_combination(
+        src in arb_ipv4(), dst in arb_ipv4(), sport in 1u16..=65535, dport in 1u16..=65535,
+        seq in any::<u32>(), ack in any::<u32>(), flag_bits in 0u8..32, window in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512))
+    {
+        // All 32 FIN/SYN/RST/PSH/ACK combinations, not just the named ones.
+        let flags = TcpFlags::from_bits(flag_bits);
+        // The 5 flag bits encode losslessly.
+        prop_assert_eq!(flags.to_bits(), flag_bits);
+        let seg = TcpSegment { src_port: sport, dst_port: dport, seq, ack, flags, window,
+                               payload };
+        let parsed = TcpSegment::parse(&seg.emit(src, dst), src, dst).unwrap();
+        prop_assert_eq!(&parsed, &seg);
+        prop_assert_eq!(parsed.seq_len(),
+                        seg.payload.len() as u32
+                            + u32::from(flags.syn) + u32::from(flags.fin));
+    }
+
+    #[test]
+    fn tcp_checksum_is_invariant_under_payload_splitting(
+        src in arb_ipv4(), dst in arb_ipv4(), seq in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 2..512),
+        split_hint in any::<usize>())
+    {
+        // The Internet checksum is a one's-complement sum of 16-bit words,
+        // so accumulating two word-aligned chunks must equal accumulating
+        // the whole buffer at once — the property Synjitsu relies on when
+        // a buffered request is replayed as differently-sized segments.
+        let k = (split_hint % (payload.len() / 2)) * 2;
+        let whole = checksum::finish(checksum::partial(0, &payload));
+        let split = checksum::finish(
+            checksum::partial(checksum::partial(0, &payload[..k]), &payload[k..]));
+        prop_assert_eq!(whole, split);
+
+        // Splitting one segment into two (second seq advanced by the first
+        // chunk's length) yields two independently checksum-valid segments
+        // whose payloads reassemble into the original bytes.
+        let first = TcpSegment { payload: payload[..k].to_vec(),
+                                 ..TcpSegment::control(49152, 80, seq, 1, TcpFlags::ACK) };
+        let second = TcpSegment { payload: payload[k..].to_vec(),
+                                  ..TcpSegment::control(49152, 80,
+                                                        seq.wrapping_add(k as u32), 1,
+                                                        TcpFlags::PSH_ACK) };
+        let a = TcpSegment::parse(&first.emit(src, dst), src, dst).unwrap();
+        let b = TcpSegment::parse(&second.emit(src, dst), src, dst).unwrap();
+        prop_assert_eq!(b.seq.wrapping_sub(a.seq) as usize, a.payload.len());
+        let mut reassembled = a.payload.clone();
+        reassembled.extend_from_slice(&b.payload);
+        prop_assert_eq!(reassembled, payload);
     }
 
     #[test]
