@@ -1,0 +1,18 @@
+//! Handoff-storm experiment: live TCP flows migrated from Synjitsu to
+//! booted unikernels mid-request (see `bench::handoff_storm` and README
+//! § "The handoff-storm experiment").
+//!
+//! Optional argument: a hexadecimal seed (default `4A0D`). The storm is a
+//! pure function of the seed — two runs with the same seed print
+//! byte-identical reports.
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok())
+        .unwrap_or(0x4A0D);
+    println!("seed = {seed:#x}\n");
+    println!("{}", bench::handoff_storm::table(seed).render());
+    println!("'dropped B' and 'dup B' are the result: zero means every migrated");
+    println!("connection completed its HTTP exchange against the unikernel with no");
+    println!("payload byte lost or duplicated across the two-phase commit.");
+}

@@ -111,6 +111,22 @@ impl FlowTable {
     pub fn remove(xs: &mut XenStore, actor: DomId, id: u64) -> XsResult<()> {
         xs.rm(actor, None, &Self::path(id))
     }
+
+    /// Remove every flow entry already in [`FlowState::Closed`], returning
+    /// how many were pruned. Short-lived flows (one per Synjitsu handoff
+    /// rendezvous) would otherwise accumulate in the store for the lifetime
+    /// of the host; management tools only care about live flows.
+    pub fn prune_closed(xs: &mut XenStore, actor: DomId) -> usize {
+        let mut pruned = 0;
+        for id in Self::list(xs, actor) {
+            if let Ok(Some(FlowState::Closed)) = Self::state(xs, actor, id) {
+                if Self::remove(xs, actor, id).is_ok() {
+                    pruned += 1;
+                }
+            }
+        }
+        pruned
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +185,25 @@ mod tests {
         assert!(raw.contains("domid 7"), "raw={raw}");
         FlowTable::remove(&mut xs, DomId::DOM0, id1).unwrap();
         assert_eq!(FlowTable::list(&mut xs, DomId::DOM0), vec![2]);
+    }
+
+    #[test]
+    fn prune_removes_only_closed_flows() {
+        let mut xs = XenStore::new(EngineKind::JitsuMerge);
+        let mut flows = FlowTable::new();
+        let live = flows
+            .create(&mut xs, DomId::DOM0, FlowState::Established, "live")
+            .unwrap();
+        for _ in 0..5 {
+            let id = flows
+                .create(&mut xs, DomId::DOM0, FlowState::Established, "short")
+                .unwrap();
+            FlowTable::set_state(&mut xs, DomId::DOM0, id, FlowState::Closed).unwrap();
+        }
+        assert_eq!(FlowTable::prune_closed(&mut xs, DomId::DOM0), 5);
+        assert_eq!(FlowTable::list(&mut xs, DomId::DOM0), vec![live]);
+        // Idempotent: nothing left to prune.
+        assert_eq!(FlowTable::prune_closed(&mut xs, DomId::DOM0), 0);
     }
 
     #[test]

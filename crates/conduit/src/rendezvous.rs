@@ -206,72 +206,108 @@ impl ConduitRegistry {
         let pending = xs.directory(server, None, &listen)?;
         let mut accepted = Vec::new();
         for conn in pending {
-            let entry = format!("{listen}/{conn}");
-            let client_str = xs.read_string(server, None, &entry)?;
-            let Ok(client_id) = client_str.trim().parse::<u32>() else {
-                // Malformed request: drop it.
-                let _ = xs.rm(server, None, &entry);
-                continue;
-            };
-            let client = DomId(client_id);
-            let channel = VchanPair::establish(grants, evtchn, server, client)
-                .map_err(|e| ConduitError::Vchan(format!("{e:?}")))?;
-
-            // Publish the shared-memory endpoint details where only the two
-            // participants (and dom0) can read them.
-            let vchan_base = Self::vchan_path(server, &conn);
-            xs.write(
-                DomId::DOM0,
-                None,
-                &format!("{vchan_base}/ring-ref"),
-                channel.server_ring_gref.0.to_string().as_bytes(),
-            )?;
-            xs.write(
-                DomId::DOM0,
-                None,
-                &format!("{vchan_base}/event-channel"),
-                channel.client_port.0.to_string().as_bytes(),
-            )?;
-            xs.write(
-                DomId::DOM0,
-                None,
-                &format!("{vchan_base}/domid"),
-                client.0.to_string().as_bytes(),
-            )?;
-            // The endpoint details are readable only by the two participants
-            // (and dom0); every key must carry the grant, not just the
-            // directory, since permissions are per node.
-            let participant_perms = Permissions::owned_by(server).granting(client, PermLevel::Read);
-            for key in ["", "/ring-ref", "/event-channel", "/domid"] {
-                xs.set_perms(
-                    DomId::DOM0,
-                    None,
-                    &format!("{vchan_base}{key}"),
-                    participant_perms.clone(),
-                )?;
+            if let Some(c) = self.accept_entry(xs, grants, evtchn, name, server, &conn)? {
+                accepted.push(c);
             }
-
-            let flow_id = self.flows.create(
-                xs,
-                DomId::DOM0,
-                FlowState::Established,
-                &format!("service {name} client dom{} conn {conn}", client.0),
-            )?;
-            xs.write(
-                DomId::DOM0,
-                None,
-                &format!("{}/{}", Self::established_path(name), conn),
-                flow_id.to_string().as_bytes(),
-            )?;
-            xs.rm(server, None, &entry)?;
-            accepted.push(AcceptedConnection {
-                conn,
-                client,
-                flow_id,
-                channel,
-            });
         }
         Ok(accepted)
+    }
+
+    /// Accept exactly one named pending connection request, leaving any
+    /// other queued requests untouched. This is the Synjitsu-handoff
+    /// rendezvous shape: the server knows precisely which connection it is
+    /// waiting for (the booting unikernel's), and must not consume requests
+    /// that belong to other handoffs in flight.
+    pub fn accept_one(
+        &mut self,
+        xs: &mut XenStore,
+        grants: &mut GrantTable,
+        evtchn: &mut EventChannelTable,
+        name: &str,
+        server: DomId,
+        conn: &str,
+    ) -> Result<AcceptedConnection, ConduitError> {
+        let _ = xs.take_watch_events(server);
+        self.accept_entry(xs, grants, evtchn, name, server, conn)?
+            .ok_or_else(|| ConduitError::UnknownService(format!("{name}/{conn}")))
+    }
+
+    /// Establish one listen entry: vchan, published metadata, flow record.
+    /// Returns `None` when the entry is malformed (it is dropped).
+    fn accept_entry(
+        &mut self,
+        xs: &mut XenStore,
+        grants: &mut GrantTable,
+        evtchn: &mut EventChannelTable,
+        name: &str,
+        server: DomId,
+        conn: &str,
+    ) -> Result<Option<AcceptedConnection>, ConduitError> {
+        let listen = Self::listen_path(name);
+        let entry = format!("{listen}/{conn}");
+        let client_str = xs.read_string(server, None, &entry)?;
+        let Ok(client_id) = client_str.trim().parse::<u32>() else {
+            // Malformed request: drop it.
+            let _ = xs.rm(server, None, &entry);
+            return Ok(None);
+        };
+        let client = DomId(client_id);
+        let channel = VchanPair::establish(grants, evtchn, server, client)
+            .map_err(|e| ConduitError::Vchan(format!("{e:?}")))?;
+
+        // Publish the shared-memory endpoint details where only the two
+        // participants (and dom0) can read them.
+        let vchan_base = Self::vchan_path(server, conn);
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{vchan_base}/ring-ref"),
+            channel.server_ring_gref.0.to_string().as_bytes(),
+        )?;
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{vchan_base}/event-channel"),
+            channel.client_port.0.to_string().as_bytes(),
+        )?;
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{vchan_base}/domid"),
+            client.0.to_string().as_bytes(),
+        )?;
+        // The endpoint details are readable only by the two participants
+        // (and dom0); every key must carry the grant, not just the
+        // directory, since permissions are per node.
+        let participant_perms = Permissions::owned_by(server).granting(client, PermLevel::Read);
+        for key in ["", "/ring-ref", "/event-channel", "/domid"] {
+            xs.set_perms(
+                DomId::DOM0,
+                None,
+                &format!("{vchan_base}{key}"),
+                participant_perms.clone(),
+            )?;
+        }
+
+        let flow_id = self.flows.create(
+            xs,
+            DomId::DOM0,
+            FlowState::Established,
+            &format!("service {name} client dom{} conn {conn}", client.0),
+        )?;
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{}/{}", Self::established_path(name), conn),
+            flow_id.to_string().as_bytes(),
+        )?;
+        xs.rm(server, None, &entry)?;
+        Ok(Some(AcceptedConnection {
+            conn: conn.to_string(),
+            client,
+            flow_id,
+            channel,
+        }))
     }
 
     /// Tear down an accepted connection's metadata and mark its flow closed.
@@ -478,6 +514,48 @@ mod tests {
             )
             .unwrap();
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn accept_one_takes_only_the_named_request() {
+        let mut e = env();
+        e.registry.register(&mut e.xs, "synjitsu", SERVER).unwrap();
+        ConduitRegistry::connect(&mut e.xs, DomId(7), "synjitsu", "alice").unwrap();
+        ConduitRegistry::connect(&mut e.xs, DomId(9), "synjitsu", "bob").unwrap();
+        let got = e
+            .registry
+            .accept_one(
+                &mut e.xs,
+                &mut e.grants,
+                &mut e.evtchn,
+                "synjitsu",
+                SERVER,
+                "alice",
+            )
+            .unwrap();
+        assert_eq!(got.conn, "alice");
+        assert_eq!(got.client, DomId(7));
+        // Bob's request is still queued, untouched.
+        assert!(e
+            .xs
+            .exists(SERVER, None, "/conduit/synjitsu/listen/bob")
+            .unwrap());
+        assert!(!e
+            .xs
+            .exists(SERVER, None, "/conduit/synjitsu/listen/alice")
+            .unwrap());
+        // Accepting a connection that was never requested is an error.
+        assert!(e
+            .registry
+            .accept_one(
+                &mut e.xs,
+                &mut e.grants,
+                &mut e.evtchn,
+                "synjitsu",
+                SERVER,
+                "carol",
+            )
+            .is_err());
     }
 
     #[test]

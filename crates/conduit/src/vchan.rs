@@ -186,9 +186,18 @@ impl VchanPair {
             Side::Server => (self.server, self.server_port),
             Side::Client => (self.client, self.client_port),
         };
+        let own_open = match side {
+            Side::Server => self.server_open,
+            Side::Client => self.client_open,
+        };
         let (tx, _rx, peer_open) = self.rings(side);
-        if !peer_open {
+        if !own_open || !peer_open {
             return Err(VchanError::Closed);
+        }
+        if data.is_empty() {
+            // Nothing to transfer: not a blocking condition, even when the
+            // ring happens to be exactly full.
+            return Ok(0);
         }
         if tx.free() == 0 {
             return Err(VchanError::WouldBlock);
@@ -198,6 +207,41 @@ impl VchanPair {
             let _ = evtchn.notify(notify_from.0, notify_from.1);
         }
         Ok(n)
+    }
+
+    /// Drive a whole buffer through the channel from `from`, reading at the
+    /// peer whenever the ring fills, and return everything the peer read.
+    /// A single-threaded convenience for co-operative bulk transfers — the
+    /// Synjitsu → unikernel TCB drain pushes records much larger than one
+    /// ring through exactly this loop.
+    pub fn stream(
+        &mut self,
+        from: Side,
+        data: &[u8],
+        evtchn: &mut EventChannelTable,
+    ) -> Result<Vec<u8>, VchanError> {
+        let to = match from {
+            Side::Server => Side::Client,
+            Side::Client => Side::Server,
+        };
+        let mut received = Vec::new();
+        let mut offset = 0;
+        while offset < data.len() {
+            match self.write(from, &data[offset..], evtchn) {
+                Ok(n) if n > 0 => offset += n,
+                Ok(_) | Err(VchanError::WouldBlock) => {
+                    let got = self.read(to, usize::MAX)?;
+                    if got.is_empty() {
+                        // Full ring and nothing drained: cannot progress.
+                        return Err(VchanError::WouldBlock);
+                    }
+                    received.extend(got);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        received.extend(self.read(to, usize::MAX)?);
+        Ok(received)
     }
 
     /// Read up to `max` bytes available to `side`.
@@ -232,6 +276,21 @@ impl VchanPair {
     /// True while both ends are open.
     pub fn is_open(&self) -> bool {
         self.server_open && self.client_open
+    }
+
+    /// Release the hypervisor resources behind the channel: unmap and
+    /// revoke both ring grants, and close both event-channel ports. Without
+    /// this, every short-lived vchan (one per Synjitsu handoff) permanently
+    /// leaks two grant entries from the server's table until it fills.
+    pub fn teardown(&mut self, grants: &mut GrantTable, evtchn: &mut EventChannelTable) {
+        self.server_open = false;
+        self.client_open = false;
+        for gref in [self.server_ring_gref, self.client_ring_gref] {
+            let _ = grants.unmap(self.server, gref);
+            let _ = grants.revoke(self.server, gref);
+        }
+        let _ = evtchn.close(self.server, self.server_port);
+        let _ = evtchn.close(self.client, self.client_port);
     }
 
     /// The ring capacity per direction.
@@ -345,5 +404,95 @@ mod tests {
         let (_grants, mut evtchn, mut pair) = setup();
         pair.write(Side::Client, b"", &mut evtchn).unwrap();
         assert!(!evtchn.take_pending(DomId(3), pair.server_port).unwrap());
+    }
+
+    #[test]
+    fn write_of_exactly_ring_capacity_fills_the_ring_in_one_call() {
+        let (_grants, mut evtchn, mut pair) = setup();
+        let exact = vec![0x5A; VchanPair::capacity()];
+        let accepted = pair.write(Side::Client, &exact, &mut evtchn).unwrap();
+        assert_eq!(accepted, VchanPair::capacity());
+        assert_eq!(pair.readable(Side::Server), VchanPair::capacity());
+        // Exactly full: one more byte would block…
+        assert_eq!(
+            pair.write(Side::Client, b"x", &mut evtchn),
+            Err(VchanError::WouldBlock)
+        );
+        // …but an empty write is not a blocking condition.
+        assert_eq!(pair.write(Side::Client, b"", &mut evtchn), Ok(0));
+        // The full ring drains intact (the read cursor wraps once).
+        let drained = pair.read(Side::Server, usize::MAX).unwrap();
+        assert_eq!(drained, exact);
+        assert_eq!(pair.write(Side::Client, b"x", &mut evtchn), Ok(1));
+    }
+
+    #[test]
+    fn write_after_closing_own_side_is_an_error() {
+        let (_grants, mut evtchn, mut pair) = setup();
+        pair.close(Side::Client);
+        assert_eq!(
+            pair.write(Side::Client, b"late", &mut evtchn),
+            Err(VchanError::Closed)
+        );
+        // The server sees Closed once nothing is left to drain.
+        assert_eq!(pair.read(Side::Server, 16), Err(VchanError::Closed));
+    }
+
+    #[test]
+    fn reader_drains_a_full_ring_buffered_before_the_peer_closed() {
+        let (_grants, mut evtchn, mut pair) = setup();
+        let exact = vec![0x77; VchanPair::capacity()];
+        assert_eq!(
+            pair.write(Side::Server, &exact, &mut evtchn).unwrap(),
+            VchanPair::capacity()
+        );
+        pair.close(Side::Server);
+        // Every byte written before the close is still readable…
+        let mut drained = Vec::new();
+        drained.extend(pair.read(Side::Client, 1000).unwrap());
+        drained.extend(pair.read(Side::Client, usize::MAX).unwrap());
+        assert_eq!(drained, exact);
+        // …and only then does the reader observe the close.
+        assert_eq!(pair.read(Side::Client, 16), Err(VchanError::Closed));
+    }
+
+    #[test]
+    fn stream_pushes_buffers_larger_than_the_ring() {
+        let (_grants, mut evtchn, mut pair) = setup();
+        let big: Vec<u8> = (0..VchanPair::capacity() * 3 + 123)
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let received = pair.stream(Side::Server, &big, &mut evtchn).unwrap();
+        assert_eq!(received, big, "no loss or reordering across wraps");
+        assert_eq!(pair.readable(Side::Client), 0);
+    }
+
+    #[test]
+    fn teardown_releases_grants_and_ports() {
+        let (mut grants, mut evtchn, mut pair) = setup();
+        assert_eq!(grants.grants_of(DomId(3)), 2);
+        pair.teardown(&mut grants, &mut evtchn);
+        assert_eq!(grants.grants_of(DomId(3)), 0, "both ring grants revoked");
+        assert!(!pair.is_open());
+        assert_eq!(
+            pair.write(Side::Client, b"x", &mut evtchn),
+            Err(VchanError::Closed)
+        );
+        // Repeated short-lived channels must not exhaust the grant table.
+        for _ in 0..1_000 {
+            let mut p = VchanPair::establish(&mut grants, &mut evtchn, DomId(3), DomId(7)).unwrap();
+            p.teardown(&mut grants, &mut evtchn);
+        }
+        assert_eq!(grants.grants_of(DomId(3)), 0);
+    }
+
+    #[test]
+    fn stream_to_a_closed_peer_fails() {
+        let (_grants, mut evtchn, mut pair) = setup();
+        pair.close(Side::Client);
+        assert_eq!(
+            pair.stream(Side::Server, b"data", &mut evtchn),
+            Err(VchanError::Closed)
+        );
     }
 }

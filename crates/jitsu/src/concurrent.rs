@@ -49,15 +49,23 @@
 
 use crate::config::{JitsuConfig, ServiceConfig};
 use crate::directory::{DirectoryAction, DirectoryService};
+use crate::handoff::{HandoffCoordinator, HandoffPhase};
 use crate::launcher::Launcher;
 use crate::synjitsu::Synjitsu;
-use jitsu_sim::{LatencyRecorder, Sim, SimDuration, SimTime, Tracer};
+use conduit::flows::FlowTable;
+use conduit::rendezvous::ConduitRegistry;
+use conduit::vchan::Side;
+use jitsu_sim::{LatencyRecorder, Sim, SimDuration, SimRng, SimTime, Tracer};
 use netstack::dns::{DnsMessage, Rcode};
-use netstack::ethernet::MacAddr;
-use netstack::iface::Interface;
-use netstack::ipv4::Ipv4Addr;
+use netstack::ethernet::{EthernetFrame, MacAddr};
+use netstack::http::HttpRequest;
+use netstack::iface::{IfaceEvent, Interface};
+use netstack::ipv4::{Ipv4Addr, Ipv4Packet};
+use netstack::tcp::Tcb;
 use platform::Board;
 use std::collections::{HashMap, VecDeque};
+use unikernel::appliance::{Appliance, StaticSiteAppliance};
+use unikernel::instance::UnikernelInstance;
 use xen_sim::toolstack::{LaunchSlots, Toolstack};
 use xenstore::DomId;
 
@@ -68,6 +76,62 @@ pub struct QueuedClient {
     pub id: u32,
     /// When the client's DNS query arrived.
     pub arrived: SimTime,
+}
+
+/// One client's live TCP flow: a real [`Interface`] that completes its
+/// handshake against whichever side of the handoff currently owns the
+/// service's traffic, sends an HTTP request, and accumulates the response
+/// byte stream so the engine can prove nothing was dropped or duplicated
+/// across the migration.
+#[derive(Debug)]
+struct ClientFlow {
+    iface: Interface,
+    request: Vec<u8>,
+    response: Vec<u8>,
+    sent_request: bool,
+}
+
+impl ClientFlow {
+    /// Feed one frame from the service side (Synjitsu or the unikernel)
+    /// into the client, returning the frames the client transmits in
+    /// response — including its HTTP request, sent exactly once, the
+    /// moment the handshake completes. Response bytes accumulate for the
+    /// zero-drop/zero-dup accounting.
+    fn on_peer_frame(&mut self, frame: &[u8]) -> Vec<Vec<u8>> {
+        let (mut out, events) = self.iface.handle_frame(frame);
+        for ev in events {
+            match ev {
+                IfaceEvent::TcpConnected { remote, local_port } if !self.sent_request => {
+                    self.sent_request = true;
+                    let request = self.request.clone();
+                    if let Some(f) = self.iface.tcp_send(remote, local_port, &request) {
+                        out.push(f);
+                    }
+                }
+                IfaceEvent::TcpData { data, .. } => self.response.extend_from_slice(&data),
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// The unikernel side of one service's data plane: the packet-level
+/// instance (network stack + appliance) plus the handoff bookkeeping the
+/// two-phase commit needs.
+#[derive(Debug)]
+struct DataPlane {
+    instance: UnikernelInstance,
+    /// TCBs reconstructed from the conduit vchan drain at `Prepare`,
+    /// adopted into the instance at `Committed`.
+    drained: Vec<Tcb>,
+    /// Phase 2 of the two-phase commit has run.
+    committed: bool,
+    /// The application has come up (`on_app_ready` fired).
+    app_ready: bool,
+    /// Clients whose exchanges could not be accounted at app-ready because
+    /// the commit had not happened yet (the rare reversed ordering).
+    awaiting_account: Vec<QueuedClient>,
 }
 
 /// The lifecycle state machine of one configured service.
@@ -122,6 +186,34 @@ pub enum LifecyclePhase {
     Draining,
 }
 
+/// Data-plane counters for the live-connection handoff (§3.3.1's "only one
+/// of them ever handles any given packet", measured rather than assumed).
+#[derive(Debug, Default)]
+pub struct HandoffStats {
+    /// Connections reconstructed from the conduit vchan drain and adopted
+    /// by a freshly booted unikernel.
+    pub migrated: u64,
+    /// Frames that arrived inside a `Prepare` window and were parked in the
+    /// handoff area instead of being answered (or dropped) by either side.
+    pub queued_during_prepare: u64,
+    /// Parked frames replayed by the unikernel after `Committed`.
+    pub replayed_after_commit: u64,
+    /// HTTP exchanges whose response stream reached the client byte-exact.
+    /// Covers every cold-served (parked) client: those migrated through the
+    /// vchan drain *and* those that connected directly during the short
+    /// post-commit boot tail — the zero-drop guarantee spans both.
+    pub completed: u64,
+    /// Expected response bytes that never reached a client.
+    pub dropped_bytes: u64,
+    /// Bytes delivered beyond (or diverging from) the expected stream.
+    pub duplicated_bytes: u64,
+    /// Client-observed request latency (DNS query → first response byte)
+    /// for every cold-served request — i.e. every request whose service was
+    /// still booting when it arrived, whichever side of the commit it
+    /// landed on. (`migrated` counts the strictly-proxied subset.)
+    pub request_latency: LatencyRecorder,
+}
+
 /// Counters and latency samples accumulated over a storm.
 #[derive(Debug, Default)]
 pub struct StormMetrics {
@@ -144,6 +236,8 @@ pub struct StormMetrics {
     pub reaps: u64,
     /// TCP connections handed from Synjitsu to a freshly booted unikernel.
     pub syn_handoffs: u64,
+    /// Data-plane accounting for the live-connection handoff.
+    pub handoff: HandoffStats,
     /// Time from a client's DNS query to its first response byte, for every
     /// served request (cold and warm).
     pub ttfb: LatencyRecorder,
@@ -174,6 +268,14 @@ pub struct ConcurrentJitsud {
     launcher: Launcher,
     synjitsu: Synjitsu,
     slots: LaunchSlots,
+    /// The conduit rendezvous registry (Synjitsu's handoff endpoint).
+    conduit: ConduitRegistry,
+    /// Stateless probe into the XenStore handoff area (phase lookups).
+    handoff_probe: HandoffCoordinator,
+    /// Live client TCP flows, by client id.
+    clients: HashMap<u32, ClientFlow>,
+    /// Per-service unikernel data planes, while launching or running.
+    planes: HashMap<String, DataPlane>,
     services: HashMap<String, Lifecycle>,
     /// Services admitted and waiting for a launch slot, FIFO.
     launch_queue: VecDeque<String>,
@@ -198,7 +300,13 @@ pub type StormSim = Sim<ConcurrentJitsud>;
 impl ConcurrentJitsud {
     /// Build the world and wrap it in a simulator at time zero.
     pub fn sim(config: JitsuConfig, board: Board, seed: u64) -> StormSim {
-        let toolstack = Toolstack::new(board.clone(), config.engine, seed);
+        let mut toolstack = Toolstack::new(board.clone(), config.engine, seed);
+        // Synjitsu registers its conduit endpoint up front: every booting
+        // unikernel rendezvouses here to drain its proxied connections.
+        let mut conduit = ConduitRegistry::new();
+        conduit
+            .register(&mut toolstack.xenstore, "synjitsu", DomId::DOM0)
+            .expect("conduit registration succeeds on a fresh store");
         let launcher = Launcher::new(toolstack, config.boot);
         let directory = DirectoryService::new(config.clone());
         let slots = LaunchSlots::new(config.launch_slots);
@@ -207,6 +315,10 @@ impl ConcurrentJitsud {
             launcher,
             synjitsu: Synjitsu::new(),
             slots,
+            conduit,
+            handoff_probe: HandoffCoordinator::new(),
+            clients: HashMap::new(),
+            planes: HashMap::new(),
             services: HashMap::new(),
             launch_queue: VecDeque::new(),
             reserved_mib: 0,
@@ -311,31 +423,177 @@ impl ConcurrentJitsud {
         ])
     }
 
-    /// Complete a real TCP handshake for `client` against the Synjitsu
-    /// proxy, parking the connection in the service's SYN queue.
-    fn park_syn(world: &mut ConcurrentJitsud, svc: &ServiceConfig, client: QueuedClient) {
-        if !world.config.use_synjitsu || !world.synjitsu.is_proxying(&svc.name) {
+    /// Recover the client id a `10.x.y.z` address encodes (the inverse of
+    /// [`Self::client_ip`]).
+    fn client_id_of_ip(ip: Ipv4Addr) -> Option<u32> {
+        if ip.0[0] != 10 {
+            return None;
+        }
+        Some(((ip.0[1] as u32) << 16) | ((ip.0[2] as u32) << 8) | ip.0[3] as u32)
+    }
+
+    /// The client id a frame is addressed to (by destination IP).
+    fn frame_client_dst(frame: &[u8]) -> Option<u32> {
+        let eth = EthernetFrame::parse(frame).ok()?;
+        let ip = Ipv4Packet::parse(&eth.payload).ok()?;
+        Self::client_id_of_ip(ip.dst)
+    }
+
+    /// The client id a frame came from (by source IP).
+    fn frame_client_src(frame: &[u8]) -> Option<u32> {
+        let eth = EthernetFrame::parse(frame).ok()?;
+        let ip = Ipv4Packet::parse(&eth.payload).ok()?;
+        Self::client_id_of_ip(ip.src)
+    }
+
+    /// The exact byte stream the static-site appliance serves for `GET /`
+    /// on `name` — the oracle the zero-drop/zero-dup accounting compares
+    /// each client's accumulated response against.
+    fn expected_response(name: &str) -> Vec<u8> {
+        let mut app = StaticSiteAppliance::new(name);
+        let mut rng = SimRng::seed_from_u64(0);
+        let (response, _) = app.handle(&HttpRequest::get("/", name), &mut rng);
+        response.emit()
+    }
+
+    /// Open a real TCP flow for `client` towards the service: build its
+    /// interface, remember the HTTP request it will send once connected,
+    /// and route the SYN into whichever side of the handoff currently owns
+    /// the service's traffic.
+    fn open_client_flow(world: &mut ConcurrentJitsud, svc: &ServiceConfig, client: QueuedClient) {
+        if !world.config.use_synjitsu {
             return;
         }
         let mut iface = Interface::new(Self::client_mac(client.id), Self::client_ip(client.id));
         iface.add_arp_entry(svc.ip, svc.mac());
-        let mut to_proxy = vec![iface.tcp_connect(svc.ip, svc.port)];
-        for _ in 0..4 {
+        let syn = iface.tcp_connect(svc.ip, svc.port);
+        world.clients.insert(
+            client.id,
+            ClientFlow {
+                iface,
+                request: HttpRequest::get("/", &svc.name).emit(),
+                response: Vec::new(),
+                sent_request: false,
+            },
+        );
+        Self::route_client_frames(world, &svc.name, client.id, vec![syn]);
+    }
+
+    /// Deliver client frames to exactly one handler, per the handoff phase:
+    /// Synjitsu while `Proxying`, the pending queue while `Prepare` (the
+    /// unikernel replays them after `Committed`), the unikernel afterwards.
+    fn route_client_frames(
+        world: &mut ConcurrentJitsud,
+        name: &str,
+        client_id: u32,
+        frames: Vec<Vec<u8>>,
+    ) {
+        if frames.is_empty() {
+            return;
+        }
+        let xs = &mut world.launcher.toolstack.xenstore;
+        match world.handoff_probe.phase(xs, name) {
+            HandoffPhase::Proxying => Self::pump_via_synjitsu(world, name, client_id, frames),
+            HandoffPhase::Prepare => {
+                // The race window between the phases: park every frame.
+                // Synjitsu queues it into the handoff area and answers
+                // nothing.
+                for frame in frames {
+                    world.metrics.handoff.queued_during_prepare += 1;
+                    world
+                        .synjitsu
+                        .handle_frame(xs, name, &frame)
+                        .expect("synjitsu parks frames during prepare");
+                }
+            }
+            HandoffPhase::Committed => Self::pump_via_unikernel(world, name, client_id, frames),
+        }
+    }
+
+    /// Exchange frames between one client flow and the Synjitsu proxy until
+    /// both directions go quiet. The client sends its HTTP request as soon
+    /// as its handshake completes; Synjitsu buffers it (it never answers
+    /// request data) and mirrors every connection into XenStore.
+    fn pump_via_synjitsu(
+        world: &mut ConcurrentJitsud,
+        name: &str,
+        client_id: u32,
+        mut to_proxy: Vec<Vec<u8>>,
+    ) {
+        let Some(flow) = world.clients.get_mut(&client_id) else {
+            return;
+        };
+        let xs = &mut world.launcher.toolstack.xenstore;
+        let synjitsu = &mut world.synjitsu;
+        for _ in 0..16 {
             if to_proxy.is_empty() {
                 break;
             }
             let mut to_client = Vec::new();
             for frame in to_proxy.drain(..) {
                 to_client.extend(
-                    world
-                        .synjitsu
-                        .handle_frame(&mut world.launcher.toolstack.xenstore, &svc.name, &frame)
+                    synjitsu
+                        .handle_frame(xs, name, &frame)
                         .expect("synjitsu accepts proxied frames"),
                 );
             }
             for frame in to_client {
-                let (out, _) = iface.handle_frame(&frame);
-                to_proxy.extend(out);
+                to_proxy.extend(flow.on_peer_frame(&frame));
+            }
+        }
+    }
+
+    /// Exchange frames between one client flow and the booted unikernel.
+    fn pump_via_unikernel(
+        world: &mut ConcurrentJitsud,
+        name: &str,
+        client_id: u32,
+        to_server: Vec<Vec<u8>>,
+    ) {
+        let Some(plane) = world.planes.get_mut(name) else {
+            return;
+        };
+        let Some(flow) = world.clients.get_mut(&client_id) else {
+            return;
+        };
+        Self::exchange(plane, flow, to_server, Vec::new());
+    }
+
+    /// Deliver unikernel-originated frames (e.g. replayed responses) to the
+    /// client that owns them, pumping any ACK traffic back.
+    fn deliver_to_client(
+        world: &mut ConcurrentJitsud,
+        name: &str,
+        client_id: u32,
+        to_client: Vec<Vec<u8>>,
+    ) {
+        let Some(plane) = world.planes.get_mut(name) else {
+            return;
+        };
+        let Some(flow) = world.clients.get_mut(&client_id) else {
+            return;
+        };
+        Self::exchange(plane, flow, Vec::new(), to_client);
+    }
+
+    /// Pump frames both ways between a client flow and a unikernel instance
+    /// until quiescent, accumulating the client's response stream.
+    fn exchange(
+        plane: &mut DataPlane,
+        flow: &mut ClientFlow,
+        mut to_server: Vec<Vec<u8>>,
+        mut to_client: Vec<Vec<u8>>,
+    ) {
+        for _ in 0..32 {
+            if to_server.is_empty() && to_client.is_empty() {
+                break;
+            }
+            for frame in to_server.drain(..) {
+                let (out, _cost) = plane.instance.handle_frame(&frame);
+                to_client.extend(out);
+            }
+            for frame in to_client.drain(..) {
+                to_server.extend(flow.on_peer_frame(&frame));
             }
         }
     }
@@ -394,7 +652,7 @@ impl ConcurrentJitsud {
             Some(Lifecycle::AwaitingSlot { queued, .. }) => {
                 queued.push(client);
                 world.metrics.coalesced += 1;
-                Self::park_syn(world, &svc, client);
+                Self::open_client_flow(world, &svc, client);
             }
             Some(Lifecycle::Launching { queued, .. }) => {
                 queued.push(client);
@@ -404,7 +662,7 @@ impl ConcurrentJitsud {
                     "jitsud",
                     format!("query for mid-launch {name} coalesced onto in-flight boot"),
                 );
-                Self::park_syn(world, &svc, client);
+                Self::open_client_flow(world, &svc, client);
             }
             Some(Lifecycle::Draining { queued, .. }) => {
                 // A relaunch is already committed (the query that triggered
@@ -463,7 +721,7 @@ impl ConcurrentJitsud {
                 .synjitsu
                 .start_proxying(&mut world.launcher.toolstack.xenstore, &svc)
                 .expect("synjitsu can begin proxying");
-            Self::park_syn(world, &svc, client);
+            Self::open_client_flow(world, &svc, client);
         }
         world.reserved_mib += svc.image.memory_mib;
         world.services.insert(
@@ -503,8 +761,20 @@ impl ConcurrentJitsud {
             world.reserved_mib = world.reserved_mib.saturating_sub(svc.image.memory_mib);
             let seed = world.next_seed();
             match world.launcher.summon(&svc, now, seed) {
-                Ok((outcome, _instance)) => {
+                Ok((outcome, instance)) => {
                     world.metrics.launches += 1;
+                    // Keep the packet-level instance: it is the unikernel
+                    // side of the data plane once the handoff commits.
+                    world.planes.insert(
+                        name.clone(),
+                        DataPlane {
+                            instance,
+                            drained: Vec::new(),
+                            committed: false,
+                            app_ready: false,
+                            awaiting_account: Vec::new(),
+                        },
+                    );
                     let construction_done_at = now + outcome.construction.total;
                     let network_ready_at = outcome.network_ready_at();
                     let app_ready_at = outcome.app_ready_at();
@@ -548,6 +818,9 @@ impl ConcurrentJitsud {
                         format!("launch of {name} failed ({err:?}); SERVFAIL for queued clients"),
                     );
                     world.metrics.servfails += queued.len() as u64;
+                    for client in &queued {
+                        world.clients.remove(&client.id);
+                    }
                     world.directory.mark_stopped(&name);
                     world.services.insert(name, Lifecycle::Idle);
                     world.slots.release();
@@ -556,24 +829,186 @@ impl ConcurrentJitsud {
         }
     }
 
-    /// Event: the booting unikernel's network stack attached — hand the SYN
-    /// queue over through XenStore (§3.3.1).
+    /// Event: the booting unikernel's network stack attached — phase 1 of
+    /// the two-phase commit (§3.3.1). The unikernel writes `Prepare` (so
+    /// Synjitsu stops answering and racing frames park in the handoff
+    /// area), rendezvouses with Synjitsu over the conduit, and drains every
+    /// connection record — `Tcb` plus buffered request bytes, serialised
+    /// with `to_sexp` — through a vchan. The commit itself runs one handoff
+    /// window later, in [`Self::on_commit_handoff`].
     fn on_network_ready(sim: &mut StormSim, name: String) {
         let now = sim.now();
         let world = sim.world_mut();
         if !world.config.use_synjitsu || !world.synjitsu.is_proxying(&name) {
             return;
         }
-        let tcbs = world
+        let Some(Lifecycle::Launching { dom, .. }) = world.services.get(&name) else {
+            debug_assert!(false, "network-ready without a Launching {name}");
+            return;
+        };
+        let dom = *dom;
+        let flushed = world
             .synjitsu
-            .handoff(&mut world.launcher.toolstack.xenstore, &name)
-            .expect("handoff commits");
-        world.metrics.syn_handoffs += tcbs.len() as u64;
+            .prepare_handoff(&mut world.launcher.toolstack.xenstore, &name)
+            .expect("prepare flushes the final records");
+
+        // The unikernel connects to Synjitsu's conduit endpoint and drains
+        // the records over a freshly established vchan.
+        let records = world.synjitsu.connection_records(&name);
+        let conn_name = name.replace('.', "_");
+        let (xs, grants, evtchn) = world.launcher.toolstack.conduit_parts();
+        ConduitRegistry::connect(xs, dom, "synjitsu", &conn_name)
+            .expect("the synjitsu conduit endpoint is registered");
+        let mut accepted = world
+            .conduit
+            .accept_one(xs, grants, evtchn, "synjitsu", DomId::DOM0, &conn_name)
+            .expect("synjitsu accepts the handoff rendezvous");
+        let mut wire = Vec::new();
+        for (_, tcb) in &records {
+            let sexp = tcb.to_sexp();
+            wire.extend_from_slice(&(sexp.len() as u32).to_be_bytes());
+            wire.extend_from_slice(sexp.as_bytes());
+        }
+        let drained_bytes = accepted
+            .channel
+            .stream(Side::Server, &wire, evtchn)
+            .expect("the vchan drain makes progress");
+        accepted.channel.close(Side::Server);
+        accepted.channel.teardown(grants, evtchn);
+        ConduitRegistry::close(xs, "synjitsu", DomId::DOM0, &conn_name, accepted.flow_id)
+            .expect("handoff conduit metadata tears down");
+        // Handoff flows are short-lived; prune the closed entries so the
+        // flows table stays bounded over a storm's worth of relaunches.
+        FlowTable::prune_closed(xs, DomId::DOM0);
+
+        // Reconstruct each TCB on the unikernel side, exactly as written.
+        let mut drained = Vec::new();
+        let mut cursor = 0usize;
+        while cursor + 4 <= drained_bytes.len() {
+            let len = u32::from_be_bytes(
+                drained_bytes[cursor..cursor + 4]
+                    .try_into()
+                    .expect("4 bytes"),
+            ) as usize;
+            cursor += 4;
+            let sexp = std::str::from_utf8(&drained_bytes[cursor..cursor + len])
+                .expect("records are valid UTF-8");
+            cursor += len;
+            drained.push(Tcb::from_sexp(sexp).expect("records round-trip"));
+        }
+        let plane = world
+            .planes
+            .get_mut(&name)
+            .expect("launching services have a data plane");
+        plane.drained = drained;
         world.tracer.emit(
             now,
             "synjitsu",
-            format!("handed over {} connection(s) for {}", tcbs.len(), name),
+            format!(
+                "prepare for {name}: flushed {flushed} record(s), drained {} byte(s) over the conduit vchan",
+                drained_bytes.len()
+            ),
         );
+        let handoff_cost = world.handoff_cost;
+        sim.schedule_in(handoff_cost, move |sim| {
+            Self::on_commit_handoff(sim, name);
+        });
+    }
+
+    /// Event: phase 2 of the two-phase commit. The unikernel atomically
+    /// flips the phase to `Committed` (clearing the records), adopts every
+    /// drained connection — replaying buffered requests straight away — and
+    /// replays any frames that were parked during the `Prepare` window.
+    /// From this moment Synjitsu never touches the service's traffic again.
+    fn on_commit_handoff(sim: &mut StormSim, name: String) {
+        let now = sim.now();
+        let world = sim.world_mut();
+        let pending = world
+            .synjitsu
+            .commit_handoff(&mut world.launcher.toolstack.xenstore, &name)
+            .expect("the takeover commits");
+        let Some(plane) = world.planes.get_mut(&name) else {
+            return;
+        };
+        plane.committed = true;
+        let adopted = std::mem::take(&mut plane.drained);
+        let migrated = adopted.len() as u64;
+        let mut response_frames = Vec::new();
+        for tcb in adopted {
+            let client_mac = Self::client_id_of_ip(tcb.remote_ip)
+                .map(Self::client_mac)
+                .unwrap_or(MacAddr::BROADCAST);
+            let (frames, _cost) = plane.instance.adopt_handoff(tcb, client_mac);
+            response_frames.extend(frames);
+        }
+        world.metrics.handoff.migrated += migrated;
+        world.metrics.syn_handoffs += migrated;
+        world.tracer.emit(
+            now,
+            "synjitsu",
+            format!("handed over {migrated} connection(s) for {name}"),
+        );
+
+        // Replayed responses go back to the clients that were mid-request.
+        for frame in response_frames {
+            if let Some(id) = Self::frame_client_dst(&frame) {
+                Self::deliver_to_client(world, &name, id, vec![frame]);
+            }
+        }
+        // Frames parked during the Prepare window replay against the
+        // unikernel — late SYNs handshake now, late data segments land in
+        // their adopted connections.
+        let replayed = pending.len() as u64;
+        world.metrics.handoff.replayed_after_commit += replayed;
+        for frame in pending {
+            if let Some(id) = Self::frame_client_src(&frame) {
+                Self::pump_via_unikernel(world, &name, id, vec![frame]);
+            }
+        }
+        if replayed > 0 {
+            world.tracer.emit(
+                now,
+                "unikernel",
+                format!("replayed {replayed} frame(s) parked during the prepare window"),
+            );
+        }
+        // If the app came up before the commit (short boots), the exchange
+        // accounting waited for us.
+        let waiting = match world.planes.get_mut(&name) {
+            Some(plane) if plane.app_ready => std::mem::take(&mut plane.awaiting_account),
+            _ => Vec::new(),
+        };
+        if !waiting.is_empty() {
+            Self::account_exchanges(world, &name, &waiting);
+        }
+    }
+
+    /// Compare what each parked client's flow actually received against the
+    /// exact response the unikernel serves, and fold the result into the
+    /// handoff accounting: byte-exact streams count as `completed`, missing
+    /// suffixes as dropped bytes, diverging or extra bytes as duplicated.
+    fn account_exchanges(world: &mut ConcurrentJitsud, name: &str, clients: &[QueuedClient]) {
+        if !world.config.use_synjitsu {
+            return;
+        }
+        let expected = Self::expected_response(name);
+        for client in clients {
+            let Some(flow) = world.clients.remove(&client.id) else {
+                continue;
+            };
+            let got = flow.response;
+            if got == expected {
+                world.metrics.handoff.completed += 1;
+            } else {
+                let common = got
+                    .iter()
+                    .zip(expected.iter())
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                world.metrics.handoff.dropped_bytes += (expected.len() - common) as u64;
+                world.metrics.handoff.duplicated_bytes += (got.len() - common) as u64;
+            }
+        }
     }
 
     /// Event: the application is up — serve the queued clients, enter
@@ -595,6 +1030,12 @@ impl ConcurrentJitsud {
         for client in &queued {
             let ttfb = world.cold_ttfb(client.arrived, network_ready_at, app_ready_at);
             world.metrics.ttfb.record(ttfb);
+            if world.config.use_synjitsu {
+                // Every parked client waited out the handoff window,
+                // whether its connection was migrated or opened just after
+                // the commit.
+                world.metrics.handoff.request_latency.record(ttfb);
+            }
         }
         world.metrics.cold_served += queued.len() as u64;
         world.tracer.emit(
@@ -606,6 +1047,22 @@ impl ConcurrentJitsud {
                 queued.len()
             ),
         );
+        // Data plane: settle the zero-drop/zero-dup accounting for every
+        // parked client, once the commit has also happened (it almost
+        // always has — the handoff window is shorter than the app boot
+        // tail; otherwise the commit event settles it).
+        let mut account_now = false;
+        if let Some(plane) = world.planes.get_mut(&name) {
+            plane.app_ready = true;
+            if plane.committed {
+                account_now = true;
+            } else {
+                plane.awaiting_account = queued.clone();
+            }
+        }
+        if account_now {
+            Self::account_exchanges(world, &name, &queued);
+        }
         world.services.insert(
             name.clone(),
             Lifecycle::Running {
@@ -699,6 +1156,8 @@ impl ConcurrentJitsud {
             .launcher
             .retire(dom)
             .expect("draining domain exists until retired");
+        // The unikernel's data plane dies with the domain.
+        world.planes.remove(&name);
         world
             .tracer
             .emit(now, "jitsud", format!("retired idle service {name}"));
@@ -719,7 +1178,7 @@ impl ConcurrentJitsud {
                 .start_proxying(&mut world.launcher.toolstack.xenstore, &svc)
                 .expect("synjitsu can begin proxying");
             for client in &queued {
-                Self::park_syn(world, &svc, *client);
+                Self::open_client_flow(world, &svc, *client);
             }
         }
         world.reserved_mib += svc.image.memory_mib;
@@ -985,6 +1444,105 @@ mod tests {
         assert_eq!(m.unknown, 2);
         assert_eq!(m.launches, 0);
         assert_eq!(m.queries, 2);
+    }
+
+    #[test]
+    fn mid_request_connection_completes_against_the_unikernel_byte_exact() {
+        let mut sim = sim(config());
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, ALICE);
+        // Mid-boot the client has handshaken with Synjitsu and sent its
+        // HTTP request; nothing has answered it yet.
+        sim.run_until(SimTime::from_millis(50));
+        assert_eq!(sim.world().phase(ALICE), LifecyclePhase::Launching);
+        assert_eq!(sim.world().synjitsu().proxied_connection_count(ALICE), 1);
+        sim.run();
+        let m = sim.world().metrics();
+        assert_eq!(m.handoff.migrated, 1, "the flow crossed the vchan drain");
+        assert_eq!(m.syn_handoffs, 1);
+        assert_eq!(
+            m.handoff.completed, 1,
+            "the unikernel's response reached the client byte-exact"
+        );
+        assert_eq!(m.handoff.dropped_bytes, 0);
+        assert_eq!(m.handoff.duplicated_bytes, 0);
+        assert_eq!(m.handoff.request_latency.count(), 1);
+        assert!(sim
+            .world()
+            .tracer
+            .find("drained")
+            .is_some_and(|line| line.message.contains("over the conduit vchan")));
+    }
+
+    #[test]
+    fn segments_arriving_during_prepare_are_parked_and_replayed() {
+        let mut sim = sim(config());
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, ALICE);
+        sim.run_until(SimTime::from_millis(50));
+        let network_ready_at = match sim.world().services.get(ALICE) {
+            Some(Lifecycle::Launching {
+                network_ready_at, ..
+            }) => *network_ready_at,
+            other => panic!("expected Launching, got {other:?}"),
+        };
+        // A second client's query lands exactly at network-ready. Its event
+        // is scheduled after the prepare event (same timestamp, later
+        // sequence number), so its SYN arrives inside the Prepare window:
+        // Synjitsu has stopped answering, the unikernel has not committed.
+        ConcurrentJitsud::inject_query(&mut sim, network_ready_at, ALICE);
+        sim.run();
+        let m = sim.world().metrics();
+        assert!(
+            m.handoff.queued_during_prepare >= 1,
+            "the racing SYN must be parked, not dropped"
+        );
+        assert_eq!(
+            m.handoff.replayed_after_commit, m.handoff.queued_during_prepare,
+            "every parked frame is replayed after Committed"
+        );
+        assert_eq!(m.handoff.migrated, 1, "only the first flow was proxied");
+        assert_eq!(m.cold_served, 2);
+        assert_eq!(
+            m.handoff.completed, 2,
+            "both exchanges complete: the migrated one and the replayed one"
+        );
+        assert_eq!(m.handoff.dropped_bytes, 0);
+        assert_eq!(m.handoff.duplicated_bytes, 0);
+        assert!(sim
+            .world()
+            .tracer
+            .find("parked during the prepare window")
+            .is_some());
+    }
+
+    #[test]
+    fn clients_arriving_after_commit_connect_directly_to_the_unikernel() {
+        let mut sim = sim(config());
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, ALICE);
+        sim.run_until(SimTime::from_millis(50));
+        let network_ready_at = match sim.world().services.get(ALICE) {
+            Some(Lifecycle::Launching {
+                network_ready_at, ..
+            }) => *network_ready_at,
+            other => panic!("expected Launching, got {other:?}"),
+        };
+        // Run past the commit (one handoff window after network-ready) but
+        // not to app-ready, then land a new client.
+        let after_commit =
+            network_ready_at + sim.world().handoff_cost + SimDuration::from_micros(1);
+        sim.run_until(after_commit);
+        assert_eq!(sim.world().phase(ALICE), LifecyclePhase::Launching);
+        ConcurrentJitsud::inject_query(&mut sim, after_commit, ALICE);
+        sim.run();
+        let m = sim.world().metrics();
+        assert_eq!(m.handoff.migrated, 1);
+        assert_eq!(m.handoff.queued_during_prepare, 0);
+        assert_eq!(m.cold_served, 2);
+        assert_eq!(
+            m.handoff.completed, 2,
+            "late client served by the unikernel"
+        );
+        assert_eq!(m.handoff.dropped_bytes, 0);
+        assert_eq!(m.handoff.duplicated_bytes, 0);
     }
 
     #[test]

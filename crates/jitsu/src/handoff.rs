@@ -17,6 +17,7 @@
 //!    writes [`HandoffPhase::Committed`] — from then on only the unikernel
 //!    answers, and the records are removed.
 
+use netstack::tcp::tcb::{hex_decode, hex_encode};
 use netstack::tcp::Tcb;
 use xenstore::{DomId, Result as XsResult, XenStore};
 
@@ -70,6 +71,10 @@ impl HandoffCoordinator {
 
     fn phase_path(name: &str) -> String {
         format!("/conduit/{}/synjitsu-phase", Self::service_key(name))
+    }
+
+    fn pending_path(name: &str) -> String {
+        format!("/conduit/{}/pending", Self::service_key(name))
     }
 
     /// Initialise the handoff area for a service that is being summoned.
@@ -144,6 +149,58 @@ impl HandoffCoordinator {
             .unwrap_or(0)
     }
 
+    /// Queue a raw Ethernet frame that arrived while the phase is
+    /// [`HandoffPhase::Prepare`]. Neither side may answer it — Synjitsu has
+    /// stopped, the unikernel has not committed — so it is parked in the
+    /// handoff area and replayed by the unikernel after `Committed`. This is
+    /// what makes "only one of them ever handles any given packet" hold
+    /// *across* the phase flip, not just within each phase.
+    pub fn queue_pending_frame(
+        &self,
+        xs: &mut XenStore,
+        name: &str,
+        frame: &[u8],
+    ) -> XsResult<u32> {
+        let base = Self::pending_path(name);
+        let index = xs
+            .directory(DomId::DOM0, None, &base)
+            .map(|entries| entries.len() as u32)
+            .unwrap_or(0);
+        // Zero-padded so the directory's lexical order is arrival order.
+        xs.write(
+            DomId::DOM0,
+            None,
+            &format!("{base}/{index:06}"),
+            hex_encode(frame).as_bytes(),
+        )?;
+        Ok(index)
+    }
+
+    /// Number of frames currently parked for replay.
+    pub fn pending_frames(&self, xs: &mut XenStore, name: &str) -> usize {
+        xs.directory(DomId::DOM0, None, &Self::pending_path(name))
+            .map(|entries| entries.len())
+            .unwrap_or(0)
+    }
+
+    /// Remove and return every parked frame, in arrival order. Called by the
+    /// unikernel right after it commits the takeover.
+    pub fn drain_pending_frames(&self, xs: &mut XenStore, name: &str) -> XsResult<Vec<Vec<u8>>> {
+        let base = Self::pending_path(name);
+        let mut entries = xs.directory(DomId::DOM0, None, &base).unwrap_or_default();
+        entries.sort();
+        let mut frames = Vec::new();
+        for entry in entries {
+            if let Ok(hex) = xs.read_string(DomId::DOM0, None, &format!("{base}/{entry}")) {
+                if let Some(frame) = hex_decode(hex.trim()) {
+                    frames.push(frame);
+                }
+            }
+        }
+        let _ = xs.rm(DomId::DOM0, None, &base);
+        Ok(frames)
+    }
+
     /// Step 1 of the takeover, performed by the unikernel once its network
     /// stack is attached.
     pub fn request_takeover(&self, xs: &mut XenStore, name: &str) -> XsResult<()> {
@@ -155,27 +212,66 @@ impl HandoffCoordinator {
         )
     }
 
+    /// Commit the takeover without reading the records back: atomically
+    /// flip the phase to `Committed` and clear the record directory in one
+    /// transaction. This is the path for a unikernel that already drained
+    /// the records over the conduit vchan and has no use for the store
+    /// copies — [`Self::commit_takeover`] additionally parses and returns
+    /// them for callers that adopt straight from the store.
+    pub fn commit_phase_only(&self, xs: &mut XenStore, name: &str) -> XsResult<()> {
+        let base = Self::base(name);
+        let phase_path = Self::phase_path(name);
+        xs.with_transaction(DomId::DOM0, 8, |xs, t| {
+            xs.write(
+                DomId::DOM0,
+                Some(t),
+                &phase_path,
+                HandoffPhase::Committed.token().as_bytes(),
+            )?;
+            if xs.exists(DomId::DOM0, Some(t), &base).unwrap_or(false) {
+                xs.rm(DomId::DOM0, Some(t), &base)?;
+            }
+            Ok(())
+        })?;
+        Ok(())
+    }
+
     /// Step 2, performed by the unikernel after Synjitsu has acknowledged
     /// the prepare (flushed its final records): read every recorded TCB,
-    /// commit the phase and clear the records. Returns the TCBs to adopt.
+    /// commit the phase and clear the records — in one XenStore transaction,
+    /// so no observer (and no racing packet) can ever see the phase flipped
+    /// while records still exist, or records gone while the phase still says
+    /// `prepare`. Returns the TCBs to adopt.
     pub fn commit_takeover(&self, xs: &mut XenStore, name: &str) -> XsResult<Vec<Tcb>> {
         let base = Self::base(name);
+        let phase_path = Self::phase_path(name);
         let mut tcbs = Vec::new();
-        for entry in xs.directory(DomId::DOM0, None, &base).unwrap_or_default() {
-            if let Ok(sexp) = xs.read_string(DomId::DOM0, None, &format!("{base}/{entry}/tcb")) {
-                if let Some(tcb) = Tcb::from_sexp(&sexp) {
-                    tcbs.push(tcb);
+        xs.with_transaction(DomId::DOM0, 8, |xs, t| {
+            tcbs.clear();
+            for entry in xs
+                .directory(DomId::DOM0, Some(t), &base)
+                .unwrap_or_default()
+            {
+                if let Ok(sexp) =
+                    xs.read_string(DomId::DOM0, Some(t), &format!("{base}/{entry}/tcb"))
+                {
+                    if let Some(tcb) = Tcb::from_sexp(&sexp) {
+                        tcbs.push(tcb);
+                    }
                 }
             }
-        }
-        xs.write(
-            DomId::DOM0,
-            None,
-            &Self::phase_path(name),
-            HandoffPhase::Committed.token().as_bytes(),
-        )?;
-        // Clear the handoff records now ownership has transferred.
-        let _ = xs.rm(DomId::DOM0, None, &base);
+            xs.write(
+                DomId::DOM0,
+                Some(t),
+                &phase_path,
+                HandoffPhase::Committed.token().as_bytes(),
+            )?;
+            // Clear the handoff records now ownership has transferred.
+            if xs.exists(DomId::DOM0, Some(t), &base).unwrap_or(false) {
+                xs.rm(DomId::DOM0, Some(t), &base)?;
+            }
+            Ok(())
+        })?;
         Ok(tcbs)
     }
 }
@@ -282,6 +378,50 @@ mod tests {
         let adopted = h.commit_takeover(&mut xs, "q").unwrap();
         assert_eq!(adopted[0].state, TcpState::Established);
         assert_eq!(adopted[0].buffered, b"data");
+    }
+
+    #[test]
+    fn frames_parked_during_prepare_replay_in_arrival_order() {
+        let mut xs = XenStore::new(EngineKind::JitsuMerge);
+        let h = HandoffCoordinator::new();
+        h.begin_proxying(&mut xs, "alice.family.name").unwrap();
+        h.request_takeover(&mut xs, "alice.family.name").unwrap();
+        // The race window: frames arrive while neither side may answer.
+        for i in 0..12u8 {
+            h.queue_pending_frame(&mut xs, "alice.family.name", &[0xEE, i, i, i])
+                .unwrap();
+        }
+        assert_eq!(h.pending_frames(&mut xs, "alice.family.name"), 12);
+        h.commit_takeover(&mut xs, "alice.family.name").unwrap();
+        let frames = h
+            .drain_pending_frames(&mut xs, "alice.family.name")
+            .unwrap();
+        assert_eq!(frames.len(), 12);
+        for (i, frame) in frames.iter().enumerate() {
+            assert_eq!(frame, &vec![0xEE, i as u8, i as u8, i as u8], "order kept");
+        }
+        // Drained means gone: a second drain yields nothing.
+        assert_eq!(h.pending_frames(&mut xs, "alice.family.name"), 0);
+        assert!(h
+            .drain_pending_frames(&mut xs, "alice.family.name")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn commit_is_atomic_phase_flip_and_record_clear() {
+        let mut xs = XenStore::new(EngineKind::JitsuMerge);
+        let h = HandoffCoordinator::new();
+        h.begin_proxying(&mut xs, "q").unwrap();
+        h.record_connection(&mut xs, "q", 1, &tcb(51000, b"GET /"))
+            .unwrap();
+        h.request_takeover(&mut xs, "q").unwrap();
+        let adopted = h.commit_takeover(&mut xs, "q").unwrap();
+        assert_eq!(adopted.len(), 1);
+        // Post-commit the store can never show the intermediate state:
+        // phase committed *and* records cleared, together.
+        assert_eq!(h.phase(&mut xs, "q"), HandoffPhase::Committed);
+        assert_eq!(h.recorded_connections(&mut xs, "q"), 0);
     }
 
     #[test]

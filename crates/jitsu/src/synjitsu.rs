@@ -15,7 +15,7 @@
 //! service's traffic.
 
 use crate::config::ServiceConfig;
-use crate::handoff::HandoffCoordinator;
+use crate::handoff::{HandoffCoordinator, HandoffPhase};
 use netstack::iface::{IfaceEvent, Interface};
 use netstack::ipv4::Ipv4Addr;
 use netstack::tcp::Tcb;
@@ -112,9 +112,19 @@ impl Synjitsu {
         name: &str,
         frame: &[u8],
     ) -> XsResult<Vec<Vec<u8>>> {
-        // Only answer while the handoff protocol says the proxy owns traffic.
-        if !self.handoff.proxy_should_handle(xs, name) {
-            return Ok(Vec::new());
+        // Only answer while the handoff protocol says the proxy owns
+        // traffic. During the `Prepare` window neither side may answer, so
+        // the frame is parked in the handoff area for the unikernel to
+        // replay after `Committed` — dropping it here would break the
+        // "only one of them ever handles any given packet" guarantee by
+        // turning the phase flip into silent loss.
+        match self.handoff.phase(xs, name) {
+            HandoffPhase::Prepare if self.services.contains_key(name) => {
+                self.handoff.queue_pending_frame(xs, name, frame)?;
+                return Ok(Vec::new());
+            }
+            HandoffPhase::Proxying => {}
+            _ => return Ok(Vec::new()),
         }
         let Some(svc) = self.services.get_mut(name) else {
             return Ok(Vec::new());
@@ -179,20 +189,47 @@ impl Synjitsu {
         Ok(to_record.len())
     }
 
-    /// Perform the handoff for a service whose unikernel has attached its
-    /// network stack: run the two-phase commit and return the TCBs (with
-    /// buffered request bytes) the unikernel must adopt. Synjitsu stops
-    /// proxying the service.
-    pub fn handoff(&mut self, xs: &mut XenStore, name: &str) -> XsResult<Vec<Tcb>> {
-        // Flush the latest state of every tracked connection first.
-        if let Some(svc) = self.services.get_mut(name) {
-            let to_record = Self::collect_records(svc);
-            for (id, tcb) in &to_record {
-                self.handoff.record_connection(xs, name, *id, tcb)?;
-            }
+    /// The current `(record id, TCB)` snapshot for a service, with buffered
+    /// request bytes attached — what the proxy serialises over the conduit
+    /// vchan during the handoff drain.
+    pub fn connection_records(&mut self, name: &str) -> Vec<(u32, Tcb)> {
+        match self.services.get_mut(name) {
+            Some(svc) => Self::collect_records(svc),
+            None => Vec::new(),
         }
+    }
+
+    /// Phase 1 of the two-phase commit, entered when the booting unikernel's
+    /// network stack attaches: the unikernel writes `Prepare` (so Synjitsu
+    /// stops answering and every in-flight frame parks in the pending
+    /// queue), and Synjitsu flushes the final state of every proxied
+    /// connection into the store. Returns the number of flushed records.
+    pub fn prepare_handoff(&mut self, xs: &mut XenStore, name: &str) -> XsResult<usize> {
         self.handoff.request_takeover(xs, name)?;
+        self.snapshot_connections(xs, name)
+    }
+
+    /// Phase 2: the unikernel — which already drained every record over
+    /// the conduit vchan — commits the takeover atomically (phase flip +
+    /// record clear in one transaction, no redundant re-parse of the store
+    /// copies) and collects any frames that arrived during the `Prepare`
+    /// window for replay. Synjitsu forgets the service — from this point
+    /// only the unikernel touches its traffic.
+    pub fn commit_handoff(&mut self, xs: &mut XenStore, name: &str) -> XsResult<Vec<Vec<u8>>> {
+        self.handoff.commit_phase_only(xs, name)?;
+        let pending = self.handoff.drain_pending_frames(xs, name)?;
+        self.services.remove(name);
+        Ok(pending)
+    }
+
+    /// Perform the whole handoff in one step (the linear daemon's path,
+    /// where no virtual time passes between the phases): prepare, then
+    /// commit, returning the TCBs (with buffered request bytes) the
+    /// unikernel must adopt — read back from the store, Figure 7 style.
+    pub fn handoff(&mut self, xs: &mut XenStore, name: &str) -> XsResult<Vec<Tcb>> {
+        self.prepare_handoff(xs, name)?;
         let tcbs = self.handoff.commit_takeover(xs, name)?;
+        let _pending = self.handoff.drain_pending_frames(xs, name)?;
         self.services.remove(name);
         Ok(tcbs)
     }
@@ -310,6 +347,60 @@ mod tests {
             out.is_empty(),
             "only one of proxy/unikernel may answer a packet"
         );
+    }
+
+    #[test]
+    fn frames_during_prepare_are_queued_not_answered_or_dropped() {
+        let mut xs = XenStore::new(EngineKind::JitsuMerge);
+        let mut synjitsu = Synjitsu::new();
+        let svc = service();
+        synjitsu.start_proxying(&mut xs, &svc).unwrap();
+        // Phase 1: the unikernel asks to take over.
+        synjitsu.prepare_handoff(&mut xs, &svc.name).unwrap();
+
+        // A SYN races the phase flip: Synjitsu must stay silent…
+        let mut c = client();
+        let racing_syn = c.tcp_connect(svc.ip, svc.port);
+        let out = synjitsu
+            .handle_frame(&mut xs, &svc.name, &racing_syn)
+            .unwrap();
+        assert!(out.is_empty(), "neither side answers during prepare");
+
+        // …and the frame must come back out of the commit, byte-identical,
+        // for the unikernel to replay.
+        let pending = synjitsu.commit_handoff(&mut xs, &svc.name).unwrap();
+        assert_eq!(pending, vec![racing_syn]);
+        assert!(!synjitsu.is_proxying(&svc.name));
+        assert!(HandoffCoordinator::new().unikernel_should_handle(&mut xs, &svc.name));
+    }
+
+    #[test]
+    fn split_phase_handoff_matches_the_one_shot_path() {
+        let mut xs = XenStore::new(EngineKind::JitsuMerge);
+        let mut synjitsu = Synjitsu::new();
+        let svc = service();
+        synjitsu.start_proxying(&mut xs, &svc).unwrap();
+        let mut c = client();
+        let syn_frame = c.tcp_connect(svc.ip, svc.port);
+        pump(&mut xs, &mut synjitsu, &mut c, &svc.name, syn_frame);
+        let req = c
+            .tcp_send((svc.ip, svc.port), 49152, b"GET / HTTP/1.1\r\n\r\n")
+            .unwrap();
+        pump(&mut xs, &mut synjitsu, &mut c, &svc.name, req);
+
+        let flushed = synjitsu.prepare_handoff(&mut xs, &svc.name).unwrap();
+        assert_eq!(flushed, 1);
+        // The records a vchan drain would carry match the one-shot path.
+        let records = synjitsu.connection_records(&svc.name);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].1.state, TcpState::Established);
+        assert_eq!(records[0].1.buffered, b"GET / HTTP/1.1\r\n\r\n");
+        let pending = synjitsu.commit_handoff(&mut xs, &svc.name).unwrap();
+        assert!(pending.is_empty());
+        assert!(!synjitsu.is_proxying(&svc.name));
+        let h = HandoffCoordinator::new();
+        assert!(h.unikernel_should_handle(&mut xs, &svc.name));
+        assert_eq!(h.recorded_connections(&mut xs, &svc.name), 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use super::segment::{TcpFlags, TcpSegment};
 use super::tcb::{Tcb, TcpState};
+use super::{seq_gt, seq_le};
 use crate::ipv4::Ipv4Addr;
 
 /// A passive listener bound to `(ip, port)`.
@@ -142,7 +143,12 @@ impl Connection {
             }
             TcpState::Established | TcpState::FinWait1 | TcpState::FinWait2 => {
                 if seg.flags.ack {
-                    self.tcb.snd_una = seg.ack;
+                    // Only a *new* cumulative ACK (inside the window of
+                    // outstanding data, in wrapping sequence space) advances
+                    // snd_una; a stale duplicate ACK must not regress it.
+                    if seq_gt(seg.ack, self.tcb.snd_una) && seq_le(seg.ack, self.tcb.snd_nxt) {
+                        self.tcb.snd_una = seg.ack;
+                    }
                     if self.tcb.state == TcpState::FinWait1 && seg.ack == self.tcb.snd_nxt {
                         self.tcb.state = TcpState::FinWait2;
                     }
@@ -150,7 +156,10 @@ impl Connection {
                 if !seg.payload.is_empty() {
                     out.extend(self.accept_data(seg));
                 }
-                if seg.flags.fin && seg.seq == self.tcb.rcv_nxt {
+                // A FIN occupies the sequence slot *after* any payload in
+                // the same segment.
+                let fin_seq = seg.seq.wrapping_add(seg.payload.len() as u32);
+                if seg.flags.fin && fin_seq == self.tcb.rcv_nxt {
                     self.tcb.rcv_nxt = self.tcb.rcv_nxt.wrapping_add(1);
                     match self.tcb.state {
                         TcpState::FinWait1 | TcpState::FinWait2 => {
@@ -175,12 +184,22 @@ impl Connection {
     }
 
     fn accept_data(&mut self, seg: &TcpSegment) -> Vec<TcpSegment> {
-        if seg.seq != self.tcb.rcv_nxt {
-            // Out of order / duplicate: re-ACK what we have.
+        let end = seg.seq.wrapping_add(seg.payload.len() as u32);
+        if seq_le(end, self.tcb.rcv_nxt) {
+            // Entirely old data (a retransmission): re-ACK, never re-buffer.
             return vec![self.make_ack()];
         }
-        self.tcb.buffered.extend_from_slice(&seg.payload);
-        self.tcb.rcv_nxt = self.tcb.rcv_nxt.wrapping_add(seg.payload.len() as u32);
+        if seq_gt(seg.seq, self.tcb.rcv_nxt) {
+            // A gap before this segment: drop it and re-ACK what we have
+            // (the peer retransmits; this stack keeps no reassembly queue).
+            return vec![self.make_ack()];
+        }
+        // seq <= rcv_nxt < end (wrapping): accept only the unseen suffix, so
+        // a retransmission that partially overlaps delivered data cannot
+        // duplicate bytes into the stream.
+        let skip = self.tcb.rcv_nxt.wrapping_sub(seg.seq) as usize;
+        self.tcb.buffered.extend_from_slice(&seg.payload[skip..]);
+        self.tcb.rcv_nxt = end;
         vec![self.make_ack()]
     }
 
@@ -358,6 +377,101 @@ mod tests {
         let reply = unikernel_side.send(b"HTTP/1.1 200 OK\r\n\r\nindex");
         client.on_segment(&reply);
         assert_eq!(client.take_received(), b"HTTP/1.1 200 OK\r\n\r\nindex");
+    }
+
+    /// Handshake with both ISNs pinned near `u32::MAX`, so a short data
+    /// exchange crosses the 2^32 boundary on both directions.
+    fn wrapping_handshake(client_isn: u32, server_seed: u32) -> (Connection, Connection) {
+        let mut listener = Listener::new(SERVER_IP, 80, server_seed);
+        let (mut client, syn) = Connection::connect(CLIENT_IP, 51000, SERVER_IP, 80, client_isn);
+        let (mut server, syn_ack) = listener.on_syn(CLIENT_IP, &syn).unwrap();
+        let acks = client.on_segment(&syn_ack);
+        server.on_segment(&acks[0]);
+        assert!(client.is_established() && server.is_established());
+        (client, server)
+    }
+
+    #[test]
+    fn data_transfer_survives_sequence_wraparound() {
+        // The client ISN is 4 bytes below the wrap: the second chunk's
+        // sequence numbers land on the far side of 2^32.
+        let (mut client, mut server) = wrapping_handshake(u32::MAX - 4, u32::MAX - 70_000);
+        let first = client.send(b"GET / HT");
+        server.on_segment(&first);
+        assert!(client.tcb.snd_nxt < client.tcb.isn, "snd_nxt wrapped");
+        let second = client.send(b"TP/1.1\r\n\r\n");
+        let acks = server.on_segment(&second);
+        assert_eq!(server.take_received(), b"GET / HTTP/1.1\r\n\r\n");
+        // The cumulative ACK is post-wrap and the client accepts it.
+        client.on_segment(&acks[0]);
+        assert_eq!(client.tcb.snd_una, client.tcb.snd_nxt);
+    }
+
+    #[test]
+    fn duplicate_across_the_wrap_is_reacked_not_rebuffered() {
+        let (mut client, mut server) = wrapping_handshake(u32::MAX - 2, 7);
+        let seg = client.send(b"hello world");
+        server.on_segment(&seg);
+        // Retransmission of the same (pre-wrap seq) segment: with plain
+        // `u32` comparisons `seq < rcv_nxt` fails here and the old bytes
+        // would be buffered twice.
+        let responses = server.on_segment(&seg);
+        assert_eq!(responses.len(), 1, "duplicate still gets a fresh ACK");
+        assert_eq!(server.take_received(), b"hello world", "no duplication");
+    }
+
+    #[test]
+    fn partially_overlapping_retransmission_delivers_only_new_bytes() {
+        let (mut client, mut server) = handshake();
+        let first = client.send(b"abcde");
+        server.on_segment(&first);
+        // A retransmission that re-covers "cde" and extends with "fgh":
+        // only the unseen suffix may enter the stream.
+        let overlap = TcpSegment {
+            payload: b"cdefgh".to_vec(),
+            ..TcpSegment::control(
+                first.src_port,
+                first.dst_port,
+                first.seq.wrapping_add(2),
+                first.ack,
+                TcpFlags::PSH_ACK,
+            )
+        };
+        server.on_segment(&overlap);
+        assert_eq!(server.take_received(), b"abcdefgh");
+        assert_eq!(server.tcb.rcv_nxt, first.seq.wrapping_add(8));
+    }
+
+    #[test]
+    fn stale_duplicate_ack_does_not_regress_snd_una() {
+        let (mut client, mut server) = handshake();
+        let old_ack = TcpSegment::control(
+            server.tcb.local_port,
+            server.tcb.remote_port,
+            server.tcb.snd_nxt,
+            server.tcb.rcv_nxt,
+            TcpFlags::ACK,
+        );
+        let seg = client.send(b"data");
+        let acks = server.on_segment(&seg);
+        client.on_segment(&acks[0]);
+        let una_after = client.tcb.snd_una;
+        // A stale ACK (acknowledging less) arrives late: snd_una must hold.
+        client.on_segment(&old_ack);
+        assert_eq!(client.tcb.snd_una, una_after);
+    }
+
+    #[test]
+    fn fin_piggybacked_on_data_is_processed_after_the_payload() {
+        let (mut client, mut server) = handshake();
+        let mut fin_with_data = client.send(b"last bytes");
+        fin_with_data.flags.fin = true;
+        client.tcb.snd_nxt = client.tcb.snd_nxt.wrapping_add(1);
+        client.tcb.state = TcpState::FinWait1;
+        let acks = server.on_segment(&fin_with_data);
+        assert_eq!(server.take_received(), b"last bytes");
+        assert_eq!(server.state(), TcpState::CloseWait, "FIN seen after data");
+        assert!(!acks.is_empty());
     }
 
     #[test]

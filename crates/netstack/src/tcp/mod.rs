@@ -17,3 +17,70 @@ pub mod tcb;
 pub use conn::{Connection, Listener};
 pub use segment::{TcpFlags, TcpSegment};
 pub use tcb::{Tcb, TcpState};
+
+/// `a < b` in 32-bit sequence space (RFC 1982 / RFC 793 serial arithmetic).
+///
+/// Sequence numbers live on a circle: `a` is "before" `b` when the signed
+/// distance from `a` to `b` is positive, which stays correct when the
+/// counters wrap past `2^32`. Plain `<` on `u32` misclassifies exactly at
+/// the wrap — a connection whose ISN sits near `u32::MAX` would treat every
+/// post-wrap segment as ancient.
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// `a <= b` in sequence space.
+pub fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+/// `a > b` in sequence space.
+pub fn seq_gt(a: u32, b: u32) -> bool {
+    seq_lt(b, a)
+}
+
+/// `a >= b` in sequence space.
+pub fn seq_ge(a: u32, b: u32) -> bool {
+    seq_le(b, a)
+}
+
+#[cfg(test)]
+mod seq_tests {
+    use super::*;
+
+    #[test]
+    fn ordering_within_a_window_ignores_the_wrap() {
+        // 100 < 200 the obvious way…
+        assert!(seq_lt(100, 200));
+        assert!(seq_gt(200, 100));
+        // …and across the 2^32 boundary.
+        assert!(seq_lt(u32::MAX - 5, 3));
+        assert!(seq_gt(3, u32::MAX - 5));
+        assert!(seq_ge(3, u32::MAX - 5));
+        assert!(seq_le(u32::MAX, 0));
+    }
+
+    #[test]
+    fn equality_is_neither_lt_nor_gt() {
+        for x in [0u32, 1, u32::MAX, 0x8000_0000] {
+            assert!(!seq_lt(x, x));
+            assert!(!seq_gt(x, x));
+            assert!(seq_le(x, x));
+            assert!(seq_ge(x, x));
+        }
+    }
+
+    #[test]
+    fn antisymmetric_for_distances_below_half_the_space() {
+        for (a, d) in [
+            (0u32, 1u32),
+            (u32::MAX, 1),
+            (u32::MAX - 1000, 5000),
+            (0x7fff_0000, 0x0001_0000),
+        ] {
+            let b = a.wrapping_add(d);
+            assert!(seq_lt(a, b), "{a} < {a}+{d}");
+            assert!(!seq_lt(b, a));
+        }
+    }
+}

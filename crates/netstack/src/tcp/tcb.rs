@@ -166,14 +166,18 @@ impl Tcb {
     }
 }
 
-fn hex_encode(data: &[u8]) -> String {
+/// Hex-encode a byte buffer for a XenStore value (`-` for empty, so the
+/// store never holds a zero-length value). Public because the handoff
+/// coordinator stores raw queued frames in the same format.
+pub fn hex_encode(data: &[u8]) -> String {
     if data.is_empty() {
         return "-".to_string();
     }
     data.iter().map(|b| format!("{b:02x}")).collect()
 }
 
-fn hex_decode(s: &str) -> Option<Vec<u8>> {
+/// Decode [`hex_encode`]'s output.
+pub fn hex_decode(s: &str) -> Option<Vec<u8>> {
     if s == "-" {
         return Some(Vec::new());
     }

@@ -254,6 +254,18 @@ impl Toolstack {
         &self.board
     }
 
+    /// Split-borrow the three tables a conduit rendezvous needs — the
+    /// store, the grant table and the event channels — so callers can
+    /// establish vchans (e.g. the Synjitsu handoff drain) while the rest of
+    /// the toolstack stays borrowed elsewhere.
+    pub fn conduit_parts(&mut self) -> (&mut XenStore, &mut GrantTable, &mut EventChannelTable) {
+        (
+            &mut self.xenstore,
+            &mut self.grants,
+            &mut self.event_channels,
+        )
+    }
+
     /// Free guest memory in MiB.
     pub fn free_mib(&self) -> u32 {
         self.builder.free_mib()

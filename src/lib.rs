@@ -48,9 +48,12 @@ pub use xenstore;
 
 /// The types most programs need, in one import.
 pub mod prelude {
-    pub use crate::jitsu::concurrent::{ConcurrentJitsud, LifecyclePhase, StormMetrics, StormSim};
+    pub use crate::jitsu::concurrent::{
+        ConcurrentJitsud, HandoffStats, LifecyclePhase, StormMetrics, StormSim,
+    };
     pub use crate::jitsu::config::{JitsuConfig, Protocol, ServiceConfig};
     pub use crate::jitsu::directory::{DirectoryAction, DirectoryService, ServicePhase};
+    pub use crate::jitsu::handoff::{HandoffCoordinator, HandoffPhase};
     pub use crate::jitsu::jitsud::{ColdStartMode, ColdStartReport, Jitsud, RequestOutcome};
     pub use crate::jitsu::launcher::Launcher;
     pub use crate::jitsu::synjitsu::Synjitsu;

@@ -8,7 +8,9 @@ use jitsu_repro::netstack::dns::DnsMessage;
 use jitsu_repro::netstack::http::{HttpRequest, HttpResponse};
 use jitsu_repro::netstack::icmp::IcmpEcho;
 use jitsu_repro::netstack::ipv4::{Ipv4Packet, Protocol};
-use jitsu_repro::netstack::tcp::{Tcb, TcpFlags, TcpSegment, TcpState};
+use jitsu_repro::netstack::tcp::{
+    seq_ge, seq_gt, seq_le, seq_lt, Connection, Listener, Tcb, TcpFlags, TcpSegment, TcpState,
+};
 use jitsu_repro::netstack::udp::UdpDatagram;
 use jitsu_repro::prelude::*;
 use jitsu_repro::xenstore::Path as XsPath;
@@ -189,6 +191,90 @@ proptest! {
         let _ = DnsMessage::parse(&bytes);
         let _ = HttpRequest::parse(&bytes);
         let _ = HttpResponse::parse(&bytes);
+    }
+
+    // ---------------- TCP sequence arithmetic ----------------------------
+
+    #[test]
+    fn seq_comparisons_are_a_strict_order_within_half_the_space(
+        a in any::<u32>(), d in 1u32..0x7fff_ffff)
+    {
+        // For any base point `a` — including right at the 2^32 wrap — and
+        // any forward distance below half the sequence space, the wrapping
+        // comparisons order a before a+d and agree with each other.
+        let b = a.wrapping_add(d);
+        prop_assert!(seq_lt(a, b));
+        prop_assert!(seq_le(a, b));
+        prop_assert!(seq_gt(b, a));
+        prop_assert!(seq_ge(b, a));
+        prop_assert!(!seq_lt(b, a));
+        prop_assert!(!seq_gt(a, b));
+        // Reflexivity of the non-strict forms.
+        prop_assert!(seq_le(a, a) && seq_ge(a, a) && !seq_lt(a, a) && !seq_gt(a, a));
+    }
+
+    #[test]
+    fn data_crosses_the_isn_wraparound_without_loss_or_duplication(
+        isn_offset in 0u32..32, chunks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..64), 1..8),
+        dup_index in any::<usize>())
+    {
+        // An ISN a few bytes below u32::MAX guarantees the payload stream
+        // crosses the 2^32 boundary mid-transfer.
+        let isn = u32::MAX - isn_offset;
+        let mut listener = Listener::new(Ipv4Addr::new(192, 168, 1, 20), 80, u32::MAX - 70_000);
+        let (mut client, syn) =
+            Connection::connect(Ipv4Addr::new(192, 168, 1, 100), 51000, Ipv4Addr::new(192, 168, 1, 20), 80, isn);
+        let (mut server, syn_ack) = listener.on_syn(Ipv4Addr::new(192, 168, 1, 100), &syn).unwrap();
+        let acks = client.on_segment(&syn_ack);
+        server.on_segment(&acks[0]);
+        prop_assert!(client.is_established() && server.is_established());
+
+        // Send every chunk, re-delivering one of the segments a second time
+        // (a retransmission racing the cumulative ACK).
+        let mut sent = Vec::new();
+        let mut segments = Vec::new();
+        for chunk in &chunks {
+            let seg = client.send(chunk);
+            server.on_segment(&seg);
+            segments.push(seg);
+            sent.extend_from_slice(chunk);
+        }
+        let dup = &segments[dup_index % segments.len()];
+        let responses = server.on_segment(dup);
+        // Duplicates are re-ACKed, never re-buffered.
+        prop_assert_eq!(responses.len(), 1);
+
+        // Exactly the sent bytes arrive, once, in order — even though the
+        // sequence numbers wrapped.
+        prop_assert_eq!(server.take_received(), sent);
+        prop_assert_eq!(server.tcb.rcv_nxt, client.tcb.snd_nxt);
+    }
+
+    #[test]
+    fn cumulative_acks_across_the_wrap_are_accepted_and_stale_acks_ignored(
+        isn_offset in 0u32..8, payload in proptest::collection::vec(any::<u8>(), 16..128))
+    {
+        let isn = u32::MAX - isn_offset;
+        let mut listener = Listener::new(Ipv4Addr::new(192, 168, 1, 20), 80, 7);
+        let (mut client, syn) =
+            Connection::connect(Ipv4Addr::new(192, 168, 1, 100), 51000, Ipv4Addr::new(192, 168, 1, 20), 80, isn);
+        let (mut server, syn_ack) = listener.on_syn(Ipv4Addr::new(192, 168, 1, 100), &syn).unwrap();
+        let acks = client.on_segment(&syn_ack);
+        server.on_segment(&acks[0]);
+
+        // A stale ACK captured before the data is sent…
+        let stale = TcpSegment::control(80, 51000, server.tcb.snd_nxt, server.tcb.rcv_nxt, TcpFlags::ACK);
+        let seg = client.send(&payload);
+        let responses = server.on_segment(&seg);
+        client.on_segment(&responses[0]);
+        // …the post-wrap cumulative ACK landed:
+        prop_assert_eq!(client.tcb.snd_una, client.tcb.snd_nxt);
+        // …and replaying the stale ACK must not regress snd_una (with plain
+        // `u32` ordering it would, because the stale ACK is numerically
+        // larger than the wrapped snd_una).
+        client.on_segment(&stale);
+        prop_assert_eq!(client.tcb.snd_una, client.tcb.snd_nxt);
     }
 
     // ---------------- TCB handoff format --------------------------------
