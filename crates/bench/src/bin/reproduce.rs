@@ -12,6 +12,8 @@ fn main() {
     println!("{}", bench::fig9b::figure(100, 0x9B).render());
     println!("{}", bench::boot_storm::table(0xB007).render());
     println!("{}", bench::handoff_storm::table(0x4A0D).render());
+    println!("{}", bench::xenstore_storm::merge_table(0x5707).render());
+    println!("{}", bench::xenstore_storm::snapshot_table().render());
     println!("{}", bench::table1::table().render());
     println!("{}", bench::table2::summary_table().render());
     println!("{}", bench::throughput::table().render());

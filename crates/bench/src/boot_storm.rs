@@ -117,6 +117,12 @@ pub struct StormResult {
     pub p95_ms: f64,
     /// 99th-percentile time-to-first-byte, ms.
     pub p99_ms: f64,
+    /// XenStore commits that landed on a concurrently advanced base and
+    /// merged instead of aborting (each boot holds its registration
+    /// transaction open for the whole construction window).
+    pub xs_merged: u64,
+    /// XenStore commits aborted with `EAGAIN` — zero on the Jitsu engine.
+    pub xs_conflicts: u64,
 }
 
 /// Build the Jitsu host configuration for a storm cell.
@@ -163,6 +169,7 @@ pub fn run_storm(cfg: &StormConfig) -> StormResult {
     // reaped, and the event queue empties.
     sim.run();
 
+    let xs = sim.world().xenstore_stats();
     let m = sim.world().metrics();
     let tail = m.ttfb.percentiles_ms(&[50.0, 95.0, 99.0]);
     StormResult {
@@ -182,6 +189,8 @@ pub fn run_storm(cfg: &StormConfig) -> StormResult {
         p50_ms: tail[0],
         p95_ms: tail[1],
         p99_ms: tail[2],
+        xs_merged: xs.merged,
+        xs_conflicts: xs.conflicts,
     }
 }
 
@@ -327,6 +336,16 @@ mod tests {
             )
         };
         assert_eq!(row(&a), row(&b));
+    }
+
+    #[test]
+    fn storms_merge_transactions_instead_of_aborting() {
+        // With more than one launch slot, boot-registration transactions
+        // overlap; the Jitsu merge engine commits all of them with zero
+        // EAGAIN aborts — the Figure 3 property, observed under storm load.
+        let r = run_storm(&quick(16.0, 4, 16, 1));
+        assert_eq!(r.xs_conflicts, 0, "no storm-time aborts: {r:?}");
+        assert!(r.xs_merged > 0, "overlapping boots must merge: {r:?}");
     }
 
     #[test]

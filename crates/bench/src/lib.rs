@@ -19,3 +19,4 @@ pub mod handoff_storm;
 pub mod table1;
 pub mod table2;
 pub mod throughput;
+pub mod xenstore_storm;

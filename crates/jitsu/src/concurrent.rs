@@ -277,6 +277,11 @@ pub struct ConcurrentJitsud {
     /// Per-service unikernel data planes, while launching or running.
     planes: HashMap<String, DataPlane>,
     services: HashMap<String, Lifecycle>,
+    /// The per-boot service-registration transaction, held open for the
+    /// whole domain-construction window so overlapping builds genuinely
+    /// overlap their store transactions (committed at construction-done;
+    /// merged, not aborted, on the Jitsu engine).
+    boot_txns: HashMap<String, xenstore::TxId>,
     /// Services admitted and waiting for a launch slot, FIFO.
     launch_queue: VecDeque<String>,
     /// Memory reserved for admitted-but-not-yet-built domains, in MiB.
@@ -320,6 +325,7 @@ impl ConcurrentJitsud {
             clients: HashMap::new(),
             planes: HashMap::new(),
             services: HashMap::new(),
+            boot_txns: HashMap::new(),
             launch_queue: VecDeque::new(),
             reserved_mib: 0,
             metrics: StormMetrics::default(),
@@ -379,6 +385,16 @@ impl ConcurrentJitsud {
     /// slot — the quantity admission control checks.
     pub fn effective_free_mib(&self) -> u32 {
         self.launcher.free_mib().saturating_sub(self.reserved_mib)
+    }
+
+    /// Activity counters of the shared XenStore: the boot-storm and handoff
+    /// paths issue several overlapping transactions per boot (domain home
+    /// creation, device frontends, conduit rendezvous, the two-phase
+    /// handoff flip), so these show whether storm-time concurrency turned
+    /// into merged commits (good) or `EAGAIN` aborts (the serial engine's
+    /// failure mode the paper's XenStore rewrite removed).
+    pub fn xenstore_stats(&self) -> xenstore::StoreStats {
+        self.launcher.toolstack.xenstore_stats()
     }
 
     /// The directory service (for inspecting phases and counters).
@@ -763,6 +779,17 @@ impl ConcurrentJitsud {
             match world.launcher.summon(&svc, now, seed) {
                 Ok((outcome, instance)) => {
                     world.metrics.launches += 1;
+                    // Register the boot in the store inside a transaction
+                    // that stays open for the entire construction window.
+                    // Under a storm, several of these overlap; the engine
+                    // decides at commit time whether they merge or abort.
+                    let xs = &mut world.launcher.toolstack.xenstore;
+                    let boot_tx = xs
+                        .transaction_start(DomId::DOM0)
+                        .expect("dom0 transactions are not quota-limited");
+                    Self::write_boot_record(xs, boot_tx, &name, outcome.dom)
+                        .expect("boot registration writes succeed");
+                    world.boot_txns.insert(name.clone(), boot_tx);
                     // Keep the packet-level instance: it is the unikernel
                     // side of the data plane once the handoff commits.
                     world.planes.insert(
@@ -799,9 +826,9 @@ impl ConcurrentJitsud {
                     );
                     // The slot covers dom0's construction work only; the
                     // guest boots on its own vcpu.
-                    sim.schedule_at(construction_done_at, |sim| {
-                        sim.world_mut().slots.release();
-                        Self::dispatch(sim);
+                    let built_name = name.clone();
+                    sim.schedule_at(construction_done_at, move |sim| {
+                        Self::on_construction_done(sim, built_name);
                     });
                     let handoff_name = name.clone();
                     sim.schedule_at(network_ready_at, move |sim| {
@@ -827,6 +854,70 @@ impl ConcurrentJitsud {
                 }
             }
         }
+    }
+
+    /// The store-side registration a boot performs inside its open
+    /// transaction: the service's lifecycle record under `/jitsu/service`.
+    fn write_boot_record(
+        xs: &mut xenstore::XenStore,
+        tx: xenstore::TxId,
+        name: &str,
+        dom: DomId,
+    ) -> Result<(), xenstore::Error> {
+        let base = format!("/jitsu/service/{name}");
+        xs.write(DomId::DOM0, Some(tx), &format!("{base}/state"), b"booting")?;
+        xs.write(
+            DomId::DOM0,
+            Some(tx),
+            &format!("{base}/dom"),
+            dom.0.to_string().as_bytes(),
+        )?;
+        Ok(())
+    }
+
+    /// The domain a service currently maps to, whatever lifecycle phase it
+    /// is in.
+    fn dom_of(&self, name: &str) -> Option<DomId> {
+        match self.services.get(name) {
+            Some(
+                Lifecycle::Launching { dom, .. }
+                | Lifecycle::Running { dom, .. }
+                | Lifecycle::Draining { dom, .. },
+            ) => Some(*dom),
+            _ => None,
+        }
+    }
+
+    /// Event: dom0's construction work for `name` finished. Commit the
+    /// boot-registration transaction that has been open since the slot was
+    /// granted — on the merge engines a concurrent build's commit merges;
+    /// on the serialising engine it aborts with `EAGAIN` and the whole
+    /// registration is redone, the "cancel and retry a large set of domain
+    /// building RPCs" cost §3.1 describes. Then release the launch slot.
+    fn on_construction_done(sim: &mut StormSim, name: String) {
+        let world = sim.world_mut();
+        if let Some(tx) = world.boot_txns.remove(&name) {
+            let dom = world.dom_of(&name);
+            let xs = &mut world.launcher.toolstack.xenstore;
+            let state_path = format!("/jitsu/service/{name}/state");
+            xs.write(DomId::DOM0, Some(tx), &state_path, b"built")
+                .expect("transactional write succeeds");
+            match xs.transaction_end(DomId::DOM0, tx, true) {
+                Ok(()) => {}
+                Err(xenstore::Error::Again) => {
+                    if let Some(dom) = dom {
+                        xs.with_transaction(DomId::DOM0, 8, |xs, t| {
+                            Self::write_boot_record(xs, t, &name, dom)?;
+                            xs.write(DomId::DOM0, Some(t), &state_path, b"built")
+                        })
+                        .expect("boot-registration retry succeeds");
+                    }
+                }
+                Err(e) => panic!("boot registration commit failed: {e}"),
+            }
+        }
+        world.slots.release();
+        Self::dispatch(sim);
     }
 
     /// Event: the booting unikernel's network stack attached — phase 1 of
@@ -1156,8 +1247,14 @@ impl ConcurrentJitsud {
             .launcher
             .retire(dom)
             .expect("draining domain exists until retired");
-        // The unikernel's data plane dies with the domain.
+        // The unikernel's data plane dies with the domain, and so does its
+        // lifecycle record in the store.
         world.planes.remove(&name);
+        let _ = world.launcher.toolstack.xenstore.rm(
+            DomId::DOM0,
+            None,
+            &format!("/jitsu/service/{name}"),
+        );
         world
             .tracer
             .emit(now, "jitsud", format!("retired idle service {name}"));
@@ -1242,6 +1339,27 @@ mod tests {
             .tracer
             .find("coalesced onto in-flight boot")
             .is_some());
+    }
+
+    #[test]
+    fn overlapping_boots_merge_their_xenstore_transactions_without_aborts() {
+        // Two concurrent domain builds interleave their toolstack and
+        // handoff transactions against the shared store. With the Jitsu
+        // merge engine every commit that lands on a moved base merges —
+        // none aborts with EAGAIN, which is what keeps parallel builds off
+        // the retry path under storm load.
+        let mut sim = sim(config().with_launch_slots(2));
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::ZERO, ALICE);
+        ConcurrentJitsud::inject_query(&mut sim, SimTime::from_millis(1), BOB);
+        sim.run();
+        let xs = sim.world().xenstore_stats();
+        assert_eq!(xs.conflicts, 0, "no storm-time EAGAIN aborts: {xs:?}");
+        assert!(xs.commits > 0);
+        assert!(
+            xs.merged > 0,
+            "overlapping boots must exercise the merge path: {xs:?}"
+        );
+        assert_eq!(sim.world().running_count(), 2);
     }
 
     #[test]

@@ -266,6 +266,16 @@ impl Toolstack {
         )
     }
 
+    /// Activity counters of the shared store — commits, *merged* commits
+    /// (transactions that landed on a concurrently advanced base and were
+    /// grafted on instead of aborted) and `EAGAIN` conflicts. Parallel
+    /// domain builds issue several overlapping transactions per boot, so
+    /// under storm load `merged` grows while `conflicts` stays at zero on
+    /// the Jitsu engine.
+    pub fn xenstore_stats(&self) -> xenstore::StoreStats {
+        self.xenstore.stats()
+    }
+
     /// Free guest memory in MiB.
     pub fn free_mib(&self) -> u32 {
         self.builder.free_mib()

@@ -26,7 +26,7 @@
 //! filesystem-backed transactions are notably slower per operation); the
 //! Figure 3 harness combines conflict behaviour with these costs.
 
-use crate::transaction::{ReadKind, Transaction};
+use crate::transaction::Transaction;
 use crate::tree::Tree;
 use jitsu_sim::SimDuration;
 
@@ -160,42 +160,63 @@ impl TxnEngine for SerialEngine {
     }
 }
 
-/// Shared logic for the two merge engines.
+/// Shared logic for the two merge engines: a three-way comparison between
+/// the transaction's pristine `base` tree, its read/write sets, and the
+/// current `live` tree, at node granularity. A path conflicts only when the
+/// node the transaction depended on actually changed underneath it.
 fn merge_conflicts(live: &Tree, txn: &Transaction, ignore_directory_deps: bool) -> Option<String> {
     // Read-set dependencies.
     for (path, kind) in &txn.read_set {
         // Dependencies on nodes the transaction itself created are not
-        // dependencies on shared state.
+        // dependencies on shared state (the write-set check below still
+        // catches a concurrent create of the same path).
         if txn.created_by_txn(path) {
             continue;
         }
-        match live.get(path) {
-            None => {
-                // The node we depended on has been removed concurrently.
+        match (txn.base.get(path), live.get(path)) {
+            // Observed missing and still missing: the dependency holds.
+            (None, None) => {}
+            // Observed missing, created concurrently: a read of a
+            // nonexistent node conflicts with a concurrent create of that
+            // path, whatever kind of read it was.
+            (None, Some(_)) => {
+                return Some(format!("{path} was created concurrently"));
+            }
+            (Some(_), None) => {
+                // The node we depended on has been removed concurrently —
+                // unless the transaction removed it too, in which case the
+                // two sides already agree.
                 if txn.snapshot.exists(path) {
                     return Some(format!("{path} was removed concurrently"));
                 }
             }
-            Some(node) => match kind {
-                ReadKind::Value => {
-                    if node.modified_gen > txn.start_gen {
-                        return Some(format!("{path} was modified concurrently"));
-                    }
+            (Some(base), Some(node)) => {
+                if kind.depends_on_value() && node.modified_gen != base.modified_gen {
+                    return Some(format!("{path} was modified concurrently"));
                 }
-                ReadKind::Directory => {
-                    if !ignore_directory_deps && node.children_gen > txn.start_gen {
-                        return Some(format!("children of {path} changed concurrently"));
-                    }
+                if kind.depends_on_children()
+                    && !ignore_directory_deps
+                    && node.children_gen != base.children_gen
+                {
+                    return Some(format!("children of {path} changed concurrently"));
                 }
-            },
+            }
         }
     }
     // Write-write conflicts on exact paths.
     for path in txn.written_paths() {
-        if let Some(node) = live.get(path) {
-            if node.modified_gen > txn.start_gen || node.created_gen > txn.start_gen {
-                return Some(format!("{path} was written concurrently"));
+        match (txn.base.get(path), live.get(path)) {
+            (None, Some(_)) => {
+                return Some(format!("{path} was created concurrently"));
             }
+            (Some(base), Some(node)) => {
+                if node.modified_gen != base.modified_gen {
+                    return Some(format!("{path} was written concurrently"));
+                }
+            }
+            // A concurrently removed write target does not conflict: the
+            // merge recreates (or re-removes) it.
+            (_, None) => {}
         }
     }
     None
@@ -356,6 +377,79 @@ mod tests {
             MergeEngine.reconcile(&live, &txn),
             Reconcile::Conflict { .. }
         ));
+        assert!(matches!(
+            JitsuMergeEngine.reconcile(&live, &txn),
+            Reconcile::Conflict { .. }
+        ));
+    }
+
+    #[test]
+    fn read_of_missing_path_conflicts_with_concurrent_create() {
+        // Regression: a transaction that *observed a path to be absent*
+        // depends on that absence. A concurrent create of exactly that path
+        // must conflict, or the transaction commits against a world it
+        // never saw (e.g. two toolstack threads both concluding "service
+        // not yet registered" and both claiming the slot).
+        let mut live = Tree::new();
+        let mut txn = Transaction::begin(1, DomId::DOM0, &live);
+        txn.note_read(&p("/conduit/http_server"));
+        assert!(txn
+            .snapshot
+            .read(DomId::DOM0, &p("/conduit/http_server"))
+            .is_err());
+        txn.apply(TxnOp::Write {
+            path: p("/decision"),
+            value: b"claim".to_vec(),
+        })
+        .unwrap();
+        // Concurrently, another thread creates the path we saw missing.
+        live.write(DomId::DOM0, &p("/conduit/http_server"), b"3")
+            .unwrap();
+        for kind in [EngineKind::Merge, EngineKind::JitsuMerge] {
+            assert!(
+                matches!(
+                    kind.build().reconcile(&live, &txn),
+                    Reconcile::Conflict { .. }
+                ),
+                "{kind:?} must conflict on concurrent create of a read-miss path"
+            );
+        }
+    }
+
+    #[test]
+    fn read_of_missing_path_commits_when_it_stays_missing() {
+        let mut live = Tree::new();
+        live.write(DomId::DOM0, &p("/other"), b"1").unwrap();
+        let mut txn = Transaction::begin(1, DomId::DOM0, &live);
+        txn.note_read(&p("/conduit/http_server"));
+        txn.apply(TxnOp::Write {
+            path: p("/decision"),
+            value: b"claim".to_vec(),
+        })
+        .unwrap();
+        // An unrelated concurrent commit advances the store, but the absent
+        // path stays absent: the dependency holds and the merge engines
+        // commit.
+        live.write(DomId::DOM0, &p("/other"), b"2").unwrap();
+        assert_eq!(MergeEngine.reconcile(&live, &txn), Reconcile::Commit);
+        assert_eq!(JitsuMergeEngine.reconcile(&live, &txn), Reconcile::Commit);
+    }
+
+    #[test]
+    fn directory_listing_of_missing_path_conflicts_with_concurrent_create() {
+        // Even the Jitsu engine, which ignores child-list changes on
+        // *existing* directories, must honour an existence dependency: a
+        // directory listing that failed with ENOENT conflicts with the
+        // directory being created concurrently.
+        let mut live = Tree::new();
+        let mut txn = Transaction::begin(1, DomId::DOM0, &live);
+        txn.note_dir_read(&p("/conduit/flows"));
+        txn.apply(TxnOp::Write {
+            path: p("/decision"),
+            value: vec![1],
+        })
+        .unwrap();
+        live.mkdir(DomId::DOM0, &p("/conduit/flows")).unwrap();
         assert!(matches!(
             JitsuMergeEngine.reconcile(&live, &txn),
             Reconcile::Conflict { .. }

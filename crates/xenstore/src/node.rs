@@ -1,7 +1,16 @@
 //! Store tree nodes.
+//!
+//! Nodes are the unit of structural sharing in the persistent store tree:
+//! children are held behind [`Arc`]s, so cloning a node (or a whole
+//! [`crate::tree::Tree`]) copies pointers, not subtrees. A transaction
+//! snapshot is therefore an O(1) root copy, and a mutation copies only the
+//! nodes on the root-to-leaf path it touches (path copying) while every
+//! untouched sibling subtree stays shared between the snapshot and the live
+//! tree.
 
 use crate::perms::Permissions;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Maximum size of a node's value, matching the classic XenStore payload
 /// limit of 4096 bytes.
@@ -13,9 +22,10 @@ pub const MAX_VALUE_LEN: usize = 4096;
 pub struct Node {
     /// The node's value (may be empty — directories usually are).
     pub value: Vec<u8>,
-    /// Children keyed by component name. `BTreeMap` keeps directory listings
-    /// deterministic.
-    pub children: BTreeMap<String, Node>,
+    /// Children keyed by component name, each behind an [`Arc`] so sibling
+    /// subtrees are structurally shared across snapshots. `BTreeMap` keeps
+    /// directory listings deterministic.
+    pub children: BTreeMap<String, Arc<Node>>,
     /// Access control for this node.
     pub perms: Permissions,
     /// Store generation at which this node was created.
@@ -44,7 +54,7 @@ impl Node {
         1 + self
             .children
             .values()
-            .map(Node::subtree_size)
+            .map(|c| c.subtree_size())
             .sum::<usize>()
     }
 
@@ -79,13 +89,28 @@ mod tests {
     fn subtree_size_counts_descendants() {
         let mut root = Node::new(Permissions::owned_by(DomId::DOM0), 0);
         let mut a = Node::new(Permissions::owned_by(DomId::DOM0), 1);
-        a.children
-            .insert("x".into(), Node::new(Permissions::owned_by(DomId::DOM0), 2));
-        root.children.insert("a".into(), a);
-        root.children
-            .insert("b".into(), Node::new(Permissions::owned_by(DomId::DOM0), 3));
+        a.children.insert(
+            "x".into(),
+            Arc::new(Node::new(Permissions::owned_by(DomId::DOM0), 2)),
+        );
+        root.children.insert("a".into(), Arc::new(a));
+        root.children.insert(
+            "b".into(),
+            Arc::new(Node::new(Permissions::owned_by(DomId::DOM0), 3)),
+        );
         assert_eq!(root.subtree_size(), 4);
         assert_eq!(root.child_names(), vec!["a".to_string(), "b".to_string()]);
         assert!(!root.is_leaf());
+    }
+
+    #[test]
+    fn cloning_a_node_shares_child_subtrees() {
+        let mut root = Node::new(Permissions::owned_by(DomId::DOM0), 0);
+        let child = Arc::new(Node::new(Permissions::owned_by(DomId::DOM0), 1));
+        root.children.insert("a".into(), Arc::clone(&child));
+        let copy = root.clone();
+        // The clone holds a pointer to the same child allocation.
+        assert!(Arc::ptr_eq(&root.children["a"], &copy.children["a"]));
+        assert_eq!(Arc::strong_count(&child), 3);
     }
 }

@@ -5,6 +5,23 @@
 //! (`TxId`), enforces permissions and quotas, fires watches on mutation, and
 //! delegates commit-time conflict decisions to the configured reconciliation
 //! engine.
+//!
+//! The store leans on the persistent tree throughout: every mutation first
+//! takes an O(1) snapshot of the live tree, applies the change, and then
+//! computes the structural diff between the two — watches fire from the
+//! *committed merged tree* (one event per path that actually changed, not
+//! one per write-log entry), and per-domain quota accounting is maintained
+//! incrementally from the same diffs instead of re-walking the whole store
+//! on every write.
+//!
+//! The two watch models are deliberately asymmetric. *Direct* ops keep the
+//! classic protocol semantics: the op's own path always fires (even for a
+//! same-value touch), plus any other paths the op structurally changed
+//! (implicitly created ancestors, removed descendants). *Transactional*
+//! commits fire exactly the net diff of the merged result — a batch that
+//! rewrites a key to its old value or creates-then-removes a scratch node
+//! notifies nobody, because from any observer's point of view nothing
+//! happened atomically. Use a direct write for touch-to-notify.
 
 use crate::engine::{EngineKind, Reconcile, TxnEngine};
 use crate::error::{Error, Result};
@@ -12,9 +29,9 @@ use crate::path::Path;
 use crate::perms::{DomId, Permissions};
 use crate::quota::Quota;
 use crate::transaction::{Transaction, TxnOp};
-use crate::tree::Tree;
+use crate::tree::{Tree, TreeDiff};
 use crate::watch::{WatchEvent, WatchManager};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A transaction identifier handed out by [`XenStore::transaction_start`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,6 +42,11 @@ pub struct TxId(pub u32);
 pub struct StoreStats {
     /// Successful commits.
     pub commits: u64,
+    /// Commits that landed on a store that had advanced concurrently since
+    /// the transaction began — i.e. commits that would have aborted under
+    /// the serialising engine but were *merged* instead. A subset of
+    /// `commits`.
+    pub merged: u64,
     /// Commits rejected with `EAGAIN`.
     pub conflicts: u64,
     /// Transactions aborted by the client.
@@ -44,6 +66,9 @@ pub struct XenStore {
     transactions: HashMap<u32, Transaction>,
     next_tx_id: u32,
     stats: StoreStats,
+    /// Nodes owned per domain, maintained incrementally from structural
+    /// diffs so the quota check never walks the tree.
+    owned: BTreeMap<u32, usize>,
 }
 
 impl std::fmt::Debug for XenStore {
@@ -66,14 +91,23 @@ impl XenStore {
 
     /// Create a store with explicit quotas.
     pub fn with_quota(engine: EngineKind, quota: Quota) -> XenStore {
+        let tree = Tree::new();
+        // Seed the incremental ownership counts with the pre-existing root
+        // node; everything else flows in through structural diffs.
+        let root_owner = tree
+            .get(&Path::root())
+            .expect("new tree has a root")
+            .perms
+            .owner();
         XenStore {
-            tree: Tree::new(),
+            tree,
             watches: WatchManager::new(),
             engine: engine.build(),
             quota,
             transactions: HashMap::new(),
             next_tx_id: 1,
             stats: StoreStats::default(),
+            owned: BTreeMap::from([(root_owner.0, 1)]),
         }
     }
 
@@ -116,10 +150,91 @@ impl XenStore {
         if dom.is_privileged() {
             return Ok(());
         }
-        if self.tree.owned_count(dom) >= self.quota.max_nodes {
+        if self.owned_nodes(dom) >= self.quota.max_nodes {
             return Err(Error::QuotaExceeded("nodes"));
         }
         Ok(())
+    }
+
+    /// Nodes currently owned by `dom`, from the incrementally maintained
+    /// count (O(log domains), not O(store size)).
+    pub fn owned_nodes(&self, dom: DomId) -> usize {
+        self.owned.get(&dom.0).copied().unwrap_or(0)
+    }
+
+    /// Net node-ownership change per domain implied by `diff`: creations,
+    /// removals, and ownership transfers via permission changes (dom0
+    /// handing a guest its home directory). Shared by the commit-time
+    /// quota check and the post-mutation bookkeeping so the two can never
+    /// drift.
+    fn owner_deltas(diff: &TreeDiff, old: &Tree, new: &Tree) -> BTreeMap<u32, isize> {
+        let mut delta: BTreeMap<u32, isize> = BTreeMap::new();
+        for (_, owner) in &diff.added {
+            *delta.entry(owner.0).or_insert(0) += 1;
+        }
+        for (_, owner) in &diff.removed {
+            *delta.entry(owner.0).or_insert(0) -= 1;
+        }
+        for path in &diff.perms_changed {
+            let old_owner = old
+                .get(path)
+                .expect("perms-changed node existed")
+                .perms
+                .owner();
+            let new_owner = new
+                .get(path)
+                .expect("perms-changed node exists")
+                .perms
+                .owner();
+            if old_owner != new_owner {
+                *delta.entry(old_owner.0).or_insert(0) -= 1;
+                *delta.entry(new_owner.0).or_insert(0) += 1;
+            }
+        }
+        delta
+    }
+
+    /// Enforce the node quota at commit time: per-op checks inside the
+    /// transaction ran against the store as it was *then*, so the net
+    /// ownership delta of the merged result must be re-checked against the
+    /// counts as they are *now* (otherwise N overlapping transactions could
+    /// each pass the per-op check and overshoot the limit by N).
+    fn check_commit_quota(&self, diff: &TreeDiff, merged: &Tree) -> Result<()> {
+        for (dom, gained) in Self::owner_deltas(diff, &self.tree, merged) {
+            if gained > 0
+                && !DomId(dom).is_privileged()
+                && self.owned_nodes(DomId(dom)) + gained as usize > self.quota.max_nodes
+            {
+                return Err(Error::QuotaExceeded("nodes"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Settle the bookkeeping after a mutation of the live tree, given the
+    /// structural diff from `before`: fold ownership changes into the
+    /// per-domain quota counts and (when `fire` is set) fire one watch
+    /// event per path that actually changed in the committed tree.
+    /// `also_fire` unconditionally fires one extra path even if it did not
+    /// semantically change — direct ops keep real xenstored's fire-on-every-
+    /// write semantics (the touch-a-key-to-notify pattern), while
+    /// transactional commits pass `None` and fire the net diff only.
+    fn settle(&mut self, diff: &TreeDiff, before: &Tree, fire: bool, also_fire: Option<&Path>) {
+        for (dom, delta) in Self::owner_deltas(diff, before, &self.tree) {
+            let count = self.owned.entry(dom).or_insert(0);
+            *count = count.saturating_add_signed(delta);
+        }
+        if fire {
+            let changed = diff.changed_paths();
+            for path in &changed {
+                self.stats.watch_events += self.watches.fire(path) as u64;
+            }
+            if let Some(path) = also_fire {
+                if !changed.contains(path) {
+                    self.stats.watch_events += self.watches.fire(path) as u64;
+                }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -193,15 +308,23 @@ impl XenStore {
     // ------------------------------------------------------------------
 
     fn apply_live(&mut self, dom: DomId, op: TxnOp) -> Result<()> {
-        let changed_path = op.path().clone();
-        match &op {
-            TxnOp::Write { path, value } => self.tree.write(dom, path, value)?,
-            TxnOp::Mkdir { path } => self.tree.mkdir(dom, path)?,
-            TxnOp::Rm { path } => self.tree.rm(dom, path)?,
-            TxnOp::SetPerms { path, perms } => self.tree.set_perms(dom, path, perms.clone())?,
-        }
-        self.stats.watch_events += self.watches.fire(&changed_path) as u64;
-        Ok(())
+        // O(1) pre-image snapshot; the post-op structural diff drives both
+        // watch delivery and quota accounting.
+        let before = self.tree.clone();
+        let result = match &op {
+            TxnOp::Write { path, value } => self.tree.write(dom, path, value),
+            TxnOp::Mkdir { path } => self.tree.mkdir(dom, path),
+            TxnOp::Rm { path } => self.tree.rm(dom, path),
+            TxnOp::SetPerms { path, perms } => self.tree.set_perms(dom, path, perms.clone()),
+        };
+        // Settle quota counts even on failure (a failed deep write may have
+        // created some ancestors); watches fire only for completed ops —
+        // and always for the op's own path, even when the op was a no-op
+        // (same-value write, mkdir of an existing node), as in the real
+        // protocol.
+        let diff = Tree::diff(&before, &self.tree);
+        self.settle(&diff, &before, result.is_ok(), Some(op.path()));
+        result
     }
 
     fn apply(&mut self, dom: DomId, tx: Option<TxId>, op: TxnOp) -> Result<()> {
@@ -335,11 +458,27 @@ impl XenStore {
                 Err(Error::Again)
             }
             Reconcile::Commit => {
-                txn.replay_onto(&mut self.tree)?;
-                for path in txn.written_paths() {
-                    self.stats.watch_events += self.watches.fire(path) as u64;
-                }
+                // Three-way merge of the transaction's net effect onto an
+                // O(1) scratch copy of the live tree: a merge that fails
+                // part-way (e.g. a concurrent permission revocation on a
+                // parent) never mutates live state, preserving commit
+                // atomicity. Watches fire from the committed merged tree:
+                // one event per path that actually changed, in
+                // deterministic order.
+                let mut merged = self.tree.clone();
+                txn.merge_onto(&mut merged)?;
+                // One structural diff serves both the commit-time quota
+                // check and the post-swap bookkeeping.
+                let diff = Tree::diff(&self.tree, &merged);
+                self.check_commit_quota(&diff, &merged)?;
+                let before = std::mem::replace(&mut self.tree, merged);
+                self.settle(&diff, &before, true, None);
                 self.stats.commits += 1;
+                if before.generation() != txn.start_gen {
+                    // The base moved underneath the transaction and we
+                    // committed anyway — a merge, not a serial replay.
+                    self.stats.merged += 1;
+                }
                 Ok(())
             }
         }
@@ -380,8 +519,10 @@ impl XenStore {
         // Remove the conventional per-domain directory if present.
         let home = Path::domain_home(dom.0);
         if self.tree.exists(&home) {
+            let before = self.tree.clone();
             let _ = self.tree.rm(DomId::DOM0, &home);
-            self.stats.watch_events += self.watches.fire(&home) as u64;
+            let diff = Tree::diff(&before, &self.tree);
+            self.settle(&diff, &before, true, None);
         }
     }
 }
@@ -682,6 +823,296 @@ mod tests {
         assert!(!xs.exists(DomId::DOM0, None, "/local/domain/9").unwrap());
         assert_eq!(xs.open_transactions(), 0);
         assert_eq!(xs.pending_watch_events(DomId(9)), 0);
+    }
+
+    #[test]
+    fn merged_commits_are_counted_separately_from_serial_ones() {
+        let mut xs = store();
+        // A commit against an unmoved base is not a merge.
+        let t = xs.transaction_start(DomId::DOM0).unwrap();
+        xs.write(DomId::DOM0, Some(t), "/a", b"1").unwrap();
+        xs.transaction_end(DomId::DOM0, t, true).unwrap();
+        assert_eq!(xs.stats().commits, 1);
+        assert_eq!(xs.stats().merged, 0);
+        // A commit after a concurrent write merges.
+        let t = xs.transaction_start(DomId::DOM0).unwrap();
+        xs.write(DomId::DOM0, Some(t), "/b", b"2").unwrap();
+        xs.write(DomId::DOM0, None, "/c", b"3").unwrap();
+        xs.transaction_end(DomId::DOM0, t, true).unwrap();
+        assert_eq!(xs.stats().commits, 2);
+        assert_eq!(xs.stats().merged, 1);
+        assert!(xs.exists(DomId::DOM0, None, "/b").unwrap());
+        assert!(xs.exists(DomId::DOM0, None, "/c").unwrap());
+    }
+
+    #[test]
+    fn read_of_missing_path_conflicts_with_concurrent_create_through_store() {
+        // Regression for the read-set bugfix, end to end: `read` (and
+        // `exists`) on a nonexistent node records the dependency, and a
+        // concurrent create of that path aborts the commit.
+        let mut xs = store();
+        let t = xs.transaction_start(DomId::DOM0).unwrap();
+        assert!(!xs.exists(DomId::DOM0, Some(t), "/claim/slot").unwrap());
+        xs.write(DomId::DOM0, Some(t), "/winner", b"me").unwrap();
+        // Concurrent create of the path the transaction saw missing.
+        xs.write(DomId::DOM0, None, "/claim/slot", b"them").unwrap();
+        assert_eq!(xs.transaction_end(DomId::DOM0, t, true), Err(Error::Again));
+        assert!(!xs.exists(DomId::DOM0, None, "/winner").unwrap());
+        // The same shape with the absent path left alone commits fine.
+        let t = xs.transaction_start(DomId::DOM0).unwrap();
+        assert!(!xs.exists(DomId::DOM0, Some(t), "/claim/other").unwrap());
+        xs.write(DomId::DOM0, Some(t), "/winner", b"me").unwrap();
+        xs.write(DomId::DOM0, None, "/unrelated", b"x").unwrap();
+        xs.transaction_end(DomId::DOM0, t, true).unwrap();
+        assert_eq!(xs.read(DomId::DOM0, None, "/winner").unwrap(), b"me");
+    }
+
+    #[test]
+    fn incremental_owned_counts_match_the_reference_walk() {
+        let mut xs = XenStore::with_quota(EngineKind::JitsuMerge, Quota::default());
+        xs.mkdir(DomId::DOM0, None, "/local/domain/7").unwrap();
+        xs.set_perms(
+            DomId::DOM0,
+            None,
+            "/local/domain/7",
+            Permissions::owned_by(DomId(7)),
+        )
+        .unwrap();
+        for i in 0..6 {
+            xs.write(DomId(7), None, &format!("/local/domain/7/deep/k{i}"), b"v")
+                .unwrap();
+        }
+        xs.rm(DomId(7), None, "/local/domain/7/deep/k0").unwrap();
+        // Also through a transaction (counts settle at commit).
+        let t = xs.transaction_start(DomId(7)).unwrap();
+        xs.write(DomId(7), Some(t), "/local/domain/7/txn", b"v")
+            .unwrap();
+        xs.transaction_end(DomId(7), t, true).unwrap();
+        for dom in [DomId::DOM0, DomId(7)] {
+            assert_eq!(
+                xs.owned_nodes(dom),
+                xs.tree().owned_count(dom),
+                "cached count for {dom:?} must match the O(n) reference walk"
+            );
+        }
+        // Subtree removal settles every removed descendant.
+        xs.rm(DomId::DOM0, None, "/local/domain/7").unwrap();
+        assert_eq!(xs.owned_nodes(DomId(7)), 0);
+        assert_eq!(xs.tree().owned_count(DomId(7)), 0);
+    }
+
+    #[test]
+    fn failed_merges_leave_the_live_tree_untouched() {
+        // A guest transaction removes one of its nodes and creates another
+        // under a directory whose write access dom0 revokes concurrently.
+        // The revocation bumps only the parent's modified_gen, so neither
+        // merge engine conflicts — the merge itself fails with
+        // PermissionDenied, and the earlier removal must not leak into the
+        // live tree (the commit swaps in the merged copy only on success).
+        let mut xs = store();
+        xs.mkdir(DomId::DOM0, None, "/shared").unwrap();
+        xs.set_perms(
+            DomId::DOM0,
+            None,
+            "/shared",
+            Permissions::with_default(DomId::DOM0, PermLevel::Write),
+        )
+        .unwrap();
+        xs.mkdir(DomId::DOM0, None, "/local/domain/7").unwrap();
+        xs.set_perms(
+            DomId::DOM0,
+            None,
+            "/local/domain/7",
+            Permissions::owned_by(DomId(7)),
+        )
+        .unwrap();
+        xs.write(DomId(7), None, "/local/domain/7/old", b"x")
+            .unwrap();
+
+        let t = xs.transaction_start(DomId(7)).unwrap();
+        xs.rm(DomId(7), Some(t), "/local/domain/7/old").unwrap();
+        xs.write(DomId(7), Some(t), "/shared/claim", b"7").unwrap();
+        // Concurrently dom0 revokes the world-writable bit on /shared.
+        xs.set_perms(
+            DomId::DOM0,
+            None,
+            "/shared",
+            Permissions::owned_by(DomId::DOM0),
+        )
+        .unwrap();
+        let err = xs.transaction_end(DomId(7), t, true).unwrap_err();
+        assert!(matches!(err, Error::PermissionDenied(_)), "{err:?}");
+        // Nothing from the failed merge reached the live tree.
+        assert!(xs.exists(DomId::DOM0, None, "/local/domain/7/old").unwrap());
+        assert!(!xs.exists(DomId::DOM0, None, "/shared/claim").unwrap());
+        assert_eq!(xs.stats().commits, 0);
+    }
+
+    #[test]
+    fn recreated_nodes_keep_their_snapshot_permissions() {
+        // dom0 overwrites a guest-owned node inside a transaction while the
+        // guest concurrently removes it. The merge recreates the node (the
+        // remove-then-write serial order) — with the guest's ownership, not
+        // dom0-derived creation perms.
+        let mut xs = store();
+        xs.mkdir(DomId::DOM0, None, "/local/domain/7").unwrap();
+        xs.set_perms(
+            DomId::DOM0,
+            None,
+            "/local/domain/7",
+            Permissions::owned_by(DomId(7)),
+        )
+        .unwrap();
+        xs.write(DomId(7), None, "/local/domain/7/k", b"v1")
+            .unwrap();
+
+        let t = xs.transaction_start(DomId::DOM0).unwrap();
+        xs.write(DomId::DOM0, Some(t), "/local/domain/7/k", b"v2")
+            .unwrap();
+        xs.rm(DomId(7), None, "/local/domain/7/k").unwrap();
+        xs.transaction_end(DomId::DOM0, t, true).unwrap();
+        let node = xs.tree().get(&Path::parse("/local/domain/7/k").unwrap());
+        assert_eq!(
+            node.expect("recreated by the merge").perms.owner(),
+            DomId(7),
+            "the snapshot's ownership must survive recreation"
+        );
+        // And the incremental quota counts stayed consistent.
+        assert_eq!(xs.owned_nodes(DomId(7)), xs.tree().owned_count(DomId(7)));
+    }
+
+    #[test]
+    fn node_quota_is_enforced_at_commit_against_current_counts() {
+        // The per-op check inside the transaction ran when the guest still
+        // had headroom; by commit time direct writes have used it up. The
+        // commit must not overshoot the quota.
+        let mut xs = XenStore::with_quota(EngineKind::JitsuMerge, Quota::tiny());
+        xs.mkdir(DomId::DOM0, None, "/local/domain/7").unwrap();
+        xs.set_perms(
+            DomId::DOM0,
+            None,
+            "/local/domain/7",
+            Permissions::owned_by(DomId(7)),
+        )
+        .unwrap();
+        // Fill to one below the limit (the home dir counts too).
+        let max = Quota::tiny().max_nodes;
+        for i in 0..max - 2 {
+            xs.write(DomId(7), None, &format!("/local/domain/7/k{i}"), b"v")
+                .unwrap();
+        }
+        assert_eq!(xs.owned_nodes(DomId(7)), max - 1);
+        // The transactional write passes its per-op check (one slot left)…
+        let t = xs.transaction_start(DomId(7)).unwrap();
+        xs.write(DomId(7), Some(t), "/local/domain/7/txn", b"v")
+            .unwrap();
+        // …but a direct write consumes that slot before the commit.
+        xs.write(DomId(7), None, "/local/domain/7/direct", b"v")
+            .unwrap();
+        assert_eq!(
+            xs.transaction_end(DomId(7), t, true),
+            Err(Error::QuotaExceeded("nodes")),
+            "commit must re-check the quota against current counts"
+        );
+        assert!(!xs.exists(DomId::DOM0, None, "/local/domain/7/txn").unwrap());
+        assert_eq!(xs.owned_nodes(DomId(7)), max);
+    }
+
+    #[test]
+    fn merge_never_clobbers_a_concurrently_created_implicit_ancestor() {
+        // Txn writes /a/b, creating /a implicitly (empty scaffold in its
+        // snapshot); concurrently another client writes a value to /a. The
+        // two creations merge — the commit must not reset /a to the
+        // scaffold's empty value.
+        let mut xs = store();
+        let t = xs.transaction_start(DomId::DOM0).unwrap();
+        xs.write(DomId::DOM0, Some(t), "/a/b", b"child").unwrap();
+        xs.write(DomId::DOM0, None, "/a", b"precious").unwrap();
+        xs.transaction_end(DomId::DOM0, t, true).unwrap();
+        assert_eq!(
+            xs.read(DomId::DOM0, None, "/a").unwrap(),
+            b"precious",
+            "the concurrent value must survive the merge"
+        );
+        assert_eq!(xs.read(DomId::DOM0, None, "/a/b").unwrap(), b"child");
+    }
+
+    #[test]
+    fn value_read_survives_a_later_directory_dependency_on_the_same_node() {
+        // Txn reads /x then creates /x/y (which records a directory dep on
+        // /x). The value dependency must not be downgraded away: a
+        // concurrent value change to /x still conflicts, even on the Jitsu
+        // engine which ignores pure child-list changes.
+        let mut xs = store();
+        xs.write(DomId::DOM0, None, "/x", b"old").unwrap();
+        let t = xs.transaction_start(DomId::DOM0).unwrap();
+        assert_eq!(xs.read(DomId::DOM0, Some(t), "/x").unwrap(), b"old");
+        xs.write(DomId::DOM0, Some(t), "/x/y", b"derived").unwrap();
+        xs.write(DomId::DOM0, None, "/x", b"new").unwrap();
+        assert_eq!(xs.transaction_end(DomId::DOM0, t, true), Err(Error::Again));
+        assert!(!xs.exists(DomId::DOM0, None, "/x/y").unwrap());
+    }
+
+    #[test]
+    fn direct_same_value_writes_still_fire_watches() {
+        // The touch-a-key-to-notify pattern: a WRITE of an unchanged value
+        // fires watches in the real protocol even though nothing changed
+        // semantically.
+        let mut xs = store();
+        xs.write(DomId::DOM0, None, "/svc/flag", b"1").unwrap();
+        xs.watch(DomId(3), "/svc", "tok").unwrap();
+        xs.take_watch_events(DomId(3));
+        xs.write(DomId::DOM0, None, "/svc/flag", b"1").unwrap();
+        let evs = xs.take_watch_events(DomId(3));
+        assert_eq!(evs.len(), 1, "same-value write must still notify");
+        assert_eq!(evs[0].path.to_string(), "/svc/flag");
+        // mkdir of an existing node notifies too, and only once.
+        xs.mkdir(DomId::DOM0, None, "/svc/flag").unwrap();
+        assert_eq!(xs.take_watch_events(DomId(3)).len(), 1);
+    }
+
+    #[test]
+    fn perms_change_on_a_concurrently_removed_node_stays_removed() {
+        // The transaction only touched the node's permissions; the
+        // concurrent remove wins (the write-then-remove serial order), and
+        // the rest of the batch still lands.
+        let mut xs = store();
+        xs.write(DomId::DOM0, None, "/a", b"1").unwrap();
+        let t = xs.transaction_start(DomId::DOM0).unwrap();
+        xs.set_perms(
+            DomId::DOM0,
+            Some(t),
+            "/a",
+            Permissions::with_default(DomId::DOM0, PermLevel::Write),
+        )
+        .unwrap();
+        xs.write(DomId::DOM0, Some(t), "/b", b"2").unwrap();
+        xs.rm(DomId::DOM0, None, "/a").unwrap();
+        xs.transaction_end(DomId::DOM0, t, true).unwrap();
+        assert!(!xs.exists(DomId::DOM0, None, "/a").unwrap());
+        assert_eq!(xs.read(DomId::DOM0, None, "/b").unwrap(), b"2");
+    }
+
+    #[test]
+    fn transactional_watch_events_come_from_the_merged_diff() {
+        // A transaction that writes the same path three times and also
+        // creates-then-removes a scratch node produces events for the *net*
+        // change only.
+        let mut xs = store();
+        xs.mkdir(DomId::DOM0, None, "/svc").unwrap();
+        xs.watch(DomId(3), "/svc", "tok").unwrap();
+        xs.take_watch_events(DomId(3));
+        let t = xs.transaction_start(DomId::DOM0).unwrap();
+        for v in [b"1", b"2", b"3"] {
+            xs.write(DomId::DOM0, Some(t), "/svc/state", v).unwrap();
+        }
+        xs.write(DomId::DOM0, Some(t), "/svc/scratch", b"tmp")
+            .unwrap();
+        xs.rm(DomId::DOM0, Some(t), "/svc/scratch").unwrap();
+        xs.transaction_end(DomId::DOM0, t, true).unwrap();
+        let evs = xs.take_watch_events(DomId(3));
+        assert_eq!(evs.len(), 1, "one event per net-changed path: {evs:?}");
+        assert_eq!(evs[0].path.to_string(), "/svc/state");
     }
 
     #[test]

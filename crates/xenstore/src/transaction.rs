@@ -2,26 +2,53 @@
 //!
 //! A transaction gives a domain an isolated snapshot of the store: reads and
 //! writes inside the transaction see a consistent view, and the batch is
-//! applied atomically at commit time (or discarded on abort). Commit may fail
-//! with `EAGAIN` when a concurrent commit conflicts — *which* interleavings
-//! count as conflicts is decided by the pluggable reconciliation engine
-//! ([`crate::engine`]), and is exactly what Figure 3 of the paper measures.
+//! applied atomically at commit time (or discarded on abort). Because the
+//! tree is persistent, opening a transaction is an O(1) pointer copy — the
+//! snapshot shares every node with the live tree until one side mutates.
+//!
+//! Commit is a *three-way merge*: the transaction keeps the pristine tree it
+//! started from (`base`) next to its mutated `snapshot`, so at commit time
+//! the store can compute the transaction's net effect as a structural diff
+//! `base → snapshot` and graft it onto the (possibly concurrently advanced)
+//! live tree. Commit fails with `EAGAIN` only when a concurrent commit
+//! actually conflicts — *which* interleavings count as conflicts is decided
+//! by the pluggable reconciliation engine ([`crate::engine`]) at node
+//! granularity, and is exactly what Figure 3 of the paper measures.
 
 use crate::error::Result;
 use crate::path::Path;
 use crate::perms::{DomId, Permissions};
-use crate::tree::Tree;
+use crate::tree::{Tree, TreeDiff};
 use std::collections::BTreeMap;
 
 /// The kind of dependency a transaction recorded on a path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReadKind {
     /// The transaction read the node's value (or its permissions, or checked
-    /// its existence).
+    /// its existence). Reads of *missing* paths are recorded too: a read
+    /// that observed absence conflicts with a concurrent create of that
+    /// path.
     Value,
     /// The transaction listed the node's children, or depended on the child
     /// list by creating/removing a child beneath it.
     Directory,
+    /// Both of the above: the transaction read the node's value *and*
+    /// depended on its child list. Neither dependency may be dropped — a
+    /// value read followed by a child creation still conflicts with a
+    /// concurrent value change.
+    Both,
+}
+
+impl ReadKind {
+    /// True if the dependency includes the node's value.
+    pub fn depends_on_value(self) -> bool {
+        matches!(self, ReadKind::Value | ReadKind::Both)
+    }
+
+    /// True if the dependency includes the node's child list.
+    pub fn depends_on_children(self) -> bool {
+        matches!(self, ReadKind::Directory | ReadKind::Both)
+    }
 }
 
 /// One mutation recorded in a transaction's write log.
@@ -65,8 +92,9 @@ impl TxnOp {
     }
 }
 
-/// An open transaction: a snapshot of the tree plus the recorded read set
-/// and write log.
+/// An open transaction: the pristine base tree it started from, the mutable
+/// snapshot all in-transaction operations run against, and the recorded
+/// read set and write log.
 #[derive(Debug, Clone)]
 pub struct Transaction {
     /// The transaction id handed to the client.
@@ -75,9 +103,14 @@ pub struct Transaction {
     pub dom: DomId,
     /// Store generation at the time the transaction started.
     pub start_gen: u64,
+    /// The tree exactly as it was when the transaction started — the common
+    /// ancestor of the three-way merge at commit time. An O(1) copy.
+    pub base: Tree,
     /// The isolated snapshot all in-transaction operations run against.
+    /// Starts as another O(1) copy of `base`; mutations path-copy.
     pub snapshot: Tree,
-    /// Paths read (and how) during the transaction.
+    /// Paths read (and how) during the transaction, including reads that
+    /// observed a path to be *missing*.
     pub read_set: BTreeMap<Path, ReadKind>,
     /// Mutations to replay at commit time, in order.
     pub write_log: Vec<TxnOp>,
@@ -87,12 +120,14 @@ pub struct Transaction {
 }
 
 impl Transaction {
-    /// Open a transaction against the current state of `tree`.
+    /// Open a transaction against the current state of `tree`. O(1): both
+    /// the base and the snapshot share every node with `tree`.
     pub fn begin(id: u32, dom: DomId, tree: &Tree) -> Transaction {
         Transaction {
             id,
             dom,
             start_gen: tree.generation(),
+            base: tree.clone(),
             snapshot: tree.clone(),
             read_set: BTreeMap::new(),
             write_log: Vec::new(),
@@ -100,15 +135,33 @@ impl Transaction {
         }
     }
 
-    /// Record a value-read dependency on `path`.
+    /// Record a value-read dependency on `path`. Callers must record reads
+    /// of missing paths too — observing absence is a dependency that a
+    /// concurrent create invalidates. Widens an existing directory
+    /// dependency to [`ReadKind::Both`].
     pub fn note_read(&mut self, path: &Path) {
-        self.read_set.entry(path.clone()).or_insert(ReadKind::Value);
+        self.read_set
+            .entry(path.clone())
+            .and_modify(|kind| {
+                if *kind == ReadKind::Directory {
+                    *kind = ReadKind::Both;
+                }
+            })
+            .or_insert(ReadKind::Value);
     }
 
-    /// Record a directory (child-list) dependency on `path`. Upgrades an
-    /// existing value dependency.
+    /// Record a directory (child-list) dependency on `path`. Widens an
+    /// existing value dependency to [`ReadKind::Both`] — it must never be
+    /// dropped, or a concurrent value change would slip past the engines.
     pub fn note_dir_read(&mut self, path: &Path) {
-        self.read_set.insert(path.clone(), ReadKind::Directory);
+        self.read_set
+            .entry(path.clone())
+            .and_modify(|kind| {
+                if *kind == ReadKind::Value {
+                    *kind = ReadKind::Both;
+                }
+            })
+            .or_insert(ReadKind::Directory);
     }
 
     /// Paths written by this transaction, in log order (may repeat).
@@ -187,8 +240,85 @@ impl Transaction {
             .unwrap_or(false)
     }
 
+    /// The transaction's net effect: the structural diff from the pristine
+    /// base to the mutated snapshot. Thanks to structural sharing this costs
+    /// O(paths touched), not O(store size).
+    pub fn changes(&self) -> TreeDiff {
+        Tree::diff(&self.base, &self.snapshot)
+    }
+
+    /// Three-way merge: graft the transaction's net effect (`base →
+    /// snapshot`) onto `live`, which may have advanced concurrently. The
+    /// engines decide *whether* the merge is safe; this method performs it.
+    ///
+    /// Removals are applied first (topmost removed node per subtree), then
+    /// creations and value updates in depth-first order (parents before
+    /// children) — writes to concurrently removed nodes recreate them with
+    /// the snapshot's permissions, matching the remove-then-write serial
+    /// order — then permission updates, where a concurrently removed target
+    /// is treated as already gone (the write-then-remove serial order).
+    ///
+    /// An error part-way through can leave `live` partially merged; the
+    /// store commits onto an O(1) scratch copy and swaps it in only on
+    /// success, so a failed commit never mutates the live tree.
+    pub fn merge_onto(&self, live: &mut Tree) -> Result<()> {
+        let diff = self.changes();
+        for path in diff.removed_roots() {
+            match live.rm(self.dom, path) {
+                Ok(()) | Err(crate::error::Error::NoEntry(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let added = diff.added.iter().map(|(path, _)| (path, true));
+        let updated = diff.value_changed.iter().map(|path| (path, false));
+        for (path, is_creation) in added.chain(updated) {
+            // A *created* path that already exists in the live tree can only
+            // be an implicit ancestor (explicit creations of an existing
+            // path conflict in the engines): both sides created the same
+            // directory on the way to disjoint children, so the nodes merge
+            // and the live one — possibly carrying a concurrent value —
+            // wins. Never clobber it with the snapshot's empty scaffold.
+            if is_creation && live.exists(path) {
+                continue;
+            }
+            let node = self
+                .snapshot
+                .get(path)
+                .expect("diff path exists in snapshot");
+            live.write(self.dom, path, &node.value)?;
+            // Fresh nodes (including value-changed nodes recreated after a
+            // concurrent removal) carry whatever permissions the creation
+            // rules derive; restamp the snapshot's if they differ, so e.g.
+            // guest ownership survives a dom0 rewrite.
+            let live_perms = &live.get(path).expect("just written").perms;
+            if *live_perms != node.perms {
+                live.set_perms(self.dom, path, node.perms.clone())?;
+            }
+        }
+        for path in &diff.perms_changed {
+            // `perms_changed` is disjoint from `added` by construction and
+            // the write pass above already restamped the `value_changed`
+            // overlap; a node removed concurrently stays gone (the txn only
+            // touched its permissions, and the remove wins that serial
+            // order).
+            if diff.value_changed.binary_search(path).is_ok() || !live.exists(path) {
+                continue;
+            }
+            let node = self
+                .snapshot
+                .get(path)
+                .expect("diff path exists in snapshot");
+            live.set_perms(self.dom, path, node.perms.clone())?;
+        }
+        Ok(())
+    }
+
     /// Replay the write log onto `tree` (used by the engines after deciding
     /// the commit does not conflict). Individual op failures are surfaced.
+    ///
+    /// [`Transaction::merge_onto`] is the net-effect equivalent the store
+    /// uses on its commit path; `replay_onto` is kept for op-order-exact
+    /// replays in tests and diagnostics.
     pub fn replay_onto(&self, tree: &mut Tree) -> Result<()> {
         for op in &self.write_log {
             match op {
@@ -229,7 +359,22 @@ mod tests {
     }
 
     #[test]
-    fn writes_are_isolated_until_replay() {
+    fn begin_is_a_pointer_copy_not_a_deep_clone() {
+        let mut tree = Tree::new();
+        for i in 0..500 {
+            tree.write(DomId::DOM0, &p(&format!("/bulk/k{i}")), b"v")
+                .unwrap();
+        }
+        let txn = Transaction::begin(1, DomId::DOM0, &tree);
+        assert!(
+            txn.snapshot.shares_root_with(&tree),
+            "snapshot must share the live root"
+        );
+        assert!(txn.base.shares_root_with(&tree), "base must share too");
+    }
+
+    #[test]
+    fn writes_are_isolated_until_merged() {
         let mut tree = Tree::new();
         let mut txn = Transaction::begin(1, DomId::DOM0, &tree);
         txn.apply(TxnOp::Write {
@@ -242,12 +387,67 @@ mod tests {
             "live tree untouched"
         );
         assert!(txn.snapshot.exists(&p("/local/domain/5/name")));
-        txn.replay_onto(&mut tree).unwrap();
+        txn.merge_onto(&mut tree).unwrap();
         assert_eq!(
             tree.read(DomId::DOM0, &p("/local/domain/5/name")).unwrap(),
             b"web"
         );
         assert!(!txn.is_read_only());
+    }
+
+    #[test]
+    fn merge_and_replay_agree_on_the_net_effect() {
+        let mut tree = Tree::new();
+        tree.write(DomId::DOM0, &p("/keep"), b"0").unwrap();
+        tree.write(DomId::DOM0, &p("/dead/x"), b"1").unwrap();
+        let mut txn = Transaction::begin(1, DomId::DOM0, &tree);
+        txn.apply(TxnOp::Write {
+            path: p("/a/b"),
+            value: b"2".to_vec(),
+        })
+        .unwrap();
+        txn.apply(TxnOp::Rm { path: p("/dead") }).unwrap();
+        txn.apply(TxnOp::Write {
+            path: p("/keep"),
+            value: b"9".to_vec(),
+        })
+        .unwrap();
+        let mut merged = tree.clone();
+        let mut replayed = tree.clone();
+        txn.merge_onto(&mut merged).unwrap();
+        txn.replay_onto(&mut replayed).unwrap();
+        assert!(Tree::diff(&merged, &replayed).is_empty());
+        assert!(Tree::diff(&merged, &txn.snapshot).is_empty());
+    }
+
+    #[test]
+    fn changes_reports_the_net_effect_only() {
+        let mut tree = Tree::new();
+        tree.write(DomId::DOM0, &p("/a"), b"1").unwrap();
+        let mut txn = Transaction::begin(1, DomId::DOM0, &tree);
+        // Write then remove: net effect on /tmp is nothing.
+        txn.apply(TxnOp::Write {
+            path: p("/tmp"),
+            value: b"x".to_vec(),
+        })
+        .unwrap();
+        txn.apply(TxnOp::Rm { path: p("/tmp") }).unwrap();
+        // Overwrite twice: one net value change.
+        txn.apply(TxnOp::Write {
+            path: p("/a"),
+            value: b"2".to_vec(),
+        })
+        .unwrap();
+        txn.apply(TxnOp::Write {
+            path: p("/a"),
+            value: b"3".to_vec(),
+        })
+        .unwrap();
+        let diff = txn.changes();
+        assert!(diff.added.is_empty());
+        assert!(diff.removed.is_empty());
+        assert_eq!(diff.value_changed, vec![p("/a")]);
+        assert_eq!(txn.write_log.len(), 4, "the log still records every op");
     }
 
     #[test]
@@ -278,14 +478,36 @@ mod tests {
     }
 
     #[test]
-    fn note_read_does_not_downgrade_directory_dependency() {
+    fn read_dependencies_widen_and_never_downgrade() {
         let tree = Tree::new();
         let mut txn = Transaction::begin(1, DomId::DOM0, &tree);
+        // Directory then value: both dependencies survive.
         txn.note_dir_read(&p("/a"));
         txn.note_read(&p("/a"));
-        assert_eq!(txn.read_set.get(&p("/a")), Some(&ReadKind::Directory));
+        assert_eq!(txn.read_set.get(&p("/a")), Some(&ReadKind::Both));
+        // Value then directory: likewise.
+        txn.note_read(&p("/c"));
+        txn.note_dir_read(&p("/c"));
+        assert_eq!(txn.read_set.get(&p("/c")), Some(&ReadKind::Both));
         txn.note_read(&p("/b"));
         assert_eq!(txn.read_set.get(&p("/b")), Some(&ReadKind::Value));
+        assert!(ReadKind::Both.depends_on_value() && ReadKind::Both.depends_on_children());
+        assert!(!ReadKind::Directory.depends_on_value());
+        assert!(!ReadKind::Value.depends_on_children());
+    }
+
+    #[test]
+    fn reads_of_missing_paths_are_recorded() {
+        let tree = Tree::new();
+        let mut txn = Transaction::begin(1, DomId::DOM0, &tree);
+        // The store notes the read before attempting it, so a read that
+        // returns ENOENT still lands in the read set.
+        txn.note_read(&p("/not/yet/here"));
+        assert!(txn.snapshot.read(DomId::DOM0, &p("/not/yet/here")).is_err());
+        assert_eq!(
+            txn.read_set.get(&p("/not/yet/here")),
+            Some(&ReadKind::Value)
+        );
     }
 
     #[test]
@@ -303,14 +525,14 @@ mod tests {
     }
 
     #[test]
-    fn replay_tolerates_concurrently_removed_nodes() {
+    fn merge_tolerates_concurrently_removed_nodes() {
         let mut tree = Tree::new();
         tree.write(DomId::DOM0, &p("/a/b"), b"1").unwrap();
         let mut txn = Transaction::begin(1, DomId::DOM0, &tree);
         txn.apply(TxnOp::Rm { path: p("/a/b") }).unwrap();
         // Concurrently, someone else removes it first.
         tree.rm(DomId::DOM0, &p("/a/b")).unwrap();
-        txn.replay_onto(&mut tree).unwrap();
+        txn.merge_onto(&mut tree).unwrap();
         assert!(!tree.exists(&p("/a/b")));
     }
 

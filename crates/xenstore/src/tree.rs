@@ -1,24 +1,107 @@
 //! The store tree: a permission-checked hierarchical value store with
-//! generation tracking.
+//! generation tracking, built on persistent (structurally shared) nodes.
 //!
 //! `Tree` implements the data model shared by the live store and by
-//! transaction snapshots. Every mutation advances a monotonically increasing
-//! *generation*; each node remembers the generation of its last value change
-//! (`modified_gen`) and of its last child-list change (`children_gen`). The
-//! transaction reconciliation engines in [`crate::engine`] compare these
-//! against a transaction's start generation to decide whether concurrent
-//! updates conflict.
+//! transaction snapshots. The root is held behind an [`Arc`], so cloning a
+//! tree — which is how transaction snapshots are taken — is an O(1) pointer
+//! copy regardless of store size. Mutations use *path copying*: only the
+//! nodes from the root down to the mutated node are copied (and only when
+//! they are still shared with a snapshot); every sibling subtree stays
+//! shared. This is what makes transactions cheap enough to open per
+//! toolstack RPC under boot-storm load.
+//!
+//! Every mutation advances a monotonically increasing *generation*; each
+//! node remembers the generation of its last value change (`modified_gen`)
+//! and of its last child-list change (`children_gen`). The transaction
+//! reconciliation engines in [`crate::engine`] compare node generations
+//! between a transaction's base snapshot and the live tree to decide, at
+//! node granularity, whether concurrent commits conflict.
+//!
+//! [`Tree::diff`] computes the structural difference between two trees,
+//! skipping shared subtrees in O(1) via pointer equality — the store uses it
+//! to fire watches from the committed merged tree and to keep per-domain
+//! quota accounting incremental.
 
 use crate::error::{Error, Result};
 use crate::node::{Node, MAX_VALUE_LEN};
 use crate::path::Path;
 use crate::perms::{Access, DomId, Permissions};
+use std::sync::Arc;
 
 /// A permission-checked hierarchical store with generation tracking.
+///
+/// Cloning a `Tree` is O(1): the clone shares every node with the original
+/// until one of the two is mutated.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tree {
-    root: Node,
+    root: Arc<Node>,
     generation: u64,
+}
+
+/// The structural difference between two trees, as computed by
+/// [`Tree::diff`]. Every list is in depth-first (sorted-by-component)
+/// order, which for [`Path`]'s component-wise ordering means each list is
+/// sorted (binary-searchable) and parents always precede their descendants
+/// in `added` and `removed`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TreeDiff {
+    /// Nodes present in `new` but not in `old`, with their owning domain in
+    /// `new`.
+    pub added: Vec<(Path, DomId)>,
+    /// Nodes present in `old` but not in `new`, with their owning domain in
+    /// `old`. A removed subtree contributes every removed descendant.
+    pub removed: Vec<(Path, DomId)>,
+    /// Nodes present in both whose value differs.
+    pub value_changed: Vec<Path>,
+    /// Nodes present in both whose permissions differ.
+    pub perms_changed: Vec<Path>,
+}
+
+impl TreeDiff {
+    /// True if the two trees were semantically identical.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty()
+            && self.removed.is_empty()
+            && self.value_changed.is_empty()
+            && self.perms_changed.is_empty()
+    }
+
+    /// Total number of recorded changes (a node changing both value and
+    /// permissions counts twice).
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len() + self.value_changed.len() + self.perms_changed.len()
+    }
+
+    /// Every path that changed in any way, sorted and deduplicated — the
+    /// set of paths the store fires watches for after a commit.
+    pub fn changed_paths(&self) -> Vec<Path> {
+        let mut paths: Vec<Path> = self
+            .added
+            .iter()
+            .map(|(p, _)| p.clone())
+            .chain(self.removed.iter().map(|(p, _)| p.clone()))
+            .chain(self.value_changed.iter().cloned())
+            .chain(self.perms_changed.iter().cloned())
+            .collect();
+        paths.sort();
+        paths.dedup();
+        paths
+    }
+
+    /// The topmost removed paths: removed nodes whose ancestors all still
+    /// exist. Removing exactly these (as subtrees) reproduces every entry
+    /// of `removed`. Linear: `removed` is emitted depth-first with each
+    /// subtree contiguous and root-first, so a path belongs to the current
+    /// root's subtree iff that root is a prefix of it.
+    pub fn removed_roots(&self) -> Vec<&Path> {
+        let mut roots: Vec<&Path> = Vec::new();
+        for (path, _) in &self.removed {
+            if !roots.last().is_some_and(|root| root.is_prefix_of(path)) {
+                roots.push(path);
+            }
+        }
+        roots
+    }
 }
 
 impl Default for Tree {
@@ -32,7 +115,7 @@ impl Tree {
     pub fn new() -> Tree {
         let perms = Permissions::with_default(DomId::DOM0, crate::perms::PermLevel::Read);
         Tree {
-            root: Node::new(perms, 0),
+            root: Arc::new(Node::new(perms, 0)),
             generation: 0,
         }
     }
@@ -47,6 +130,33 @@ impl Tree {
         self.root.subtree_size()
     }
 
+    /// True if `self` and `other` share their root node allocation — the
+    /// case immediately after a snapshot, before either side has mutated.
+    /// A shared root means the snapshot copied *zero* nodes.
+    pub fn shares_root_with(&self, other: &Tree) -> bool {
+        Arc::ptr_eq(&self.root, &other.root)
+    }
+
+    /// Number of nodes of `self` that are structurally shared (same
+    /// allocation) with `other`. Together with [`Tree::node_count`] this
+    /// measures how many nodes a sequence of mutations actually copied:
+    /// `copied = node_count() - shared_node_count(snapshot)`.
+    pub fn shared_node_count(&self, other: &Tree) -> usize {
+        fn walk(a: &Arc<Node>, b: &Arc<Node>) -> usize {
+            if Arc::ptr_eq(a, b) {
+                return a.subtree_size();
+            }
+            let mut shared = 0;
+            for (name, ca) in &a.children {
+                if let Some(cb) = b.children.get(name) {
+                    shared += walk(ca, cb);
+                }
+            }
+            shared
+        }
+        walk(&self.root, &other.root)
+    }
+
     fn bump(&mut self) -> u64 {
         self.generation += 1;
         self.generation
@@ -54,17 +164,22 @@ impl Tree {
 
     /// Immutable lookup.
     pub fn get(&self, path: &Path) -> Option<&Node> {
-        let mut node = &self.root;
+        let mut node = &*self.root;
         for comp in path.components() {
             node = node.children.get(comp)?;
         }
         Some(node)
     }
 
+    /// Mutable lookup via path copying: every node from the root to `path`
+    /// that is still shared with a snapshot is copied (shallowly — its child
+    /// *pointers* are cloned, not the subtrees), so the mutation never
+    /// disturbs other trees holding the old nodes.
     fn get_mut(&mut self, path: &Path) -> Option<&mut Node> {
-        let mut node = &mut self.root;
+        let mut node = Arc::make_mut(&mut self.root);
         for comp in path.components() {
-            node = node.children.get_mut(comp)?;
+            let child = node.children.get_mut(comp)?;
+            node = Arc::make_mut(child);
         }
         Some(node)
     }
@@ -157,7 +272,7 @@ impl Tree {
                 let parent_node = self.get_mut(&parent).expect("parent exists");
                 parent_node.children.insert(
                     p.basename().expect("non-root").to_string(),
-                    Node::new(perms, gen),
+                    Arc::new(Node::new(perms, gen)),
                 );
                 parent_node.children_gen = gen;
             }
@@ -191,9 +306,10 @@ impl Tree {
         let parent_node = self.get_mut(&parent).expect("parents ensured");
         let mut node = Node::new(perms, gen);
         node.value = value.to_vec();
-        parent_node
-            .children
-            .insert(path.basename().expect("non-root").to_string(), node);
+        parent_node.children.insert(
+            path.basename().expect("non-root").to_string(),
+            Arc::new(node),
+        );
         parent_node.children_gen = gen;
         Ok(())
     }
@@ -230,7 +346,11 @@ impl Tree {
         Ok(())
     }
 
-    /// Count the nodes owned by each domain — used for quota accounting.
+    /// Count the nodes owned by each domain by walking the whole tree.
+    ///
+    /// This is the O(store) reference implementation; the store keeps an
+    /// incremental count maintained from [`Tree::diff`]s on its hot path and
+    /// uses this walk only in tests to cross-check it.
     pub fn owned_count(&self, dom: DomId) -> usize {
         fn walk(node: &Node, dom: DomId) -> usize {
             let own = usize::from(node.perms.owner() == dom);
@@ -252,6 +372,70 @@ impl Tree {
         let mut out = Vec::new();
         walk(&self.root, &Path::root(), &mut out);
         out
+    }
+
+    /// Compute the structural difference from `old` to `new`.
+    ///
+    /// Subtrees shared between the two trees (same `Arc` allocation) are
+    /// skipped without descending, so diffing a tree against a snapshot it
+    /// was mutated from costs O(changed paths), not O(store size). On
+    /// unrelated trees the diff degrades gracefully to a full semantic
+    /// comparison (generation counters are ignored — only value, permission
+    /// and existence changes are reported).
+    pub fn diff(old: &Tree, new: &Tree) -> TreeDiff {
+        let mut diff = TreeDiff::default();
+        fn record_subtree(node: &Node, path: &Path, out: &mut Vec<(Path, DomId)>) {
+            out.push((path.clone(), node.perms.owner()));
+            for (name, child) in &node.children {
+                let p = path.child(name).expect("stored names are valid");
+                record_subtree(child, &p, out);
+            }
+        }
+        fn walk(old: &Arc<Node>, new: &Arc<Node>, path: &Path, diff: &mut TreeDiff) {
+            if Arc::ptr_eq(old, new) {
+                return;
+            }
+            if old.value != new.value {
+                diff.value_changed.push(path.clone());
+            }
+            if old.perms != new.perms {
+                diff.perms_changed.push(path.clone());
+            }
+            // Children: a single merge-iteration over both sorted maps, so
+            // every diff list comes out in globally sorted DFS order (the
+            // invariant `removed_roots` and the merge's binary searches
+            // rely on).
+            let mut old_children = old.children.iter().peekable();
+            let mut new_children = new.children.iter().peekable();
+            loop {
+                let order = match (old_children.peek(), new_children.peek()) {
+                    (None, None) => break,
+                    (Some(_), None) => std::cmp::Ordering::Less,
+                    (None, Some(_)) => std::cmp::Ordering::Greater,
+                    (Some((old_name, _)), Some((new_name, _))) => old_name.cmp(new_name),
+                };
+                match order {
+                    std::cmp::Ordering::Less => {
+                        let (name, old_child) = old_children.next().expect("peeked");
+                        let p = path.child(name).expect("stored names are valid");
+                        record_subtree(old_child, &p, &mut diff.removed);
+                    }
+                    std::cmp::Ordering::Greater => {
+                        let (name, new_child) = new_children.next().expect("peeked");
+                        let p = path.child(name).expect("stored names are valid");
+                        record_subtree(new_child, &p, &mut diff.added);
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let (name, old_child) = old_children.next().expect("peeked");
+                        let (_, new_child) = new_children.next().expect("peeked");
+                        let p = path.child(name).expect("stored names are valid");
+                        walk(old_child, new_child, &p, diff);
+                    }
+                }
+            }
+        }
+        walk(&old.root, &new.root, &Path::root(), &mut diff);
+        diff
     }
 }
 
@@ -485,5 +669,182 @@ mod tests {
         assert!(paths.contains(&Path::root()));
         assert!(paths.contains(&p("/local/domain/7/x")));
         assert_eq!(paths.len(), t.node_count());
+    }
+
+    // ---------------- persistence / structural sharing -------------------
+
+    #[test]
+    fn snapshot_is_a_pointer_copy() {
+        let mut t = Tree::new();
+        for i in 0..200 {
+            t.write(DomId::DOM0, &p(&format!("/warm/k{i}")), b"v")
+                .unwrap();
+        }
+        let snap = t.clone();
+        assert!(t.shares_root_with(&snap), "clone must not copy any node");
+        assert_eq!(t.shared_node_count(&snap), t.node_count());
+    }
+
+    #[test]
+    fn mutation_copies_only_the_root_to_leaf_path() {
+        let mut t = Tree::new();
+        for i in 0..100 {
+            t.write(DomId::DOM0, &p(&format!("/data/bucket{}/k", i % 10)), b"v")
+                .unwrap();
+        }
+        let snap = t.clone();
+        let total = t.node_count();
+        t.write(DomId::DOM0, &p("/data/bucket3/k"), b"w").unwrap();
+        // Only /, /data, /data/bucket3 and /data/bucket3/k were copied.
+        let copied = total - t.shared_node_count(&snap);
+        assert_eq!(copied, 4, "path copying must touch exactly the spine");
+        // The snapshot still reads the old value.
+        assert_eq!(snap.read(DomId::DOM0, &p("/data/bucket3/k")).unwrap(), b"v");
+        assert_eq!(t.read(DomId::DOM0, &p("/data/bucket3/k")).unwrap(), b"w");
+    }
+
+    #[test]
+    fn snapshots_are_immune_to_later_mutations() {
+        let mut t = Tree::new();
+        t.write(DomId::DOM0, &p("/a/b"), b"1").unwrap();
+        t.write(DomId::DOM0, &p("/c"), b"2").unwrap();
+        let snap = t.clone();
+        let paths_before = snap.all_paths();
+        t.rm(DomId::DOM0, &p("/a")).unwrap();
+        t.write(DomId::DOM0, &p("/c"), b"3").unwrap();
+        t.write(DomId::DOM0, &p("/d/e"), b"4").unwrap();
+        assert_eq!(snap.all_paths(), paths_before);
+        assert_eq!(snap.read(DomId::DOM0, &p("/a/b")).unwrap(), b"1");
+        assert_eq!(snap.read(DomId::DOM0, &p("/c")).unwrap(), b"2");
+        assert!(!snap.exists(&p("/d/e")));
+    }
+
+    // ---------------- structural diff -------------------------------------
+
+    #[test]
+    fn diff_of_identical_trees_is_empty() {
+        let mut t = Tree::new();
+        t.write(DomId::DOM0, &p("/a/b"), b"1").unwrap();
+        let snap = t.clone();
+        let d = Tree::diff(&snap, &t);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn diff_reports_adds_removes_and_changes() {
+        let mut t = Tree::new();
+        t.write(DomId::DOM0, &p("/keep"), b"same").unwrap();
+        t.write(DomId::DOM0, &p("/gone/x"), b"1").unwrap();
+        t.write(DomId::DOM0, &p("/edit"), b"old").unwrap();
+        let old = t.clone();
+        t.rm(DomId::DOM0, &p("/gone")).unwrap();
+        t.write(DomId::DOM0, &p("/edit"), b"new").unwrap();
+        t.write(DomId::DOM0, &p("/fresh/y"), b"2").unwrap();
+        t.set_perms(
+            DomId::DOM0,
+            &p("/keep"),
+            Permissions::with_default(DomId::DOM0, PermLevel::Write),
+        )
+        .unwrap();
+
+        let d = Tree::diff(&old, &t);
+        let added: Vec<String> = d.added.iter().map(|(p, _)| p.to_string()).collect();
+        let removed: Vec<String> = d.removed.iter().map(|(p, _)| p.to_string()).collect();
+        assert_eq!(added, vec!["/fresh", "/fresh/y"]);
+        assert_eq!(removed, vec!["/gone", "/gone/x"]);
+        assert_eq!(d.value_changed, vec![p("/edit")]);
+        assert_eq!(d.perms_changed, vec![p("/keep")]);
+        // Removed roots collapse the subtree to its topmost node.
+        assert_eq!(d.removed_roots(), vec![&p("/gone")]);
+        // changed_paths is the sorted union.
+        assert_eq!(
+            d.changed_paths(),
+            vec![
+                p("/edit"),
+                p("/fresh"),
+                p("/fresh/y"),
+                p("/gone"),
+                p("/gone/x"),
+                p("/keep")
+            ]
+        );
+    }
+
+    #[test]
+    fn diff_lists_are_globally_sorted() {
+        // The tricky interleaving: a deep addition under an early-sorting
+        // common subtree plus a shallow addition under a late-sorting name.
+        // A naive two-loop walk would emit /a/deep/x before /m even though
+        // /m sorts later than neither — the merge-iteration keeps every
+        // list globally sorted.
+        let mut t = Tree::new();
+        t.write(DomId::DOM0, &p("/a/keep"), b"1").unwrap();
+        t.write(DomId::DOM0, &p("/z/keep"), b"1").unwrap();
+        let old = t.clone();
+        t.write(DomId::DOM0, &p("/z/added"), b"2").unwrap();
+        t.write(DomId::DOM0, &p("/m"), b"3").unwrap();
+        t.write(DomId::DOM0, &p("/a/keep"), b"changed").unwrap();
+        t.rm(DomId::DOM0, &p("/z/keep")).unwrap();
+        let d = Tree::diff(&old, &t);
+        let added: Vec<String> = d.added.iter().map(|(p, _)| p.to_string()).collect();
+        assert_eq!(added, vec!["/m", "/z/added"]);
+        let mut sorted = d.added.clone();
+        sorted.sort();
+        assert_eq!(d.added, sorted);
+        for list in [&d.value_changed, &d.perms_changed] {
+            let mut sorted = list.clone();
+            sorted.sort();
+            assert_eq!(list, &sorted);
+        }
+        let mut sorted = d.removed.clone();
+        sorted.sort();
+        assert_eq!(d.removed, sorted);
+    }
+
+    #[test]
+    fn removed_roots_collapses_each_subtree_independently() {
+        let mut t = Tree::new();
+        t.write(DomId::DOM0, &p("/a/x/deep"), b"1").unwrap();
+        t.write(DomId::DOM0, &p("/a/y"), b"2").unwrap();
+        t.write(DomId::DOM0, &p("/b/z"), b"3").unwrap();
+        t.write(DomId::DOM0, &p("/keep"), b"4").unwrap();
+        let old = t.clone();
+        t.rm(DomId::DOM0, &p("/a/x")).unwrap();
+        t.rm(DomId::DOM0, &p("/b")).unwrap();
+        let d = Tree::diff(&old, &t);
+        // /a/x (+deep) and /b (+z) removed; /a/y and /keep untouched.
+        assert_eq!(d.removed.len(), 4);
+        assert_eq!(d.removed_roots(), vec![&p("/a/x"), &p("/b")]);
+    }
+
+    #[test]
+    fn diff_carries_owners_for_quota_accounting() {
+        let mut t = Tree::new();
+        t.mkdir(DomId::DOM0, &p("/local/domain/7")).unwrap();
+        t.set_perms(
+            DomId::DOM0,
+            &p("/local/domain/7"),
+            Permissions::owned_by(DomId(7)),
+        )
+        .unwrap();
+        let old = t.clone();
+        t.write(DomId(7), &p("/local/domain/7/k"), b"v").unwrap();
+        let d = Tree::diff(&old, &t);
+        assert_eq!(d.added, vec![(p("/local/domain/7/k"), DomId(7))]);
+        let back = Tree::diff(&t, &old);
+        assert_eq!(back.removed, vec![(p("/local/domain/7/k"), DomId(7))]);
+    }
+
+    #[test]
+    fn diff_ignores_generation_only_differences() {
+        // Rebuilding the same content through a different op sequence yields
+        // different generation stamps but an empty semantic diff.
+        let mut a = Tree::new();
+        a.write(DomId::DOM0, &p("/x"), b"1").unwrap();
+        let mut b = Tree::new();
+        b.mkdir(DomId::DOM0, &p("/x")).unwrap();
+        b.write(DomId::DOM0, &p("/x"), b"1").unwrap();
+        assert!(Tree::diff(&a, &b).is_empty());
     }
 }

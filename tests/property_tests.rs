@@ -349,6 +349,108 @@ proptest! {
         }
     }
 
+    // ---------------- persistent tree / commit-time merging --------------
+
+    #[test]
+    fn persistent_snapshots_never_see_later_mutations(
+        keys in proptest::collection::vec("[a-z0-9]{1,8}", 1..8),
+        extra in proptest::collection::vec("[a-z0-9]{1,8}", 1..8))
+    {
+        use jitsu_repro::xenstore::Tree;
+        let mut tree = Tree::new();
+        for (i, key) in keys.iter().enumerate() {
+            let path = XsPath::parse(&format!("/base/d{}/{}", i % 3, key)).unwrap();
+            tree.write(DomId::DOM0, &path, key.as_bytes()).unwrap();
+        }
+        let snapshot = tree.clone();
+        prop_assert!(snapshot.shares_root_with(&tree), "snapshot is O(1)");
+        let frozen = snapshot.all_paths();
+
+        // Arbitrary later mutations: overwrites, new subtrees, a removal.
+        for (i, key) in extra.iter().enumerate() {
+            let path = XsPath::parse(&format!("/later/e{}/{}", i % 3, key)).unwrap();
+            tree.write(DomId::DOM0, &path, b"new").unwrap();
+        }
+        let first = XsPath::parse(&format!("/base/d0/{}", keys[0])).unwrap();
+        tree.write(DomId::DOM0, &first, b"overwritten").unwrap();
+        let _ = tree.rm(DomId::DOM0, &XsPath::parse("/base/d1").unwrap());
+
+        // The snapshot is bit-for-bit what it was.
+        prop_assert_eq!(snapshot.all_paths(), frozen);
+        prop_assert_eq!(snapshot.read(DomId::DOM0, &first).unwrap(),
+                        keys[0].as_bytes().to_vec());
+        prop_assert!(!snapshot.exists(&XsPath::parse("/later").unwrap()));
+    }
+
+    #[test]
+    fn disjoint_path_transactions_always_merge_and_match_a_serial_order(
+        a_keys in proptest::collection::vec("[a-z0-9]{1,8}", 1..6),
+        b_keys in proptest::collection::vec("[a-z0-9]{1,8}", 1..6))
+    {
+        use jitsu_repro::xenstore::Tree;
+        // Two transactions write disjoint subtrees, fully overlapped.
+        let mut xs = XenStore::new(EngineKind::JitsuMerge);
+        let ta = xs.transaction_start(DomId::DOM0).unwrap();
+        let tb = xs.transaction_start(DomId::DOM0).unwrap();
+        for key in &a_keys {
+            xs.write(DomId::DOM0, Some(ta), &format!("/merge_a/{}", key), b"A").unwrap();
+        }
+        for key in &b_keys {
+            xs.write(DomId::DOM0, Some(tb), &format!("/merge_b/{}", key), b"B").unwrap();
+        }
+        xs.transaction_end(DomId::DOM0, ta, true).unwrap();
+        // The second commit lands on a moved base and must merge, not abort.
+        xs.transaction_end(DomId::DOM0, tb, true).unwrap();
+        prop_assert_eq!(xs.stats().conflicts, 0);
+        prop_assert!(xs.stats().merged >= 1);
+
+        // The merged result equals the serial execution A then B.
+        let mut serial = XenStore::new(EngineKind::JitsuMerge);
+        for key in &a_keys {
+            serial.write(DomId::DOM0, None, &format!("/merge_a/{}", key), b"A").unwrap();
+        }
+        for key in &b_keys {
+            serial.write(DomId::DOM0, None, &format!("/merge_b/{}", key), b"B").unwrap();
+        }
+        prop_assert!(Tree::diff(serial.tree(), xs.tree()).is_empty(),
+                     "merged state must equal a serial order");
+    }
+
+    #[test]
+    fn overlapping_write_sets_always_conflict(
+        key in "[a-z0-9]{1,8}", a_val in any::<u8>(), b_val in any::<u8>())
+    {
+        for engine in [EngineKind::Merge, EngineKind::JitsuMerge] {
+            let mut xs = XenStore::new(engine);
+            let ta = xs.transaction_start(DomId::DOM0).unwrap();
+            let tb = xs.transaction_start(DomId::DOM0).unwrap();
+            xs.write(DomId::DOM0, Some(ta), &format!("/shared/{}", key), &[a_val]).unwrap();
+            xs.write(DomId::DOM0, Some(tb), &format!("/shared/{}", key), &[b_val]).unwrap();
+            xs.transaction_end(DomId::DOM0, ta, true).unwrap();
+            let second = xs.transaction_end(DomId::DOM0, tb, true);
+            prop_assert!(second.is_err(), "{:?}: write-write overlap must abort", engine);
+            // First writer's value survives.
+            let value = xs.read(DomId::DOM0, None, &format!("/shared/{}", key)).unwrap();
+            prop_assert_eq!(value, vec![a_val]);
+        }
+    }
+
+    #[test]
+    fn reads_of_missing_paths_conflict_with_a_concurrent_create(key in "[a-z0-9]{1,8}") {
+        for engine in [EngineKind::Merge, EngineKind::JitsuMerge] {
+            let mut xs = XenStore::new(engine);
+            let t = xs.transaction_start(DomId::DOM0).unwrap();
+            // The transaction observes the path to be absent...
+            prop_assert!(!xs.exists(DomId::DOM0, Some(t), &format!("/race/{}", key)).unwrap());
+            xs.write(DomId::DOM0, Some(t), "/race_winner", b"me").unwrap();
+            // ...and a concurrent commit creates exactly that path.
+            xs.write(DomId::DOM0, None, &format!("/race/{}", key), b"them").unwrap();
+            prop_assert!(xs.transaction_end(DomId::DOM0, t, true).is_err(),
+                         "{:?}: absence is a dependency", engine);
+            prop_assert!(!xs.exists(DomId::DOM0, None, "/race_winner").unwrap());
+        }
+    }
+
     #[test]
     fn guests_can_never_read_other_guests_private_keys(owner in 1u32..200, reader in 1u32..200,
                                                        key in "[a-z0-9]{1,10}") {
