@@ -63,7 +63,7 @@ use netstack::iface::{IfaceEvent, Interface};
 use netstack::ipv4::{Ipv4Addr, Ipv4Packet};
 use netstack::tcp::Tcb;
 use platform::Board;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use unikernel::appliance::{Appliance, StaticSiteAppliance};
 use unikernel::instance::UnikernelInstance;
 use xen_sim::toolstack::{LaunchSlots, Toolstack};
@@ -273,15 +273,15 @@ pub struct ConcurrentJitsud {
     /// Stateless probe into the XenStore handoff area (phase lookups).
     handoff_probe: HandoffCoordinator,
     /// Live client TCP flows, by client id.
-    clients: HashMap<u32, ClientFlow>,
+    clients: BTreeMap<u32, ClientFlow>,
     /// Per-service unikernel data planes, while launching or running.
-    planes: HashMap<String, DataPlane>,
-    services: HashMap<String, Lifecycle>,
+    planes: BTreeMap<String, DataPlane>,
+    services: BTreeMap<String, Lifecycle>,
     /// The per-boot service-registration transaction, held open for the
     /// whole domain-construction window so overlapping builds genuinely
     /// overlap their store transactions (committed at construction-done;
     /// merged, not aborted, on the Jitsu engine).
-    boot_txns: HashMap<String, xenstore::TxId>,
+    boot_txns: BTreeMap<String, xenstore::TxId>,
     /// Services admitted and waiting for a launch slot, FIFO.
     launch_queue: VecDeque<String>,
     /// Memory reserved for admitted-but-not-yet-built domains, in MiB.
@@ -311,6 +311,7 @@ impl ConcurrentJitsud {
         let mut conduit = ConduitRegistry::new();
         conduit
             .register(&mut toolstack.xenstore, "synjitsu", DomId::DOM0)
+            // jitsu-lint: allow(P001, "engine setup on a fresh store; conduit registration cannot collide")
             .expect("conduit registration succeeds on a fresh store");
         let launcher = Launcher::new(toolstack, config.boot);
         let directory = DirectoryService::new(config.clone());
@@ -322,10 +323,10 @@ impl ConcurrentJitsud {
             slots,
             conduit,
             handoff_probe: HandoffCoordinator::new(),
-            clients: HashMap::new(),
-            planes: HashMap::new(),
-            services: HashMap::new(),
-            boot_txns: HashMap::new(),
+            clients: BTreeMap::new(),
+            planes: BTreeMap::new(),
+            services: BTreeMap::new(),
+            boot_txns: BTreeMap::new(),
             launch_queue: VecDeque::new(),
             reserved_mib: 0,
             metrics: StormMetrics::default(),
@@ -519,6 +520,7 @@ impl ConcurrentJitsud {
                     world
                         .synjitsu
                         .handle_frame(xs, name, &frame)
+                        // jitsu-lint: allow(P001, "prepare phase keeps the parked-frame path writable by dom0")
                         .expect("synjitsu parks frames during prepare");
                 }
             }
@@ -550,6 +552,7 @@ impl ConcurrentJitsud {
                 to_client.extend(
                     synjitsu
                         .handle_frame(xs, name, &frame)
+                        // jitsu-lint: allow(P001, "synjitsu's iface is alive for the whole proxy window")
                         .expect("synjitsu accepts proxied frames"),
                 );
             }
@@ -663,6 +666,7 @@ impl ConcurrentJitsud {
             .config
             .service(&name)
             .cloned()
+            // jitsu-lint: allow(P001, "queries reaching here matched a configured service name")
             .expect("directory only answers configured names");
         match world.services.get_mut(&name) {
             Some(Lifecycle::AwaitingSlot { queued, .. }) => {
@@ -716,6 +720,7 @@ impl ConcurrentJitsud {
             .config
             .service(&name)
             .cloned()
+            // jitsu-lint: allow(P001, "launch actions are only emitted for configured services")
             .expect("directory only launches configured names");
         if matches!(world.services.get(&name), Some(Lifecycle::Draining { .. })) {
             // Reap/resummon race: the domain is still tearing down; the
@@ -736,6 +741,7 @@ impl ConcurrentJitsud {
             world
                 .synjitsu
                 .start_proxying(&mut world.launcher.toolstack.xenstore, &svc)
+                // jitsu-lint: allow(P001, "synjitsu proxy setup repeats a registration that already succeeded")
                 .expect("synjitsu can begin proxying");
             Self::open_client_flow(world, &svc, client);
         }
@@ -762,6 +768,7 @@ impl ConcurrentJitsud {
             let name = world
                 .launch_queue
                 .pop_front()
+                // jitsu-lint: allow(P001, "guarded by the non-empty check on the previous line")
                 .expect("checked non-empty above");
             let Some(Lifecycle::AwaitingSlot { queued, .. }) = world.services.remove(&name) else {
                 // The service left AwaitingSlot some other way (launch
@@ -773,6 +780,7 @@ impl ConcurrentJitsud {
                 .config
                 .service(&name)
                 .cloned()
+                // jitsu-lint: allow(P001, "queued service names were validated at admission")
                 .expect("queued services are configured");
             world.reserved_mib = world.reserved_mib.saturating_sub(svc.image.memory_mib);
             let seed = world.next_seed();
@@ -786,8 +794,10 @@ impl ConcurrentJitsud {
                     let xs = &mut world.launcher.toolstack.xenstore;
                     let boot_tx = xs
                         .transaction_start(DomId::DOM0)
+                        // jitsu-lint: allow(P001, "dom0 transactions are exempt from the per-domain quota")
                         .expect("dom0 transactions are not quota-limited");
                     Self::write_boot_record(xs, boot_tx, &name, outcome.dom)
+                        // jitsu-lint: allow(P001, "boot registration writes go to fresh per-service paths")
                         .expect("boot registration writes succeed");
                     world.boot_txns.insert(name.clone(), boot_tx);
                     // Keep the packet-level instance: it is the unikernel
@@ -901,6 +911,7 @@ impl ConcurrentJitsud {
             let xs = &mut world.launcher.toolstack.xenstore;
             let state_path = format!("/jitsu/service/{name}/state");
             xs.write(DomId::DOM0, Some(tx), &state_path, b"built")
+                // jitsu-lint: allow(P001, "transactional write inside an open boot transaction")
                 .expect("transactional write succeeds");
             match xs.transaction_end(DomId::DOM0, tx, true) {
                 Ok(()) => {}
@@ -910,9 +921,11 @@ impl ConcurrentJitsud {
                             Self::write_boot_record(xs, t, &name, dom)?;
                             xs.write(DomId::DOM0, Some(t), &state_path, b"built")
                         })
+                        // jitsu-lint: allow(P001, "the retry re-registers on a conflict-free snapshot")
                         .expect("boot-registration retry succeeds");
                     }
                 }
+                // jitsu-lint: allow(P001, "commit failures other than EAGAIN mean a corrupted store; fail the experiment loudly")
                 Err(e) => panic!("boot registration commit failed: {e}"),
             }
         }
@@ -941,6 +954,7 @@ impl ConcurrentJitsud {
         let flushed = world
             .synjitsu
             .prepare_handoff(&mut world.launcher.toolstack.xenstore, &name)
+            // jitsu-lint: allow(P001, "prepare flush happens while the synjitsu service still exists")
             .expect("prepare flushes the final records");
 
         // The unikernel connects to Synjitsu's conduit endpoint and drains
@@ -949,10 +963,12 @@ impl ConcurrentJitsud {
         let conn_name = name.replace('.', "_");
         let (xs, grants, evtchn) = world.launcher.toolstack.conduit_parts();
         ConduitRegistry::connect(xs, dom, "synjitsu", &conn_name)
+            // jitsu-lint: allow(P001, "the synjitsu endpoint was registered during engine setup")
             .expect("the synjitsu conduit endpoint is registered");
         let mut accepted = world
             .conduit
             .accept_one(xs, grants, evtchn, "synjitsu", DomId::DOM0, &conn_name)
+            // jitsu-lint: allow(P001, "rendezvous follows the accept the unikernel just posted")
             .expect("synjitsu accepts the handoff rendezvous");
         let mut wire = Vec::new();
         for (_, tcb) in &records {
@@ -963,10 +979,12 @@ impl ConcurrentJitsud {
         let drained_bytes = accepted
             .channel
             .stream(Side::Server, &wire, evtchn)
+            // jitsu-lint: allow(P001, "drain loop exits once the vchan reports no more bytes")
             .expect("the vchan drain makes progress");
         accepted.channel.close(Side::Server);
         accepted.channel.teardown(grants, evtchn);
         ConduitRegistry::close(xs, "synjitsu", DomId::DOM0, &conn_name, accepted.flow_id)
+            // jitsu-lint: allow(P001, "teardown of conduit metadata this engine created")
             .expect("handoff conduit metadata tears down");
         // Handoff flows are short-lived; prune the closed entries so the
         // flows table stays bounded over a storm's worth of relaunches.
@@ -979,17 +997,21 @@ impl ConcurrentJitsud {
             let len = u32::from_be_bytes(
                 drained_bytes[cursor..cursor + 4]
                     .try_into()
+                    // jitsu-lint: allow(P001, "length prefix was written as exactly 4 bytes by the drain protocol")
                     .expect("4 bytes"),
             ) as usize;
             cursor += 4;
             let sexp = std::str::from_utf8(&drained_bytes[cursor..cursor + len])
+                // jitsu-lint: allow(P001, "records are emitted by Tcb::to_sexp, which is ASCII")
                 .expect("records are valid UTF-8");
             cursor += len;
+            // jitsu-lint: allow(P001, "records round-trip through the sexp codec by construction")
             drained.push(Tcb::from_sexp(sexp).expect("records round-trip"));
         }
         let plane = world
             .planes
             .get_mut(&name)
+            // jitsu-lint: allow(P001, "a Launching service always owns a data plane")
             .expect("launching services have a data plane");
         plane.drained = drained;
         world.tracer.emit(
@@ -1017,6 +1039,7 @@ impl ConcurrentJitsud {
         let pending = world
             .synjitsu
             .commit_handoff(&mut world.launcher.toolstack.xenstore, &name)
+            // jitsu-lint: allow(P001, "takeover transaction operates on paths this engine owns")
             .expect("the takeover commits");
         let Some(plane) = world.planes.get_mut(&name) else {
             return;
@@ -1246,6 +1269,7 @@ impl ConcurrentJitsud {
         world
             .launcher
             .retire(dom)
+            // jitsu-lint: allow(P001, "Draining lifecycle holds the domain until retirement")
             .expect("draining domain exists until retired");
         // The unikernel's data plane dies with the domain, and so does its
         // lifecycle record in the store.
@@ -1268,11 +1292,13 @@ impl ConcurrentJitsud {
             .config
             .service(&name)
             .cloned()
+            // jitsu-lint: allow(P001, "drained service names come from the config map")
             .expect("drained services are configured");
         if world.config.use_synjitsu {
             world
                 .synjitsu
                 .start_proxying(&mut world.launcher.toolstack.xenstore, &svc)
+                // jitsu-lint: allow(P001, "relaunch repeats a proxy setup that already succeeded")
                 .expect("synjitsu can begin proxying");
             for client in &queued {
                 Self::open_client_flow(world, &svc, *client);

@@ -13,7 +13,7 @@ use crate::config::JitsuConfig;
 use jitsu_sim::SimTime;
 use netstack::dns::{DnsMessage, Rcode};
 use netstack::ipv4::Ipv4Addr;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// What the directory decided to do with a query, beyond answering it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,7 +66,7 @@ pub struct DirectoryService {
     config: JitsuConfig,
     /// Alive services: their lifecycle phase and when they last served a
     /// request (for the idle retirement policy).
-    services: HashMap<String, ServiceStatus>,
+    services: BTreeMap<String, ServiceStatus>,
     queries_handled: u64,
     launches_triggered: u64,
 }
@@ -76,7 +76,7 @@ impl DirectoryService {
     pub fn new(config: JitsuConfig) -> DirectoryService {
         DirectoryService {
             config,
-            services: HashMap::new(),
+            services: BTreeMap::new(),
             queries_handled: 0,
             launches_triggered: 0,
         }

@@ -29,7 +29,7 @@ use netstack::http::{HttpRequest, HttpResponse};
 use netstack::iface::Interface;
 use netstack::ipv4::Ipv4Addr;
 use platform::Board;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use unikernel::instance::UnikernelInstance;
 use xen_sim::toolstack::Toolstack;
 use xenstore::DomId;
@@ -111,8 +111,8 @@ pub struct Jitsud {
     directory: DirectoryService,
     launcher: Launcher,
     synjitsu: Synjitsu,
-    instances: HashMap<String, UnikernelInstance>,
-    doms: HashMap<String, DomId>,
+    instances: BTreeMap<String, UnikernelInstance>,
+    doms: BTreeMap<String, DomId>,
     /// One-way propagation delay on the local segment (half the ~5 ms local
     /// RTT quoted in §3.3).
     one_way_delay: SimDuration,
@@ -138,8 +138,8 @@ impl Jitsud {
             directory,
             launcher,
             synjitsu: Synjitsu::new(),
-            instances: HashMap::new(),
-            doms: HashMap::new(),
+            instances: BTreeMap::new(),
+            doms: BTreeMap::new(),
             one_way_delay: SimDuration::from_micros(2_500),
             syn_rto: SimDuration::from_secs(1),
             dns_processing: board.scale_cpu(SimDuration::from_micros(150)),

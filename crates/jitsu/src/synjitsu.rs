@@ -19,7 +19,7 @@ use crate::handoff::{HandoffCoordinator, HandoffPhase};
 use netstack::iface::{IfaceEvent, Interface};
 use netstack::ipv4::Ipv4Addr;
 use netstack::tcp::Tcb;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xenstore::{Result as XsResult, XenStore};
 
 /// Per-service proxy state.
@@ -27,9 +27,9 @@ use xenstore::{Result as XsResult, XenStore};
 struct ProxiedService {
     iface: Interface,
     /// Buffered request bytes per connection, keyed by (client ip, port).
-    buffers: HashMap<(Ipv4Addr, u16), Vec<u8>>,
+    buffers: BTreeMap<(Ipv4Addr, u16), Vec<u8>>,
     /// Stable record index per connection for the XenStore entries.
-    record_ids: HashMap<(Ipv4Addr, u16), u32>,
+    record_ids: BTreeMap<(Ipv4Addr, u16), u32>,
     next_record: u32,
     port: u16,
 }
@@ -37,7 +37,7 @@ struct ProxiedService {
 /// The Synjitsu proxy.
 #[derive(Debug, Default)]
 pub struct Synjitsu {
-    services: HashMap<String, ProxiedService>,
+    services: BTreeMap<String, ProxiedService>,
     handoff: HandoffCoordinator,
     syns_intercepted: u64,
 }
@@ -77,8 +77,8 @@ impl Synjitsu {
             service.name.clone(),
             ProxiedService {
                 iface,
-                buffers: HashMap::new(),
-                record_ids: HashMap::new(),
+                buffers: BTreeMap::new(),
+                record_ids: BTreeMap::new(),
                 next_record: 1,
                 port: service.port,
             },
@@ -146,6 +146,7 @@ impl Synjitsu {
         }
         // Mirror every live connection's TCB (with buffered bytes) into the
         // store, Figure 7 style.
+        // jitsu-lint: allow(P001, "presence checked by the caller's lookup above")
         let to_record = Self::collect_records(self.services.get_mut(name).expect("present above"));
         for (id, tcb) in &to_record {
             self.handoff.record_connection(xs, name, *id, tcb)?;

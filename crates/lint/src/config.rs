@@ -1,0 +1,78 @@
+//! Analyzer configuration: which crates each rule applies to.
+//!
+//! The defaults encode this workspace's layout. Rules look crates up by the
+//! *directory* name under `crates/` (so `xen-sim`, not `xen_sim`).
+
+/// Every rule code the waiver grammar accepts.
+pub const RULES: &[&str] = &["D001", "D002", "D003", "D004", "P001", "H001"];
+
+/// Analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Crates whose logic runs inside the discrete-event simulation: real
+    /// OS concurrency (D004) is forbidden there because interleavings would
+    /// not be controlled by the virtual clock.
+    pub sim_logic_crates: Vec<String>,
+    /// Crates where the panic policy (P001) applies to non-test code.
+    pub core_crates: Vec<String>,
+    /// Directory names that are never analyzed (build output, intentional
+    /// rule-violation fixtures).
+    pub skip_dirs: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let sim_logic = [
+            "sim",
+            "xen-sim",
+            "netstack",
+            "conduit",
+            "jitsu",
+            "unikernel",
+            "xenstore",
+        ];
+        Config {
+            sim_logic_crates: sim_logic.iter().map(|s| s.to_string()).collect(),
+            core_crates: sim_logic.iter().map(|s| s.to_string()).collect(),
+            skip_dirs: vec!["target".to_string(), "fixtures".to_string()],
+        }
+    }
+}
+
+impl Config {
+    pub fn is_sim_logic(&self, crate_name: &str) -> bool {
+        self.sim_logic_crates.iter().any(|c| c == crate_name)
+    }
+
+    pub fn is_core(&self, crate_name: &str) -> bool {
+        self.core_crates.iter().any(|c| c == crate_name)
+    }
+
+    pub fn is_known_rule(rule: &str) -> bool {
+        RULES.contains(&rule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_the_sim_facing_crates() {
+        let cfg = Config::default();
+        for c in ["sim", "xen-sim", "xenstore", "jitsu"] {
+            assert!(cfg.is_sim_logic(c), "{c} should be sim-logic");
+            assert!(cfg.is_core(c), "{c} should be core");
+        }
+        assert!(!cfg.is_sim_logic("bench"));
+        assert!(!cfg.is_core("lint"));
+    }
+
+    #[test]
+    fn rule_codes_are_known() {
+        for r in ["D001", "D002", "D003", "D004", "P001", "H001"] {
+            assert!(Config::is_known_rule(r));
+        }
+        assert!(!Config::is_known_rule("D999"));
+    }
+}

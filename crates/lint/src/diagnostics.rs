@@ -1,0 +1,114 @@
+//! Machine-readable diagnostics: `file:line:col  RULE  message`.
+
+use std::fmt;
+
+/// How severe a diagnostic is. Warnings still fail the run (CI treats any
+/// diagnostic as a failure) but are labelled so humans can triage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+/// One finding, positioned at a 1-based line and column.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: u32,
+    pub col: u32,
+    pub rule: &'static str,
+    pub severity: Severity,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn error(
+        file: &str,
+        line: u32,
+        col: u32,
+        rule: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            col,
+            rule,
+            severity: Severity::Error,
+            message: message.into(),
+        }
+    }
+
+    pub fn warning(
+        file: &str,
+        line: u32,
+        col: u32,
+        rule: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(file, line, col, rule, message)
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prefix = match self.severity {
+            Severity::Error => "",
+            Severity::Warning => "warning: ",
+        };
+        write!(
+            f,
+            "{}:{}:{}  {}  {}{}",
+            self.file, self.line, self.col, self.rule, prefix, self.message
+        )
+    }
+}
+
+/// Stable output order: by file, then position, then rule code.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_machine_readable() {
+        let d = Diagnostic::error("crates/sim/src/engine.rs", 12, 5, "D002", "wall-clock time");
+        assert_eq!(
+            d.to_string(),
+            "crates/sim/src/engine.rs:12:5  D002  wall-clock time"
+        );
+    }
+
+    #[test]
+    fn warnings_are_labelled() {
+        let d = Diagnostic::warning("a.rs", 1, 1, "W003", "unused waiver");
+        assert_eq!(d.to_string(), "a.rs:1:1  W003  warning: unused waiver");
+    }
+
+    #[test]
+    fn sort_orders_by_file_then_position() {
+        let mut ds = vec![
+            Diagnostic::error("b.rs", 1, 1, "D001", "x"),
+            Diagnostic::error("a.rs", 9, 2, "D002", "x"),
+            Diagnostic::error("a.rs", 9, 1, "D001", "x"),
+        ];
+        sort(&mut ds);
+        let order: Vec<_> = ds.iter().map(|d| (d.file.clone(), d.line, d.col)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".to_string(), 9, 1),
+                ("a.rs".to_string(), 9, 2),
+                ("b.rs".to_string(), 1, 1)
+            ]
+        );
+    }
+}

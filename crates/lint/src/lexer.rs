@@ -1,0 +1,436 @@
+//! A minimal Rust lexer: just enough token structure for rule matching.
+//!
+//! The analyzer does not need a parse tree — every rule in the suite can be
+//! phrased over a token stream as long as the lexer gets the hard parts of
+//! Rust's lexical grammar right: nested block comments, string literals with
+//! escapes, raw strings with arbitrary `#` fences, byte strings, char
+//! literals vs. lifetimes, and raw identifiers. Everything else is an ident,
+//! a number, or single-character punctuation.
+
+/// The classes of token the rule engine distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `for`, `unwrap`, ...).
+    Ident,
+    /// Numeric literal (split at `.`; `1.5` lexes as `1`, `.`, `5`).
+    Number,
+    /// String or byte-string literal (`"..."`, `b"..."`).
+    Str,
+    /// Raw string literal (`r"..."`, `br#"..."#`).
+    RawStr,
+    /// Character or byte-character literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Line comment; `text` holds everything after the `//`.
+    LineComment,
+    /// Block comment (nesting-aware); `text` holds the interior.
+    BlockComment,
+    /// Any other single character (`.`, `:`, `{`, `#`, ...).
+    Punct,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this spelling?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Is this the given punctuation character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Is this a comment of either flavour?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize `source`, preserving comments (the waiver grammar lives there).
+///
+/// The lexer is total: malformed input (an unterminated string, a stray
+/// quote) degrades to best-effort tokens rather than an error, because the
+/// analyzer must keep producing diagnostics for the rest of the file.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: source.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let token = match c {
+            '/' if cur.peek(1) == Some('/') => lex_line_comment(&mut cur),
+            '/' if cur.peek(1) == Some('*') => lex_block_comment(&mut cur),
+            '"' => lex_string(&mut cur),
+            'r' | 'b' => lex_r_or_b(&mut cur),
+            '\'' => lex_quote(&mut cur),
+            _ if is_ident_start(c) => lex_ident(&mut cur),
+            _ if c.is_ascii_digit() => lex_number(&mut cur),
+            _ => {
+                cur.bump();
+                (TokenKind::Punct, c.to_string())
+            }
+        };
+        out.push(Token {
+            kind: token.0,
+            text: token.1,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> (TokenKind, String) {
+    cur.bump();
+    cur.bump(); // consume `//`
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    (TokenKind::LineComment, text)
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> (TokenKind, String) {
+    cur.bump();
+    cur.bump(); // consume `/*`
+    let mut depth = 1usize;
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+            text.push_str("*/");
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    (TokenKind::BlockComment, text)
+}
+
+fn lex_string(cur: &mut Cursor) -> (TokenKind, String) {
+    cur.bump(); // opening `"`
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\\' {
+            text.push(c);
+            cur.bump();
+            if let Some(e) = cur.bump() {
+                text.push(e);
+            }
+        } else if c == '"' {
+            cur.bump();
+            break;
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    (TokenKind::Str, text)
+}
+
+/// Raw string bodies end at a `"` followed by the same number of `#`s that
+/// opened them; there are no escapes inside.
+fn lex_raw_string(cur: &mut Cursor, hashes: usize) -> (TokenKind, String) {
+    cur.bump(); // opening `"`
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '"' && (1..=hashes).all(|k| cur.peek(k) == Some('#')) {
+            cur.bump();
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    (TokenKind::RawStr, text)
+}
+
+/// Disambiguate the `r` / `b` / `br` / `rb` prefixes: raw string, byte
+/// string, byte char, raw identifier — or a plain identifier that merely
+/// starts with one of those letters.
+fn lex_r_or_b(cur: &mut Cursor) -> (TokenKind, String) {
+    let c = cur.peek(0).unwrap_or('r');
+    // `b"..."` byte string and `b'x'` byte char.
+    if c == 'b' {
+        match cur.peek(1) {
+            Some('"') => {
+                cur.bump();
+                return lex_string(cur);
+            }
+            Some('\'') => {
+                cur.bump();
+                return lex_quote(cur);
+            }
+            Some('r') => {
+                // `br#*"` raw byte string.
+                let mut hashes = 0;
+                while cur.peek(2 + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if cur.peek(2 + hashes) == Some('"') {
+                    cur.bump();
+                    cur.bump();
+                    for _ in 0..hashes {
+                        cur.bump();
+                    }
+                    return lex_raw_string(cur, hashes);
+                }
+            }
+            _ => {}
+        }
+        return lex_ident(cur);
+    }
+    // `r#*"` raw string; `r#ident` raw identifier.
+    let mut hashes = 0;
+    while cur.peek(1 + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(1 + hashes) == Some('"') {
+        cur.bump();
+        for _ in 0..hashes {
+            cur.bump();
+        }
+        return lex_raw_string(cur, hashes);
+    }
+    if hashes == 1 && cur.peek(2).is_some_and(is_ident_start) {
+        cur.bump();
+        cur.bump(); // consume `r#`; the ident text is the unprefixed name
+        return lex_ident(cur);
+    }
+    lex_ident(cur)
+}
+
+/// A `'` opens either a char literal or a lifetime.
+fn lex_quote(cur: &mut Cursor) -> (TokenKind, String) {
+    cur.bump(); // the `'`
+    match cur.peek(0) {
+        // Escaped char: consume to the closing quote.
+        Some('\\') => {
+            let mut text = String::new();
+            while let Some(c) = cur.peek(0) {
+                if c == '\\' {
+                    text.push(c);
+                    cur.bump();
+                    if let Some(e) = cur.bump() {
+                        text.push(e);
+                    }
+                } else if c == '\'' {
+                    cur.bump();
+                    break;
+                } else {
+                    text.push(c);
+                    cur.bump();
+                }
+            }
+            (TokenKind::Char, text)
+        }
+        // `'x'` — exactly one char then a closing quote.
+        Some(x) if cur.peek(1) == Some('\'') && x != '\'' => {
+            cur.bump();
+            cur.bump();
+            (TokenKind::Char, x.to_string())
+        }
+        // `'ident` — a lifetime.
+        Some(x) if is_ident_start(x) => {
+            let mut text = String::new();
+            while let Some(c) = cur.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            (TokenKind::Lifetime, text)
+        }
+        // Stray quote: emit as punctuation and move on.
+        _ => (TokenKind::Punct, "'".to_string()),
+    }
+}
+
+fn lex_ident(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    (TokenKind::Ident, text)
+}
+
+fn lex_number(cur: &mut Cursor) -> (TokenKind, String) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    (TokenKind::Number, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let ts = kinds("let x = foo.bar();");
+        assert_eq!(ts[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(ts[1], (TokenKind::Ident, "x".into()));
+        assert_eq!(ts[2], (TokenKind::Punct, "=".into()));
+        assert_eq!(ts[3], (TokenKind::Ident, "foo".into()));
+        assert_eq!(ts[4], (TokenKind::Punct, ".".into()));
+        assert_eq!(ts[5], (TokenKind::Ident, "bar".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_ident_matching() {
+        let ts = kinds(r#"let s = "HashMap::iter() // not a comment";"#);
+        assert!(ts
+            .iter()
+            .all(|(k, text)| { *k != TokenKind::Ident || (text != "HashMap" && text != "iter") }));
+        assert!(ts.iter().any(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let ts = kinds(r###"let s = r#"a "quoted" thing"#; let t = 1;"###);
+        assert!(ts
+            .iter()
+            .any(|(k, text)| *k == TokenKind::RawStr && text == "a \"quoted\" thing"));
+        // Lexing continued past the raw string.
+        assert!(ts.iter().any(|(_, text)| text == "t"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let ts = kinds(r##"let a = b"bytes"; let c = b'\n'; let r = br#"raw"#;"##);
+        assert_eq!(
+            ts.iter().filter(|(k, _)| *k == TokenKind::Str).count(),
+            1,
+            "one byte string"
+        );
+        assert!(ts.iter().any(|(k, _)| *k == TokenKind::Char));
+        assert!(ts.iter().any(|(k, _)| *k == TokenKind::RawStr));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        assert_eq!(
+            ts.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(ts.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ts = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[1].0, TokenKind::BlockComment);
+        assert_eq!(ts[2], (TokenKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn line_comment_text_is_preserved() {
+        let ts = kinds("x // jitsu-lint: allow(D001, \"why\")\ny");
+        assert_eq!(
+            ts[1],
+            (
+                TokenKind::LineComment,
+                " jitsu-lint: allow(D001, \"why\")".into()
+            )
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let ts = lex("ab\n  cd");
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let ts = kinds("let r#type = 1;");
+        assert!(ts
+            .iter()
+            .any(|(k, text)| *k == TokenKind::Ident && text == "type"));
+    }
+}

@@ -1,0 +1,38 @@
+#![forbid(unsafe_code)]
+//! `jitsu-lint` — the workspace determinism & safety analyzer.
+//!
+//! Every figure and benchmark this repository produces rests on bit-for-bit
+//! deterministic simulation. The CI determinism gate (run `reproduce`
+//! twice, diff the bytes) only exercises one seeded path; this crate makes
+//! the invariant a *static* property of the whole workspace by walking
+//! every `.rs` file under `crates/`, `src/`, and `tests/` and enforcing:
+//!
+//! | rule | what it forbids |
+//! |------|-----------------|
+//! | D001 | iteration over `HashMap`/`HashSet` bindings in non-test code |
+//! | D002 | wall-clock time (`Instant`, `SystemTime`) anywhere |
+//! | D003 | ambient randomness (`thread_rng`, `from_entropy`, `rand::random`) |
+//! | D004 | OS concurrency (`thread::spawn`, `Mutex`, `RwLock`) in sim-logic crates |
+//! | P001 | `unwrap()`/`expect()`/`panic!` in non-test core-crate code |
+//! | H001 | a crate root missing `#![forbid(unsafe_code)]` |
+//!
+//! Violations are silenced in place with
+//! `// jitsu-lint: allow(RULE, "reason")`; the reason is mandatory (W001),
+//! unknown rules are errors (W002) and waivers that silence nothing are
+//! warnings (W003). Diagnostics print as `file:line:col  RULE  message`.
+//!
+//! The crate has zero dependencies and no parser: a minimal lexer
+//! ([`lexer`]) that gets strings, raw strings, comments, char literals and
+//! lifetimes right is enough to phrase every rule over the token stream.
+
+pub mod analyzer;
+pub mod config;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod waiver;
+pub mod walk;
+
+pub use analyzer::{analyze_file, analyze_workspace};
+pub use config::Config;
+pub use diagnostics::{Diagnostic, Severity};

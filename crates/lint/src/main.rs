@@ -1,0 +1,65 @@
+#![forbid(unsafe_code)]
+//! The `jitsu-lint` binary: analyze the workspace, print diagnostics,
+//! exit non-zero if anything — error or warning — was found.
+//!
+//! Usage: `jitsu-lint [WORKSPACE_ROOT]`. Without an argument the workspace
+//! root is found by walking up from the current directory to the first
+//! `Cargo.toml` that declares `[workspace]`, so `cargo run -p lint` works
+//! from any subdirectory.
+
+use lint::diagnostics::Severity;
+use lint::Config;
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => find_workspace_root(),
+    };
+    let cfg = Config::default();
+    let diags = match lint::analyze_workspace(&root, &cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!(
+                "jitsu-lint: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    for d in &diags {
+        println!("{d}");
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    if diags.is_empty() {
+        eprintln!("jitsu-lint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("jitsu-lint: {errors} error(s), {warnings} warning(s)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the current directory to the first `[workspace]` manifest.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

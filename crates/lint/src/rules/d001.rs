@@ -1,0 +1,190 @@
+//! D001 — unordered iteration over hash-based collections.
+//!
+//! `HashMap`/`HashSet` iteration order depends on `RandomState` and on
+//! insertion history, so any result that flows through it is not a pure
+//! function of the experiment seed. The rule tracks, per file, every
+//! binding whose declared type or initializer names `HashMap`/`HashSet`
+//! (fields, `let` bindings, parameters) and flags iteration over those
+//! bindings: the iterator-method family and `for … in` loops. Test code is
+//! exempt — assertions that don't depend on order are fine there.
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::FileContext;
+use std::collections::BTreeSet;
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+pub fn check(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    if ctx.in_tests_dir {
+        return Vec::new();
+    }
+    let bindings = hash_bindings(ctx);
+    if bindings.is_empty() {
+        return Vec::new();
+    }
+
+    let mut out = Vec::new();
+    let n = ctx.len();
+
+    // `binding.iter()` and friends — the receiver ident directly before the
+    // dot is what we match against the binding set.
+    for ci in 1..n.saturating_sub(2) {
+        let m = ctx.tok(ci + 1);
+        if ctx.tok(ci).is_punct('.')
+            && m.kind == TokenKind::Ident
+            && ITER_METHODS.contains(&m.text.as_str())
+            && ctx.tok(ci + 2).is_punct('(')
+            && ctx.tok(ci - 1).kind == TokenKind::Ident
+            && bindings.contains(&ctx.tok(ci - 1).text)
+            && !ctx.is_test(ci + 1)
+        {
+            let recv = &ctx.tok(ci - 1).text;
+            out.push(Diagnostic::error(
+                ctx.file,
+                m.line,
+                m.col,
+                "D001",
+                format!(
+                    "`{recv}.{}()` iterates a hash-ordered collection; use a \
+                     BTreeMap/BTreeSet or sort before iterating",
+                    m.text
+                ),
+            ));
+        }
+    }
+
+    // `for pat in expr { … }` where expr mentions a tracked binding that is
+    // not immediately followed by `.` (method receivers are caught above).
+    let mut ci = 0;
+    while ci < n {
+        if !ctx.tok(ci).is_ident("for") {
+            ci += 1;
+            continue;
+        }
+        // Find the `in` keyword at bracket depth 0 (patterns may contain
+        // tuples, slices, even struct patterns with braces).
+        let mut j = ci + 1;
+        let mut depth = 0i32;
+        let mut found_in = None;
+        while j < n {
+            let t = ctx.tok(j);
+            if t.kind == TokenKind::Punct {
+                match t.text.as_bytes().first() {
+                    Some(b'(') | Some(b'[') | Some(b'{') => depth += 1,
+                    Some(b')') | Some(b']') | Some(b'}') => depth -= 1,
+                    Some(b';') if depth == 0 => break, // not a for-loop after all
+                    _ => {}
+                }
+            } else if depth == 0 && t.is_ident("in") {
+                found_in = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(in_ix) = found_in else {
+            ci += 1;
+            continue;
+        };
+        // The iterated expression runs to the body's `{` at depth 0 (struct
+        // literals cannot appear bare in a for-expression).
+        let mut k = in_ix + 1;
+        depth = 0;
+        while k < n {
+            let t = ctx.tok(k);
+            if t.kind == TokenKind::Punct {
+                match t.text.as_bytes().first() {
+                    Some(b'{') if depth == 0 => break,
+                    Some(b'(') | Some(b'[') => depth += 1,
+                    Some(b')') | Some(b']') => depth -= 1,
+                    _ => {}
+                }
+            }
+            if t.kind == TokenKind::Ident
+                && bindings.contains(&t.text)
+                && !(k + 1 < n && ctx.tok(k + 1).is_punct('.'))
+                && !ctx.is_test(k)
+            {
+                out.push(Diagnostic::error(
+                    ctx.file,
+                    t.line,
+                    t.col,
+                    "D001",
+                    format!(
+                        "`for … in` over hash-ordered `{}`; use a BTreeMap/BTreeSet \
+                         or sort before iterating",
+                        t.text
+                    ),
+                ));
+            }
+            k += 1;
+        }
+        ci = k.max(ci + 1);
+    }
+
+    out.sort_by_key(|d| (d.line, d.col));
+    out.dedup_by_key(|d| (d.line, d.col));
+    out
+}
+
+/// Identifiers declared in this file with a hash-based collection type:
+/// `name: HashMap<…>` (fields, params, typed lets) and
+/// `let name = HashMap::new()`-style initializers.
+fn hash_bindings(ctx: &FileContext<'_>) -> BTreeSet<String> {
+    let mut bindings = BTreeSet::new();
+    let n = ctx.len();
+    for ci in 0..n {
+        let t = ctx.tok(ci);
+        if t.kind != TokenKind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Walk back over a `seg::seg::` path prefix.
+        let mut k = ci;
+        while k >= 3
+            && ctx.tok(k - 1).is_punct(':')
+            && ctx.tok(k - 2).is_punct(':')
+            && ctx.tok(k - 3).kind == TokenKind::Ident
+        {
+            k -= 3;
+        }
+        // Skip reference sigils and lifetimes between the `:` and the type.
+        let mut p = k;
+        while p > 0
+            && (ctx.tok(p - 1).is_punct('&')
+                || ctx.tok(p - 1).is_ident("mut")
+                || ctx.tok(p - 1).kind == TokenKind::Lifetime)
+        {
+            p -= 1;
+        }
+        // `name: HashMap<…>` — a single colon (not `::`) preceded by an ident.
+        if p >= 2
+            && ctx.tok(p - 1).is_punct(':')
+            && !(p >= 3 && ctx.tok(p - 2).is_punct(':'))
+            && ctx.tok(p - 2).kind == TokenKind::Ident
+        {
+            bindings.insert(ctx.tok(p - 2).text.clone());
+            continue;
+        }
+        // `let [mut] name = HashMap::…` initializers.
+        if p >= 3
+            && ctx.tok(p - 1).is_punct('=')
+            && ctx.tok(p - 2).kind == TokenKind::Ident
+            && (ctx.tok(p - 3).is_ident("let") || ctx.tok(p - 3).is_ident("mut"))
+        {
+            bindings.insert(ctx.tok(p - 2).text.clone());
+        }
+    }
+    bindings
+}

@@ -1,0 +1,56 @@
+//! D003 — ambient randomness.
+//!
+//! `thread_rng()`, `SeedableRng::from_entropy()`, and `rand::random()` pull
+//! entropy from the OS, so two runs with the same experiment seed diverge.
+//! Every RNG in the workspace must be constructed from a seed recorded in
+//! the experiment configuration.
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::FileContext;
+
+const AMBIENT_FNS: &[&str] = &["thread_rng", "from_entropy"];
+
+pub fn check(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = ctx.len();
+    for ci in 0..n {
+        let t = ctx.tok(ci);
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if AMBIENT_FNS.contains(&t.text.as_str()) {
+            out.push(Diagnostic::error(
+                ctx.file,
+                t.line,
+                t.col,
+                "D003",
+                format!(
+                    "ambient randomness `{}` is forbidden; seed RNGs from the \
+                     experiment config",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        // `rand::random` — the one ambient entry point whose final segment
+        // is too generic to match alone.
+        if t.text == "rand"
+            && ci + 3 < n
+            && ctx.tok(ci + 1).is_punct(':')
+            && ctx.tok(ci + 2).is_punct(':')
+            && ctx.tok(ci + 3).is_ident("random")
+        {
+            let r = ctx.tok(ci + 3);
+            out.push(Diagnostic::error(
+                ctx.file,
+                r.line,
+                r.col,
+                "D003",
+                "ambient randomness `rand::random` is forbidden; seed RNGs from \
+                 the experiment config",
+            ));
+        }
+    }
+    out
+}

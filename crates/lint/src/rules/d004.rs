@@ -1,0 +1,59 @@
+//! D004 — real OS concurrency inside sim-logic crates.
+//!
+//! The discrete-event engine owns every interleaving: logic that runs under
+//! the virtual clock must never spawn OS threads or synchronise through
+//! `Mutex`/`RwLock`, because the host scheduler would then influence event
+//! order. Applies only to the sim-logic crates named in the config; the
+//! harness/tooling crates may use real concurrency.
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::FileContext;
+
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock"];
+
+pub fn check(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let in_scope = ctx.crate_name.is_some_and(|c| ctx.config.is_sim_logic(c));
+    if !in_scope {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let n = ctx.len();
+    for ci in 0..n {
+        let t = ctx.tok(ci);
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if LOCK_TYPES.contains(&t.text.as_str()) {
+            out.push(Diagnostic::error(
+                ctx.file,
+                t.line,
+                t.col,
+                "D004",
+                format!(
+                    "real lock `{}` is forbidden in sim-logic crates; the sim \
+                     engine owns all interleavings",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        if t.text == "thread"
+            && ci + 3 < n
+            && ctx.tok(ci + 1).is_punct(':')
+            && ctx.tok(ci + 2).is_punct(':')
+            && ctx.tok(ci + 3).is_ident("spawn")
+        {
+            let s = ctx.tok(ci + 3);
+            out.push(Diagnostic::error(
+                ctx.file,
+                s.line,
+                s.col,
+                "D004",
+                "`thread::spawn` is forbidden in sim-logic crates; schedule events \
+                 on the sim engine instead",
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,35 @@
+//! H001 — crate-root hygiene.
+//!
+//! Every workspace crate root must carry `#![forbid(unsafe_code)]`: the
+//! whole simulation's claim to memory safety and determinism rests on the
+//! compiler checking every line, and `forbid` (unlike `deny`) cannot be
+//! overridden further down the tree. The analyzer fails if any root drops
+//! the attribute.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::FileContext;
+
+pub fn check(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    if !ctx.is_crate_root {
+        return Vec::new();
+    }
+    // Look for the exact token run `# ! [ forbid ( unsafe_code ) ]`.
+    let want: &[&str] = &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+    let n = ctx.len();
+    let found = (0..n.saturating_sub(want.len() - 1)).any(|start| {
+        want.iter()
+            .enumerate()
+            .all(|(k, w)| ctx.tok(start + k).text == *w)
+    });
+    if found {
+        Vec::new()
+    } else {
+        vec![Diagnostic::error(
+            ctx.file,
+            1,
+            1,
+            "H001",
+            "crate root must carry `#![forbid(unsafe_code)]`",
+        )]
+    }
+}

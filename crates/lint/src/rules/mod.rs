@@ -1,0 +1,65 @@
+//! The rule suite and the per-file context rules run against.
+
+pub mod d001;
+pub mod d002;
+pub mod d003;
+pub mod d004;
+pub mod h001;
+pub mod p001;
+
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::Token;
+
+/// Everything a rule needs to know about one file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path, `/`-separated (also the diagnostic label).
+    pub file: &'a str,
+    /// Directory name of the owning crate under `crates/`, if any.
+    pub crate_name: Option<&'a str>,
+    /// Is this file a workspace crate root (`src/lib.rs`)?
+    pub is_crate_root: bool,
+    /// Is this file under a `tests/` or `benches/` directory?
+    pub in_tests_dir: bool,
+    /// The full token stream, comments included.
+    pub tokens: &'a [Token],
+    /// Indices into `tokens` of the non-comment tokens, in order.
+    pub code: &'a [usize],
+    /// Parallel to `tokens`: true when the token sits inside a
+    /// `#[cfg(test)]` or `#[test]` item.
+    pub test_span: &'a [bool],
+    pub config: &'a Config,
+}
+
+impl FileContext<'_> {
+    /// The `ci`-th *code* token (comments skipped).
+    pub fn tok(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// Is the `ci`-th code token inside test-only code?
+    pub fn is_test(&self, ci: usize) -> bool {
+        self.test_span[self.code[ci]]
+    }
+
+    /// Number of code tokens.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+/// Run every rule over a file.
+pub fn all(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(d001::check(ctx));
+    out.extend(d002::check(ctx));
+    out.extend(d003::check(ctx));
+    out.extend(d004::check(ctx));
+    out.extend(p001::check(ctx));
+    out.extend(h001::check(ctx));
+    out
+}

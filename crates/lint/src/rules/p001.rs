@@ -1,0 +1,60 @@
+//! P001 — panic policy for core crates.
+//!
+//! A panic in a sim-logic crate tears down the whole experiment mid-storm.
+//! Non-test code in core crates must either handle its errors or carry a
+//! waiver documenting the invariant that makes the `unwrap()`/`expect()`/
+//! `panic!` unreachable — the waivers double as an audit trail of every
+//! assumed invariant in the workspace.
+
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::FileContext;
+
+const PANICKY_METHODS: &[&str] = &["unwrap", "expect"];
+
+pub fn check(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let in_scope = ctx.crate_name.is_some_and(|c| ctx.config.is_core(c));
+    if !in_scope || ctx.in_tests_dir {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let n = ctx.len();
+    for ci in 0..n {
+        let t = ctx.tok(ci);
+        if t.kind != TokenKind::Ident || ctx.is_test(ci) {
+            continue;
+        }
+        // `.unwrap(` / `.expect(` — require the dot so `fn unwrap()` defs
+        // and idents that merely contain the word don't fire.
+        if PANICKY_METHODS.contains(&t.text.as_str())
+            && ci > 0
+            && ctx.tok(ci - 1).is_punct('.')
+            && ci + 1 < n
+            && ctx.tok(ci + 1).is_punct('(')
+        {
+            out.push(Diagnostic::error(
+                ctx.file,
+                t.line,
+                t.col,
+                "P001",
+                format!(
+                    "`.{}()` can panic in core-crate code; handle the error or \
+                     waive with the invariant that makes it unreachable",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        if t.text == "panic" && ci + 1 < n && ctx.tok(ci + 1).is_punct('!') {
+            out.push(Diagnostic::error(
+                ctx.file,
+                t.line,
+                t.col,
+                "P001",
+                "`panic!` in core-crate code; return an error or waive with the \
+                 invariant that makes it unreachable",
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,189 @@
+//! The in-source waiver grammar.
+//!
+//! A violation is silenced with a line comment of the form
+//!
+//! ```text
+//! // jitsu-lint: allow(RULE, "reason")
+//! ```
+//!
+//! either *trailing* on the offending line or *standalone* on a line of its
+//! own, in which case it applies to the next line that holds code (so
+//! waivers for different rules stack above one statement). The reason is
+//! mandatory and non-empty — a waiver is documentation, and an undocumented
+//! waiver is itself an error (`W001`). Waiving an unknown rule is an error
+//! (`W002`); a waiver that silences nothing is a warning (`W003`), so stale
+//! waivers cannot accumulate silently.
+
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::Token;
+
+/// A syntactically valid waiver, resolved to the line it governs.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    pub rule: String,
+    pub reason: String,
+    /// Line/col of the waiver comment itself (for W003 reporting).
+    pub line: u32,
+    pub col: u32,
+    /// The source line whose findings this waiver silences. `None` when a
+    /// standalone waiver has no code line after it (always unused).
+    pub target_line: Option<u32>,
+}
+
+/// Scan the token stream for waiver comments. Returns the valid waivers and
+/// any grammar errors found along the way.
+pub fn collect(file: &str, tokens: &[Token]) -> (Vec<Waiver>, Vec<Diagnostic>) {
+    // Lines that hold at least one non-comment token, and the first column
+    // of any token per line (to tell trailing waivers from standalone ones).
+    let mut code_lines: Vec<u32> = Vec::new();
+    for t in tokens {
+        if !t.is_comment() {
+            code_lines.push(t.line);
+        }
+    }
+    code_lines.sort_unstable();
+    code_lines.dedup();
+
+    let mut waivers = Vec::new();
+    let mut diags = Vec::new();
+
+    for t in tokens {
+        if t.kind != crate::lexer::TokenKind::LineComment {
+            continue;
+        }
+        let body = t.text.trim();
+        let Some(rest) = body.strip_prefix("jitsu-lint:") else {
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Ok((rule, reason)) => {
+                if !Config::is_known_rule(&rule) {
+                    diags.push(Diagnostic::error(
+                        file,
+                        t.line,
+                        t.col,
+                        "W002",
+                        format!("waiver names unknown rule `{rule}`"),
+                    ));
+                    continue;
+                }
+                // Trailing if any code token shares the waiver's line;
+                // otherwise it governs the next code-bearing line.
+                let trailing = code_lines.binary_search(&t.line).is_ok();
+                let target_line = if trailing {
+                    Some(t.line)
+                } else {
+                    code_lines.iter().copied().find(|&l| l > t.line)
+                };
+                waivers.push(Waiver {
+                    rule,
+                    reason,
+                    line: t.line,
+                    col: t.col,
+                    target_line,
+                });
+            }
+            Err(msg) => {
+                diags.push(Diagnostic::error(file, t.line, t.col, "W001", msg));
+            }
+        }
+    }
+    (waivers, diags)
+}
+
+/// Parse `allow(RULE, "reason")`. Returns `(rule, reason)` or an error
+/// message describing what is malformed.
+fn parse_allow(s: &str) -> Result<(String, String), String> {
+    const SHAPE: &str = "expected `jitsu-lint: allow(RULE, \"reason\")`";
+    let inner = s
+        .strip_prefix("allow(")
+        .and_then(|r| r.trim_end().strip_suffix(')'))
+        .ok_or_else(|| format!("malformed waiver: {SHAPE}"))?;
+    let (rule, rest) = inner
+        .split_once(',')
+        .ok_or_else(|| format!("waiver is missing a reason: {SHAPE}"))?;
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return Err(format!("malformed waiver rule name `{}`: {SHAPE}", rule));
+    }
+    let reason = rest.trim();
+    let reason = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("waiver reason must be a quoted string: {SHAPE}"))?;
+    if reason.trim().is_empty() {
+        return Err(
+            "waiver has an empty reason: a waiver must document why the \
+                    violation is acceptable"
+                .to_string(),
+        );
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let src = "let x = m.iter(); // jitsu-lint: allow(D001, \"sorted downstream\")\n";
+        let (ws, ds) = collect("f.rs", &lex(src));
+        assert!(ds.is_empty());
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].rule, "D001");
+        assert_eq!(ws[0].reason, "sorted downstream");
+        assert_eq!(ws[0].target_line, Some(1));
+    }
+
+    #[test]
+    fn standalone_waivers_stack_onto_the_next_code_line() {
+        let src = "\
+// jitsu-lint: allow(D001, \"a\")
+// jitsu-lint: allow(P001, \"b\")
+let y = m.iter().next().unwrap();
+";
+        let (ws, ds) = collect("f.rs", &lex(src));
+        assert!(ds.is_empty());
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].target_line, Some(3));
+        assert_eq!(ws[1].target_line, Some(3));
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        for bad in [
+            "// jitsu-lint: allow(D001)\nx();",
+            "// jitsu-lint: allow(D001, \"\")\nx();",
+            "// jitsu-lint: allow(D001, \"  \")\nx();",
+        ] {
+            let (ws, ds) = collect("f.rs", &lex(bad));
+            assert!(ws.is_empty(), "no waiver for {bad:?}");
+            assert_eq!(ds.len(), 1, "one error for {bad:?}");
+            assert_eq!(ds[0].rule, "W001");
+        }
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let (ws, ds) = collect("f.rs", &lex("// jitsu-lint: allow(D999, \"why\")\nx();"));
+        assert!(ws.is_empty());
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, "W002");
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let (ws, ds) = collect("f.rs", &lex("// just a note about HashMap\nx();"));
+        assert!(ws.is_empty() && ds.is_empty());
+    }
+
+    #[test]
+    fn waiver_at_end_of_file_has_no_target() {
+        let (ws, _) = collect("f.rs", &lex("x();\n// jitsu-lint: allow(D001, \"why\")\n"));
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].target_line, None);
+    }
+}

@@ -1,0 +1,96 @@
+//! Golden-file tests for the analyzer: each known-bad fixture under
+//! `tests/fixtures/` is analyzed under a *pretend* workspace path (which is
+//! how a fixture opts into crate-root / core-crate / sim-logic roles), and
+//! the rendered diagnostics must match its `.expected` file byte for byte.
+//!
+//! Regenerate goldens after an intentional rule change with
+//! `UPDATE_EXPECT=1 cargo test -p lint --test fixtures`.
+
+use lint::Config;
+use std::fs;
+use std::path::PathBuf;
+
+/// (fixture file stem, pretend workspace-relative path it is analyzed as)
+const FIXTURES: &[(&str, &str)] = &[
+    ("d001", "crates/jitsu/src/fixture.rs"),
+    ("d002", "crates/platform/src/fixture.rs"),
+    ("d003", "crates/bench/src/fixture.rs"),
+    ("d004", "crates/netstack/src/fixture.rs"),
+    ("p001", "crates/xenstore/src/fixture.rs"),
+    ("h001_missing", "crates/sim/src/lib.rs"),
+    ("h001_ok", "crates/sim/src/lib.rs"),
+    ("waiver_ok", "crates/xenstore/src/fixture.rs"),
+    ("waiver_missing_reason", "crates/xenstore/src/fixture.rs"),
+    ("waiver_unknown_rule", "crates/xenstore/src/fixture.rs"),
+    ("waiver_unused", "crates/xenstore/src/fixture.rs"),
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn render(stem: &str, pretend_path: &str) -> String {
+    let source = fs::read_to_string(fixture_dir().join(format!("{stem}.rs")))
+        .unwrap_or_else(|e| panic!("read fixture {stem}: {e}"));
+    let diags = lint::analyze_file(pretend_path, &source, &Config::default());
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn fixtures_match_expected_diagnostics() {
+    let update = std::env::var_os("UPDATE_EXPECT").is_some();
+    let mut failures = Vec::new();
+    for (stem, pretend) in FIXTURES {
+        let got = render(stem, pretend);
+        let expected_path = fixture_dir().join(format!("{stem}.expected"));
+        if update {
+            fs::write(&expected_path, &got).expect("write golden");
+            continue;
+        }
+        let want = fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("missing golden {stem}.expected: {e}"));
+        if got != want {
+            failures.push(format!(
+                "== {stem} ==\n--- expected ---\n{want}--- got ---\n{got}"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+/// Every rule must be *proven to fire*: the union of fixture diagnostics
+/// must mention each rule code at least once, plus each waiver-grammar
+/// code. A rule that silently stops firing is itself a lint regression.
+#[test]
+fn every_rule_fires_somewhere_in_the_fixture_suite() {
+    let mut all = String::new();
+    for (stem, pretend) in FIXTURES {
+        all.push_str(&render(stem, pretend));
+    }
+    for rule in [
+        "D001", "D002", "D003", "D004", "P001", "H001", "W001", "W002", "W003",
+    ] {
+        assert!(
+            all.contains(&format!("  {rule}  ")),
+            "rule {rule} never fired across the fixture suite"
+        );
+    }
+}
+
+/// The waived fixture must be completely clean — waivers both silence the
+/// finding and count as used.
+#[test]
+fn waived_fixture_is_clean() {
+    assert_eq!(render("waiver_ok", "crates/xenstore/src/fixture.rs"), "");
+}
+
+/// The compliant crate root produces no diagnostics.
+#[test]
+fn compliant_crate_root_is_clean() {
+    assert_eq!(render("h001_ok", "crates/sim/src/lib.rs"), "");
+}

@@ -1,0 +1,22 @@
+// Fixture: D002 fires on any mention of a wall-clock type — imports,
+// expressions, even inside test modules.
+use std::time::Instant;
+
+fn elapsed_ms() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_millis()
+}
+
+fn since_epoch() -> u64 {
+    let now = std::time::SystemTime::now();
+    let _ = now;
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_still_wall_clock() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: D003 fires on every ambient-entropy entry point.
+fn ambient() -> u64 {
+    let mut rng = rand::thread_rng();
+    let seeded_from_os = rand::rngs::StdRng::from_entropy();
+    let _ = (&mut rng, seeded_from_os);
+    rand::random()
+}

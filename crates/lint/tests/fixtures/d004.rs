@@ -1,0 +1,12 @@
+// Fixture: D004 fires on real OS concurrency inside a sim-logic crate.
+use std::sync::Mutex;
+use std::sync::RwLock;
+
+fn spawn_worker() {
+    let shared = Mutex::new(0u32);
+    let lock = RwLock::new(Vec::<u8>::new());
+    let handle = std::thread::spawn(move || {
+        let _ = shared.lock();
+    });
+    let _ = (lock, handle);
+}

@@ -1,0 +1,3 @@
+// Fixture: a crate root (pretend path crates/x/src/lib.rs) that dropped
+// `#![forbid(unsafe_code)]` — H001 must fail the run.
+pub fn entry() {}

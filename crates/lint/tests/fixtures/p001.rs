@@ -1,0 +1,20 @@
+// Fixture: P001 fires on unwrap/expect/panic! in non-test core-crate code
+// and stays quiet inside #[cfg(test)] modules.
+fn risky(x: Option<u32>, y: Result<u32, String>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("y is always Ok here");
+    if a + b > 100 {
+        panic!("overflow of the made-up budget");
+    }
+    // Non-panicking escape hatches are fine without waivers.
+    let c = x.unwrap_or(0);
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::risky(Some(1), Ok(2)), 4);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: waivers without a (non-empty) reason are themselves errors, and
+// they do NOT silence the violation they sit on.
+fn f(x: Option<u32>) -> u32 {
+    // jitsu-lint: allow(P001)
+    let a = x.unwrap();
+    // jitsu-lint: allow(P001, "")
+    let b = x.unwrap();
+    a + b
+}

@@ -1,0 +1,14 @@
+// Fixture: correctly waived violations produce no diagnostics — trailing
+// waivers, standalone waivers, and stacked waivers for different rules.
+use std::collections::HashMap;
+
+fn waived(x: Option<u32>) -> u32 {
+    let m: HashMap<u32, u32> = HashMap::new();
+    // jitsu-lint: allow(D001, "counting is order-insensitive")
+    let n = m.values().count() as u32;
+    let v = x.unwrap(); // jitsu-lint: allow(P001, "caller guarantees Some")
+    // jitsu-lint: allow(D001, "counting is order-insensitive")
+    // jitsu-lint: allow(P001, "empty map means first() is None, guarded above")
+    let k = m.keys().next().copied().unwrap_or(0) + m.values().next().copied().unwrap();
+    n + v + k
+}

@@ -1,0 +1,5 @@
+// Fixture: waiving a rule the analyzer does not define is an error.
+fn f() -> u32 {
+    // jitsu-lint: allow(D999, "this rule does not exist")
+    42
+}

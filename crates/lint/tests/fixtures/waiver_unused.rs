@@ -1,0 +1,6 @@
+// Fixture: a well-formed waiver that silences nothing is a warning, so
+// stale waivers surface when the violation they covered goes away.
+fn f() -> u32 {
+    // jitsu-lint: allow(P001, "this line no longer unwraps anything")
+    41 + 1
+}

@@ -8,7 +8,7 @@
 use crate::ethernet::MacAddr;
 use crate::ipv4::Ipv4Addr;
 use crate::{NetError, Result};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// ARP operation codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,7 +129,7 @@ impl ArpPacket {
 /// A simple ARP cache (no expiry policy beyond an entry cap).
 #[derive(Debug, Default, Clone)]
 pub struct ArpCache {
-    entries: HashMap<Ipv4Addr, MacAddr>,
+    entries: BTreeMap<Ipv4Addr, MacAddr>,
 }
 
 impl ArpCache {

@@ -15,7 +15,7 @@ use crate::icmp::IcmpEcho;
 use crate::ipv4::{Ipv4Addr, Ipv4Packet, Protocol};
 use crate::tcp::{Connection, Listener, TcpFlags, TcpSegment};
 use crate::udp::UdpDatagram;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Events surfaced to the application layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,7 +77,7 @@ pub struct Interface {
     pub ip: Ipv4Addr,
     arp_cache: ArpCache,
     listeners: Vec<Listener>,
-    connections: HashMap<ConnKey, Connection>,
+    connections: BTreeMap<ConnKey, Connection>,
     next_ephemeral: u16,
     isn_seed: u32,
 }
@@ -90,7 +90,7 @@ impl Interface {
             ip,
             arp_cache: ArpCache::new(),
             listeners: Vec::new(),
-            connections: HashMap::new(),
+            connections: BTreeMap::new(),
             next_ephemeral: 49152,
             isn_seed: u32::from_be_bytes(ip.0).wrapping_mul(2654435761),
         }

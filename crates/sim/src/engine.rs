@@ -149,6 +149,7 @@ impl<W> Sim<W> {
                 self.now = ev.at;
                 self.executed += 1;
                 if self.executed > self.event_limit {
+                    // jitsu-lint: allow(P001, "livelock tripwire: exceeding the event limit means the experiment is unsound and must abort")
                     panic!(
                         "simulation exceeded event limit of {} events (possible livelock)",
                         self.event_limit

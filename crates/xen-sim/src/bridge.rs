@@ -14,7 +14,7 @@
 //! every frame (how Synjitsu taps the bridge).
 
 use jitsu_sim::SimDuration;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A port handle on the bridge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -33,9 +33,9 @@ pub enum BridgeError {
 #[derive(Debug, Default)]
 pub struct Bridge {
     next_port: u32,
-    ports: HashMap<PortId, PortState>,
+    ports: BTreeMap<PortId, PortState>,
     /// MAC address → port map learned from source addresses.
-    fdb: HashMap<[u8; 6], PortId>,
+    fdb: BTreeMap<[u8; 6], PortId>,
     /// Per-frame forwarding latency (software bridge hop in dom0).
     forward_latency: SimDuration,
     frames_forwarded: u64,
@@ -165,6 +165,7 @@ impl Bridge {
             if deliver {
                 self.ports
                     .get_mut(&port)
+                    // jitsu-lint: allow(P001, "port ids come from the ports map being iterated")
                     .expect("iterating known ports")
                     .rx_queue
                     .push_back(frame.to_vec());

@@ -39,6 +39,7 @@ impl ConsoleDevice {
     ) -> XsResult<ConsoleDevice> {
         let ring_ref = grants
             .grant(dom, DomId::DOM0, false)
+            // jitsu-lint: allow(P001, "a freshly built domain starts under its grant quota")
             .expect("fresh domain has grant capacity");
         let port = evtchn.alloc_unbound(dom, DomId::DOM0);
         let dir = frontend_path(dom, DeviceKind::Console, 0);

@@ -44,6 +44,7 @@ impl VbdDevice {
     ) -> XsResult<VbdDevice> {
         let ring = grants
             .grant(dom, DomId::DOM0, false)
+            // jitsu-lint: allow(P001, "a freshly built domain starts under its grant quota")
             .expect("grant capacity");
         let port = evtchn.alloc_unbound(dom, DomId::DOM0);
         let fe = frontend_path(dom, DeviceKind::Vbd, index);

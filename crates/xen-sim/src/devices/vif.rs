@@ -63,9 +63,11 @@ impl VifDevice {
         let mac = Self::mac_for(dom, index);
         let tx_ring = grants
             .grant(dom, DomId::DOM0, false)
+            // jitsu-lint: allow(P001, "a freshly built domain starts under its grant quota")
             .expect("grant capacity");
         let rx_ring = grants
             .grant(dom, DomId::DOM0, false)
+            // jitsu-lint: allow(P001, "a freshly built domain starts under its grant quota")
             .expect("grant capacity");
         let port = evtchn.alloc_unbound(dom, DomId::DOM0);
 
@@ -127,12 +129,15 @@ impl VifDevice {
     ) -> XsResult<()> {
         grants
             .map(self.dom, self.tx_ring, DomId::DOM0)
+            // jitsu-lint: allow(P001, "the frontend granted these pages to the backend at setup")
             .expect("backend may map frontend ring");
         grants
             .map(self.dom, self.rx_ring, DomId::DOM0)
+            // jitsu-lint: allow(P001, "the frontend granted these pages to the backend at setup")
             .expect("backend may map frontend ring");
         let _backend_port = evtchn
             .bind_interdomain(DomId::DOM0, self.dom, self.port)
+            // jitsu-lint: allow(P001, "the port was allocated unbound on the previous lines")
             .expect("unbound port is bindable");
         let port = bridge.attach(format!("vif{}.{}", self.dom.0, self.index));
         self.bridge_port = Some(port);

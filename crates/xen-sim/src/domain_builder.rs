@@ -144,6 +144,7 @@ impl DomainBuilder {
         };
         domain
             .transition(DomainState::Built)
+            // jitsu-lint: allow(P001, "Created -> Built is a legal lifecycle transition by construction")
             .expect("Created -> Built is legal");
         Ok(report)
     }

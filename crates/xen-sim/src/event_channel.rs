@@ -8,7 +8,7 @@
 //! either side may then `notify`, which sets the peer's pending bit unless
 //! masked.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xenstore::DomId;
 
 /// A per-domain event channel port number.
@@ -46,8 +46,8 @@ struct Channel {
 /// The host-wide event channel table.
 #[derive(Debug, Default)]
 pub struct EventChannelTable {
-    channels: HashMap<(DomId, Port), Channel>,
-    next_port: HashMap<DomId, u32>,
+    channels: BTreeMap<(DomId, Port), Channel>,
+    next_port: BTreeMap<DomId, u32>,
 }
 
 impl EventChannelTable {
@@ -109,6 +109,7 @@ impl EventChannelTable {
         let remote_chan = self
             .channels
             .get_mut(&(remote, remote_port))
+            // jitsu-lint: allow(P001, "presence checked by the lookup above")
             .expect("looked up above");
         remote_chan.state = ChannelState::Interdomain {
             peer: local,

@@ -8,7 +8,7 @@
 //! peer may map a grant, supports read-only grants, and stores the shared
 //! page contents so higher layers genuinely move bytes through it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xenstore::DomId;
 
 /// A grant reference: an index into the granting domain's grant table.
@@ -49,8 +49,8 @@ struct GrantEntry {
 /// Per-host grant table state (indexed by granting domain).
 #[derive(Debug, Default)]
 pub struct GrantTable {
-    entries: HashMap<(DomId, GrantRef), GrantEntry>,
-    next_ref: HashMap<DomId, u32>,
+    entries: BTreeMap<(DomId, GrantRef), GrantEntry>,
+    next_ref: BTreeMap<DomId, u32>,
     /// Maximum entries per domain (the default Xen grant table v1 size).
     max_per_domain: u32,
 }
@@ -59,8 +59,8 @@ impl GrantTable {
     /// Create a grant table with the default per-domain capacity.
     pub fn new() -> GrantTable {
         GrantTable {
-            entries: HashMap::new(),
-            next_ref: HashMap::new(),
+            entries: BTreeMap::new(),
+            next_ref: BTreeMap::new(),
             max_per_domain: 512,
         }
     }

@@ -10,7 +10,7 @@
 //! each domain get" deterministically.
 
 use jitsu_sim::SimDuration;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xenstore::DomId;
 
 /// Default scheduling weight (Xen's default is 256).
@@ -75,8 +75,8 @@ impl CreditScheduler {
 
     /// Run the scheduler for `duration`, splitting CPU time between runnable
     /// vCPUs in proportion to weight. Returns per-domain CPU time granted.
-    pub fn run_for(&mut self, duration: SimDuration) -> HashMap<DomId, SimDuration> {
-        let mut granted: HashMap<DomId, SimDuration> = HashMap::new();
+    pub fn run_for(&mut self, duration: SimDuration) -> BTreeMap<DomId, SimDuration> {
+        let mut granted: BTreeMap<DomId, SimDuration> = BTreeMap::new();
         let runnable: Vec<usize> = self
             .vcpus
             .iter()

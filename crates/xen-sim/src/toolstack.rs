@@ -27,7 +27,7 @@ use crate::grant_table::GrantTable;
 use crate::hotplug::HotplugStyle;
 use jitsu_sim::{SimDuration, SimRng, Tracer};
 use platform::Board;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xenstore::{DomId, EngineKind, Error as XsError, XenStore};
 
 /// The set of toolstack optimisations §3.1 describes.
@@ -222,9 +222,9 @@ pub struct Toolstack {
     pub bridge: Bridge,
     builder: DomainBuilder,
     domids: DomIdAllocator,
-    domains: HashMap<DomId, Domain>,
-    vifs: HashMap<DomId, VifDevice>,
-    consoles: HashMap<DomId, ConsoleDevice>,
+    domains: BTreeMap<DomId, Domain>,
+    vifs: BTreeMap<DomId, VifDevice>,
+    consoles: BTreeMap<DomId, ConsoleDevice>,
     rng: SimRng,
     /// Trace of control-plane events (public so callers can inspect it).
     pub tracer: Tracer,
@@ -241,9 +241,9 @@ impl Toolstack {
             event_channels: EventChannelTable::new(),
             bridge: Bridge::new(),
             domids: DomIdAllocator::new(),
-            domains: HashMap::new(),
-            vifs: HashMap::new(),
-            consoles: HashMap::new(),
+            domains: BTreeMap::new(),
+            vifs: BTreeMap::new(),
+            consoles: BTreeMap::new(),
             rng: SimRng::seed_from_u64(seed),
             tracer: Tracer::new(),
         }
@@ -408,6 +408,7 @@ impl Toolstack {
 
         domain
             .transition(DomainState::Paused)
+            // jitsu-lint: allow(P001, "Built -> Paused is a legal lifecycle transition by construction")
             .expect("Built -> Paused is legal");
         self.domains.insert(dom, domain);
         self.tracer.emit(

@@ -31,7 +31,7 @@ use crate::quota::Quota;
 use crate::transaction::{Transaction, TxnOp};
 use crate::tree::{Tree, TreeDiff};
 use crate::watch::{WatchEvent, WatchManager};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// A transaction identifier handed out by [`XenStore::transaction_start`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,7 +63,7 @@ pub struct XenStore {
     watches: WatchManager,
     engine: Box<dyn TxnEngine>,
     quota: Quota,
-    transactions: HashMap<u32, Transaction>,
+    transactions: BTreeMap<u32, Transaction>,
     next_tx_id: u32,
     stats: StoreStats,
     /// Nodes owned per domain, maintained incrementally from structural
@@ -96,6 +96,7 @@ impl XenStore {
         // node; everything else flows in through structural diffs.
         let root_owner = tree
             .get(&Path::root())
+            // jitsu-lint: allow(P001, "Tree::new always creates a root node")
             .expect("new tree has a root")
             .perms
             .owner();
@@ -104,7 +105,7 @@ impl XenStore {
             watches: WatchManager::new(),
             engine: engine.build(),
             quota,
-            transactions: HashMap::new(),
+            transactions: BTreeMap::new(),
             next_tx_id: 1,
             stats: StoreStats::default(),
             owned: BTreeMap::from([(root_owner.0, 1)]),
@@ -178,11 +179,13 @@ impl XenStore {
         for path in &diff.perms_changed {
             let old_owner = old
                 .get(path)
+                // jitsu-lint: allow(P001, "the diff reported this path, so the pre-merge tree holds it")
                 .expect("perms-changed node existed")
                 .perms
                 .owner();
             let new_owner = new
                 .get(path)
+                // jitsu-lint: allow(P001, "the diff reported this path, so the merged tree holds it")
                 .expect("perms-changed node exists")
                 .perms
                 .owner();

@@ -55,6 +55,7 @@ impl WatchManager {
             &mut self.queues[idx].1
         } else {
             self.queues.push((dom, VecDeque::new()));
+            // jitsu-lint: allow(P001, "a queue entry was pushed on the previous line")
             &mut self.queues.last_mut().expect("just pushed").1
         }
     }

@@ -122,9 +122,13 @@ impl Message {
         if buf.len() < 16 {
             return Ok(None);
         }
+        // jitsu-lint: allow(P001, "the length guard above ensures a full 16-byte header")
         let kind_raw = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes"));
+        // jitsu-lint: allow(P001, "the length guard above ensures a full 16-byte header")
         let req_id = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+        // jitsu-lint: allow(P001, "the length guard above ensures a full 16-byte header")
         let tx_id = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+        // jitsu-lint: allow(P001, "the length guard above ensures a full 16-byte header")
         let len = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")) as usize;
         if len > PAYLOAD_MAX {
             return Err(Error::Protocol(format!(
