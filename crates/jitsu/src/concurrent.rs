@@ -1274,6 +1274,7 @@ impl ConcurrentJitsud {
         // The unikernel's data plane dies with the domain, and so does its
         // lifecycle record in the store.
         world.planes.remove(&name);
+        // jitsu-lint: allow(R001, "lifecycle record removal is best-effort; the path is gone if a racing retire won")
         let _ = world.launcher.toolstack.xenstore.rm(
             DomId::DOM0,
             None,

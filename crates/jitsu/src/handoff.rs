@@ -197,6 +197,7 @@ impl HandoffCoordinator {
                 }
             }
         }
+        // jitsu-lint: allow(R001, "the pending directory may be absent when no frames were parked; rm is best-effort")
         let _ = xs.rm(DomId::DOM0, None, &base);
         Ok(frames)
     }

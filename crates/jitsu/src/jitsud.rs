@@ -253,7 +253,13 @@ impl Jitsud {
         let idle = self.directory.idle_services(self.clock);
         for name in &idle {
             if let Some(dom) = self.doms.remove(name) {
-                let _ = self.launcher.retire(dom);
+                if let Err(e) = self.launcher.retire(dom) {
+                    self.tracer.emit(
+                        self.clock,
+                        "jitsud",
+                        format!("retire of idle {name} failed: {e:?}"),
+                    );
+                }
             }
             self.instances.remove(name);
             self.directory.mark_stopped(name);

@@ -1,25 +1,53 @@
-//! Per-file analysis and workspace orchestration: lex, locate test-only
-//! spans, run the rule suite, then apply and audit waivers.
+//! Per-file analysis and workspace orchestration: lex, parse, classify
+//! bindings, locate test-only spans, run the rule suite, then apply and
+//! audit waivers and the A001 ratchet budget.
 
+use crate::ast;
+use crate::budget;
 use crate::config::Config;
 use crate::diagnostics::{self, Diagnostic};
 use crate::lexer::{self, Token, TokenKind};
-use crate::rules::{self, FileContext};
+use crate::rules::{self, AstContext, FileContext};
+use crate::sema::{self, SymbolIndex};
 use crate::waiver;
 use crate::walk;
 use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Analyze one file. `rel_path` is the workspace-relative, `/`-separated
-/// path: the rules derive the owning crate, crate-root status, and
-/// tests-directory status from it, so fixtures can opt into any role by
-/// choosing their pretend path.
+/// Analyze one file standalone. `rel_path` is the workspace-relative,
+/// `/`-separated path: the rules derive the owning crate, crate-root
+/// status, and tests-directory status from it, so fixtures can opt into
+/// any role by choosing their pretend path.
+///
+/// Cross-file symbols resolve only as far as the file itself declares them;
+/// [`analyze_workspace`] builds a workspace-wide [`SymbolIndex`] first so
+/// calls into other crates classify too.
 pub fn analyze_file(rel_path: &str, source: &str, cfg: &Config) -> Vec<Diagnostic> {
     let tokens = lexer::lex(source);
     let code: Vec<usize> = (0..tokens.len())
         .filter(|&i| !tokens[i].is_comment())
         .collect();
+    let parsed = ast::parse(&tokens, &code);
+    let mut index = SymbolIndex::default();
+    index.add_file(&parsed);
+    analyze_file_indexed(rel_path, source, cfg, &index)
+}
+
+/// Analyze one file against a pre-built (typically workspace-wide) symbol
+/// index.
+pub fn analyze_file_indexed(
+    rel_path: &str,
+    source: &str,
+    cfg: &Config,
+    index: &SymbolIndex,
+) -> Vec<Diagnostic> {
+    let tokens = lexer::lex(source);
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let parsed = ast::parse(&tokens, &code);
+    let classes = sema::classify(&parsed, index);
     let test_span = compute_test_spans(&tokens, &code);
 
     let segs: Vec<&str> = rel_path.split('/').collect();
@@ -42,8 +70,13 @@ pub fn analyze_file(rel_path: &str, source: &str, cfg: &Config) -> Vec<Diagnosti
         test_span: &test_span,
         config: cfg,
     };
+    let ast_cx = AstContext {
+        ast: &parsed,
+        classes: &classes,
+        index,
+    };
 
-    let findings = rules::all(&ctx);
+    let findings = rules::all(&ctx, &ast_cx);
     let (waivers, mut diags) = waiver::collect(rel_path, &tokens);
 
     // A waiver silences every finding of its rule on its target line (two
@@ -77,13 +110,41 @@ pub fn analyze_file(rel_path: &str, source: &str, cfg: &Config) -> Vec<Diagnosti
 }
 
 /// Analyze every `.rs` file under `crates/`, `src/`, and `tests/` below
-/// `root`, plus workspace-level checks (a crate missing its root file).
+/// `root`, plus workspace-level checks (a crate missing its root file, the
+/// A001 ratchet budget).
+///
+/// Two passes: the first parses every file into a workspace-wide
+/// [`SymbolIndex`] (so `Result`-returning functions and struct fields
+/// resolve across crates), the second runs the rules.
 pub fn analyze_workspace(root: &Path, cfg: &Config) -> io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
-    for rel in walk::rust_files(root, cfg)? {
+    let files = walk::rust_files(root, cfg)?;
+    let mut sources = Vec::with_capacity(files.len());
+    let mut index = SymbolIndex::default();
+    for rel in files {
         let source = fs::read_to_string(root.join(&rel))?;
-        diags.extend(analyze_file(&rel, &source, cfg));
+        let tokens = lexer::lex(&source);
+        let code: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        index.add_file(&ast::parse(&tokens, &code));
+        sources.push((rel, source));
     }
+
+    let mut diags = Vec::new();
+    for (rel, source) in &sources {
+        diags.extend(analyze_file_indexed(rel, source, cfg, &index));
+    }
+
+    // The A001 ratchet: exactly-budgeted copies are acknowledged debt;
+    // growth and slack are both errors.
+    let budget_path = root.join(budget::BUDGET_PATH);
+    let (parsed_budget, mut budget_errors) = if budget_path.is_file() {
+        budget::parse(&fs::read_to_string(&budget_path)?)
+    } else {
+        (budget::Budget::default(), Vec::new())
+    };
+    diags = budget::apply(diags, &parsed_budget);
+    diags.append(&mut budget_errors);
     // H001 also guards against a crate root disappearing outright.
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {

@@ -1,0 +1,266 @@
+//! The A001 ratchet budget: `crates/lint/budget.toml`.
+//!
+//! The budget file records, per source file, exactly how many frame-buffer
+//! copies (A001) the tree is *allowed* to contain. The analyzer enforces it
+//! in both directions:
+//!
+//! - **growth** — a file with more A001 findings than its recorded budget
+//!   (or any findings with no entry at all) fails with the individual
+//!   findings plus a summary error: a new copy snuck into the hot path;
+//! - **slack** — a recorded budget above the actual count fails at the
+//!   stale budget entry: progress toward zero-copy must be banked by
+//!   ratcheting the number down, so it can never silently regress.
+//!
+//! When the recorded count equals reality, the findings are suppressed:
+//! the debt is acknowledged and metered. The grammar is a deliberately tiny
+//! TOML subset:
+//!
+//! ```text
+//! # comment
+//! [a001]
+//! "crates/netstack/src/tcp/conn.rs" = 2
+//! ```
+
+use crate::diagnostics::Diagnostic;
+use std::collections::BTreeMap;
+
+/// Workspace-relative path of the budget file.
+pub const BUDGET_PATH: &str = "crates/lint/budget.toml";
+
+/// One budget entry: the allowed count and the line it sits on (so slack
+/// errors point at the stale entry, not at the clean source file).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    pub allowed: u32,
+    pub line: u32,
+}
+
+/// Parsed budget: file path → allowed A001 count.
+#[derive(Debug, Default)]
+pub struct Budget {
+    pub entries: BTreeMap<String, Entry>,
+}
+
+/// Parse the budget file. Grammar errors are diagnostics against the
+/// budget file itself (rule A001 — the budget is part of the ratchet).
+pub fn parse(text: &str) -> (Budget, Vec<Diagnostic>) {
+    let mut budget = Budget::default();
+    let mut diags = Vec::new();
+    let mut in_section = false;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = (i + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            in_section = name.trim() == "a001";
+            if !in_section {
+                diags.push(Diagnostic::error(
+                    BUDGET_PATH,
+                    lineno,
+                    1,
+                    "A001",
+                    format!("unknown budget section `[{}]`", name.trim()),
+                ));
+            }
+            continue;
+        }
+        if !in_section {
+            diags.push(Diagnostic::error(
+                BUDGET_PATH,
+                lineno,
+                1,
+                "A001",
+                "budget entry outside the [a001] section",
+            ));
+            continue;
+        }
+        let parsed = line.split_once('=').and_then(|(k, v)| {
+            let path = k.trim().strip_prefix('"')?.strip_suffix('"')?;
+            let count: u32 = v.trim().parse().ok()?;
+            Some((path.to_string(), count))
+        });
+        match parsed {
+            Some((path, count)) if count > 0 => {
+                if budget
+                    .entries
+                    .insert(
+                        path.clone(),
+                        Entry {
+                            allowed: count,
+                            line: lineno,
+                        },
+                    )
+                    .is_some()
+                {
+                    diags.push(Diagnostic::error(
+                        BUDGET_PATH,
+                        lineno,
+                        1,
+                        "A001",
+                        format!("duplicate budget entry for {path}"),
+                    ));
+                }
+            }
+            Some((path, _)) => {
+                diags.push(Diagnostic::error(
+                    BUDGET_PATH,
+                    lineno,
+                    1,
+                    "A001",
+                    format!(
+                        "budget entry for {path} is zero — delete the line; \
+                         zero is the default"
+                    ),
+                ));
+            }
+            None => {
+                diags.push(Diagnostic::error(
+                    BUDGET_PATH,
+                    lineno,
+                    1,
+                    "A001",
+                    "malformed budget entry: expected `\"path\" = COUNT`",
+                ));
+            }
+        }
+    }
+    (budget, diags)
+}
+
+/// Apply the ratchet: consume the raw diagnostics, suppress exactly-
+/// budgeted A001 findings, and convert growth/slack into errors.
+pub fn apply(diags: Vec<Diagnostic>, budget: &Budget) -> Vec<Diagnostic> {
+    let mut counts: BTreeMap<&str, u32> = BTreeMap::new();
+    for d in diags.iter().filter(|d| d.rule == "A001") {
+        *counts.entry(d.file.as_str()).or_default() += 1;
+    }
+
+    let mut out = Vec::new();
+    for d in diags.iter() {
+        if d.rule != "A001" {
+            out.push(d.clone());
+            continue;
+        }
+        let actual = counts.get(d.file.as_str()).copied().unwrap_or(0);
+        let allowed = budget.entries.get(&d.file).map(|e| e.allowed).unwrap_or(0);
+        if actual > allowed {
+            out.push(d.clone());
+        }
+        // `actual <= allowed`: suppressed here; slack handled below.
+    }
+
+    // Growth summaries: one per over-budget file.
+    for (file, &actual) in &counts {
+        let allowed = budget.entries.get(*file).map(|e| e.allowed).unwrap_or(0);
+        if actual > allowed {
+            out.push(Diagnostic::error(
+                file,
+                1,
+                1,
+                "A001",
+                format!(
+                    "frame-copy count grew: {actual} found, budget allows \
+                     {allowed} ({BUDGET_PATH}) — remove the new copy; the \
+                     ratchet only turns toward zero"
+                ),
+            ));
+        }
+    }
+
+    // Slack: recorded budget above reality means banked progress was lost.
+    for (file, entry) in &budget.entries {
+        let actual = counts.get(file.as_str()).copied().unwrap_or(0);
+        if actual < entry.allowed {
+            out.push(Diagnostic::error(
+                BUDGET_PATH,
+                entry.line,
+                1,
+                "A001",
+                format!(
+                    "budget slack for {file}: records {} but only {actual} \
+                     cop{} remain — ratchet the entry down to bank the \
+                     progress",
+                    entry.allowed,
+                    if actual == 1 { "y" } else { "ies" },
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a001(file: &str, line: u32) -> Diagnostic {
+        Diagnostic::error(file, line, 1, "A001", "copy")
+    }
+
+    #[test]
+    fn grammar_parses_sections_comments_and_entries() {
+        let (b, errs) = parse(
+            "# the ratchet\n\n[a001]\n\"crates/netstack/src/x.rs\" = 2\n\"crates/conduit/src/y.rs\" = 1\n",
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+        assert_eq!(b.entries.len(), 2);
+        assert_eq!(b.entries["crates/netstack/src/x.rs"].allowed, 2);
+        assert_eq!(b.entries["crates/conduit/src/y.rs"].line, 5);
+    }
+
+    #[test]
+    fn malformed_entries_are_errors() {
+        for bad in [
+            "[a001]\nnot-an-entry\n",
+            "[a001]\n\"p\" = nope\n",
+            "[wrong]\n",
+            "\"p\" = 1\n",
+            "[a001]\n\"p\" = 0\n",
+            "[a001]\n\"p\" = 1\n\"p\" = 2\n",
+        ] {
+            let (_, errs) = parse(bad);
+            assert!(!errs.is_empty(), "expected error for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn exactly_budgeted_findings_are_suppressed() {
+        let (b, _) = parse("[a001]\n\"f.rs\" = 2\n");
+        let out = apply(vec![a001("f.rs", 3), a001("f.rs", 9)], &b);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn growth_keeps_findings_and_adds_a_summary() {
+        let (b, _) = parse("[a001]\n\"f.rs\" = 1\n");
+        let out = apply(vec![a001("f.rs", 3), a001("f.rs", 9)], &b);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out.iter().any(|d| d.message.contains("grew")));
+    }
+
+    #[test]
+    fn unbudgeted_findings_always_fail() {
+        let out = apply(vec![a001("f.rs", 3)], &Budget::default());
+        assert_eq!(out.len(), 2, "{out:?}"); // the finding + the summary
+    }
+
+    #[test]
+    fn slack_fails_at_the_budget_entry() {
+        let (b, _) = parse("[a001]\n\"f.rs\" = 2\n");
+        let out = apply(vec![a001("f.rs", 3)], &b);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, BUDGET_PATH);
+        assert_eq!(out[0].line, 2);
+        assert!(out[0].message.contains("slack"));
+    }
+
+    #[test]
+    fn non_a001_diagnostics_pass_through() {
+        let d = Diagnostic::error("f.rs", 1, 1, "P001", "panic");
+        let out = apply(vec![d.clone()], &Budget::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "P001");
+    }
+}

@@ -1,5 +1,6 @@
 //! Machine-readable diagnostics: `file:line:col  RULE  message`.
 
+use crate::fix::Fix;
 use std::fmt;
 
 /// How severe a diagnostic is. Warnings still fail the run (CI treats any
@@ -19,6 +20,8 @@ pub struct Diagnostic {
     pub rule: &'static str,
     pub severity: Severity,
     pub message: String,
+    /// A machine-applicable fix, when the rule can scaffold one (`--fix`).
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
@@ -36,7 +39,14 @@ impl Diagnostic {
             rule,
             severity: Severity::Error,
             message: message.into(),
+            fix: None,
         }
+    }
+
+    /// Attach a machine-applicable fix.
+    pub fn with_fix(mut self, fix: Fix) -> Self {
+        self.fix = Some(fix);
+        self
     }
 
     pub fn warning(

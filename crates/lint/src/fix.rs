@@ -1,0 +1,190 @@
+//! Machine-applicable fixes: a [`Fix`] is a set of text edits positioned by
+//! 1-based line and *character* column (matching the lexer's coordinates).
+//!
+//! `--fix` applies the mechanical subset of the rule suite — R001 discarded
+//! `Result`s become `.expect(…)` with a P001 waiver scaffold, N001 `as`
+//! narrowings become `try_from(…)` — leaving a `TODO` in each scaffold so
+//! the author still has to state the invariant. Edits never try to be
+//! clever: overlapping edits are dropped (first come, first served after
+//! sorting), and the result is expected to be re-linted.
+
+/// One text edit: replace the half-open span `[(line, col), (end_line,
+/// end_col))` with `insert`. A pure insertion has `end == start`. `col ==
+/// u32::MAX` means "end of that line" (before the newline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edit {
+    pub line: u32,
+    pub col: u32,
+    pub end_line: u32,
+    pub end_col: u32,
+    pub insert: String,
+}
+
+impl Edit {
+    /// A pure insertion at `(line, col)`.
+    pub fn insert_at(line: u32, col: u32, text: impl Into<String>) -> Self {
+        Edit {
+            line,
+            col,
+            end_line: line,
+            end_col: col,
+            insert: text.into(),
+        }
+    }
+
+    /// Replace the span from `(line, col)` to `(end_line, end_col)`.
+    pub fn replace(
+        line: u32,
+        col: u32,
+        end_line: u32,
+        end_col: u32,
+        text: impl Into<String>,
+    ) -> Self {
+        Edit {
+            line,
+            col,
+            end_line,
+            end_col,
+            insert: text.into(),
+        }
+    }
+}
+
+/// A machine-applicable fix attached to a diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    /// What the fix does, for `--fix` reporting.
+    pub summary: String,
+    pub edits: Vec<Edit>,
+}
+
+/// Apply a set of fixes to a source string. Edits are applied last-position
+/// first so earlier edits don't shift later coordinates; an edit that
+/// overlaps an already-applied one is skipped.
+pub fn apply(source: &str, fixes: &[Fix]) -> String {
+    let mut edits: Vec<&Edit> = fixes.iter().flat_map(|f| &f.edits).collect();
+    // Sort by start position descending (apply bottom-up).
+    edits.sort_by_key(|e| std::cmp::Reverse((e.line, e.col)));
+
+    let line_starts = compute_line_starts(source);
+    let mut text = source.to_string();
+    let mut applied_floor: Option<usize> = None; // lowest start byte applied so far
+    for e in edits {
+        let Some(start) = offset_of(&text, &line_starts, e.line, e.col) else {
+            continue;
+        };
+        let Some(end) = offset_of(&text, &line_starts, e.end_line, e.end_col) else {
+            continue;
+        };
+        if end < start {
+            continue;
+        }
+        // Overlap guard: this edit must end at or before everything already
+        // applied (we move strictly upward through the file).
+        if let Some(floor) = applied_floor {
+            if end > floor {
+                continue;
+            }
+        }
+        text.replace_range(start..end, &e.insert);
+        applied_floor = Some(start);
+    }
+    text
+}
+
+/// Byte offsets of each line start in `source` (index 0 = line 1).
+fn compute_line_starts(source: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in source.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Byte offset of 1-based `(line, col)` where `col` counts characters.
+/// `col == u32::MAX` resolves to the end of the line. Columns past the end
+/// of the line clamp to the end of the line.
+fn offset_of(text: &str, line_starts: &[usize], line: u32, col: u32) -> Option<usize> {
+    let ls = *line_starts.get(line.checked_sub(1)? as usize)?;
+    let line_end = text[ls..].find('\n').map(|i| ls + i).unwrap_or(text.len());
+    if col == u32::MAX {
+        return Some(line_end);
+    }
+    let skip = col.saturating_sub(1) as usize;
+    let off = ls
+        + text[ls..line_end]
+            .chars()
+            .take(skip)
+            .map(|c| c.len_utf8())
+            .sum::<usize>();
+    Some(off.min(line_end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fix(edits: Vec<Edit>) -> Fix {
+        Fix {
+            summary: "test".to_string(),
+            edits,
+        }
+    }
+
+    #[test]
+    fn insertion_and_replacement_compose_bottom_up() {
+        let src = "let _ = foo();\nlet x = 1;\n";
+        let out = apply(
+            src,
+            &[fix(vec![
+                Edit::replace(1, 1, 1, 9, ""),             // drop `let _ = `
+                Edit::insert_at(1, 14, ".expect(\"ok\")"), // before `;`
+            ])],
+        );
+        assert_eq!(out, "foo().expect(\"ok\");\nlet x = 1;\n");
+    }
+
+    #[test]
+    fn end_of_line_sentinel_appends_before_newline() {
+        let src = "foo();\nbar();\n";
+        let out = apply(src, &[fix(vec![Edit::insert_at(1, u32::MAX, " // tail")])]);
+        assert_eq!(out, "foo(); // tail\nbar();\n");
+    }
+
+    #[test]
+    fn overlapping_edits_are_dropped() {
+        let src = "abcdef\n";
+        let out = apply(
+            src,
+            &[
+                fix(vec![Edit::replace(1, 2, 1, 5, "X")]),
+                fix(vec![Edit::replace(1, 4, 1, 6, "Y")]), // overlaps the first
+            ],
+        );
+        // Exactly one of the two landed; the text must stay consistent.
+        assert!(out == "aXef\n" || out == "abcYf\n", "{out:?}");
+    }
+
+    #[test]
+    fn multiline_spans_replace_across_lines() {
+        let src = "a(\n  b\n);\n";
+        let out = apply(src, &[fix(vec![Edit::replace(1, 1, 3, 2, "c()")])]);
+        assert_eq!(out, "c();\n");
+    }
+
+    #[test]
+    fn char_columns_handle_multibyte_text() {
+        let src = "écrit(œuf);\n";
+        let out = apply(src, &[fix(vec![Edit::insert_at(1, 7, "x, ")])]);
+        assert_eq!(out, "écrit(x, œuf);\n");
+    }
+
+    #[test]
+    fn out_of_range_edits_are_ignored() {
+        let src = "a\n";
+        let out = apply(src, &[fix(vec![Edit::insert_at(99, 1, "nope")])]);
+        assert_eq!(out, src);
+    }
+}

@@ -15,24 +15,40 @@
 //! | D004 | OS concurrency (`thread::spawn`, `Mutex`, `RwLock`) in sim-logic crates |
 //! | P001 | `unwrap()`/`expect()`/`panic!` in non-test core-crate code |
 //! | H001 | a crate root missing `#![forbid(unsafe_code)]` |
+//! | C001 | raw ordering/arithmetic on TCP sequence numbers (RFC 1982) |
+//! | A001 | frame-buffer copies in the hot path beyond the ratchet budget |
+//! | R001 | discarded `Result` values in non-test core-crate code |
+//! | N001 | unchecked narrowing `as` casts in wire-format crates |
 //!
 //! Violations are silenced in place with
 //! `// jitsu-lint: allow(RULE, "reason")`; the reason is mandatory (W001),
 //! unknown rules are errors (W002) and waivers that silence nothing are
-//! warnings (W003). Diagnostics print as `file:line:col  RULE  message`.
+//! warnings (W003). A001 is additionally governed by the committed ratchet
+//! budget `crates/lint/budget.toml` ([`budget`]): exact counts pass, growth
+//! and slack both fail. Diagnostics print as `file:line:col  RULE  message`
+//! or as SARIF 2.1.0 ([`sarif`]) with `--format sarif`; the mechanical
+//! subset of R001/N001 findings carry machine-applicable fixes ([`fix`],
+//! `--fix`).
 //!
-//! The crate has zero dependencies and no parser: a minimal lexer
-//! ([`lexer`]) that gets strings, raw strings, comments, char literals and
-//! lifetimes right is enough to phrase every rule over the token stream.
+//! The crate still has zero dependencies. The first six rules are phrased
+//! over the raw token stream of a minimal lexer ([`lexer`]); the four
+//! shape-sensitive rules run on a lightweight recursive-descent AST
+//! ([`ast`]) with a binding-aware classification pass ([`sema`]) that
+//! tracks declared types through `let`s, params and struct fields.
 
 pub mod analyzer;
+pub mod ast;
+pub mod budget;
 pub mod config;
 pub mod diagnostics;
+pub mod fix;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
+pub mod sema;
 pub mod waiver;
 pub mod walk;
 
-pub use analyzer::{analyze_file, analyze_workspace};
+pub use analyzer::{analyze_file, analyze_file_indexed, analyze_workspace};
 pub use config::Config;
 pub use diagnostics::{Diagnostic, Severity};

@@ -2,35 +2,74 @@
 //! The `jitsu-lint` binary: analyze the workspace, print diagnostics,
 //! exit non-zero if anything — error or warning — was found.
 //!
-//! Usage: `jitsu-lint [WORKSPACE_ROOT]`. Without an argument the workspace
-//! root is found by walking up from the current directory to the first
-//! `Cargo.toml` that declares `[workspace]`, so `cargo run -p lint` works
-//! from any subdirectory.
+//! Usage: `jitsu-lint [WORKSPACE_ROOT] [--format text|sarif] [--fix]`.
+//!
+//! Without a root argument the workspace root is found by walking up from
+//! the current directory to the first `Cargo.toml` that declares
+//! `[workspace]`, so `cargo run -p lint` works from any subdirectory.
+//! `--format sarif` writes a SARIF 2.1.0 document to stdout (the summary
+//! still goes to stderr). `--fix` applies the machine-applicable subset of
+//! fixes (R001/N001 scaffolds), rewrites the files in place, then re-lints
+//! and reports what remains.
 
 use lint::diagnostics::Severity;
-use lint::Config;
+use lint::{Config, Diagnostic};
+use std::collections::BTreeMap;
 use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Sarif,
+}
+
+struct Args {
+    root: PathBuf,
+    format: Format,
+    fix: bool,
+}
+
 fn main() -> ExitCode {
-    let root = match env::args().nth(1) {
-        Some(arg) => PathBuf::from(arg),
-        None => find_workspace_root(),
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("jitsu-lint: {msg}");
+            eprintln!("usage: jitsu-lint [WORKSPACE_ROOT] [--format text|sarif] [--fix]");
+            return ExitCode::from(2);
+        }
     };
     let cfg = Config::default();
-    let diags = match lint::analyze_workspace(&root, &cfg) {
+
+    if args.fix {
+        match apply_fixes(&args.root, &cfg) {
+            Ok(n) => eprintln!("jitsu-lint: applied {n} fix(es)"),
+            Err(e) => {
+                eprintln!("jitsu-lint: fix failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let diags = match lint::analyze_workspace(&args.root, &cfg) {
         Ok(d) => d,
         Err(e) => {
             eprintln!(
                 "jitsu-lint: failed to read workspace at {}: {e}",
-                root.display()
+                args.root.display()
             );
             return ExitCode::from(2);
         }
     };
-    for d in &diags {
-        println!("{d}");
+    match args.format {
+        Format::Text => {
+            for d in &diags {
+                println!("{d}");
+            }
+        }
+        Format::Sarif => {
+            print!("{}", lint::sarif::to_sarif(&diags));
+        }
     }
     let errors = diags
         .iter()
@@ -44,6 +83,73 @@ fn main() -> ExitCode {
         eprintln!("jitsu-lint: {errors} error(s), {warnings} warning(s)");
         ExitCode::FAILURE
     }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = None;
+    let mut format = Format::Text;
+    let mut fix = false;
+    let mut argv = env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--format" => {
+                format = match argv.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("sarif") => Format::Sarif,
+                    other => {
+                        return Err(format!(
+                            "unknown format {:?} (expected text or sarif)",
+                            other.unwrap_or("<missing>")
+                        ));
+                    }
+                };
+            }
+            "--fix" => fix = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}"));
+            }
+            path => {
+                if root.replace(PathBuf::from(path)).is_some() {
+                    return Err("more than one workspace root given".to_string());
+                }
+            }
+        }
+    }
+    Ok(Args {
+        root: root.unwrap_or_else(find_workspace_root),
+        format,
+        fix,
+    })
+}
+
+/// Apply every machine-applicable fix in the workspace, rewriting files in
+/// place. Returns the number of fixes applied.
+fn apply_fixes(root: &std::path::Path, cfg: &Config) -> std::io::Result<usize> {
+    let diags = lint::analyze_workspace(root, cfg)?;
+    let mut by_file: BTreeMap<&str, Vec<&Diagnostic>> = BTreeMap::new();
+    for d in diags.iter().filter(|d| d.fix.is_some()) {
+        by_file.entry(&d.file).or_default().push(d);
+    }
+    let mut applied = 0usize;
+    for (rel, ds) in by_file {
+        let path = root.join(rel);
+        let source = std::fs::read_to_string(&path)?;
+        let fixes: Vec<_> = ds.iter().filter_map(|d| d.fix.clone()).collect();
+        let fixed = lint::fix::apply(&source, &fixes);
+        if fixed != source {
+            std::fs::write(&path, fixed)?;
+            applied += fixes.len();
+            for d in &ds {
+                eprintln!(
+                    "jitsu-lint: fixed {}:{} ({})",
+                    d.file,
+                    d.line,
+                    d.fix.as_ref().map(|f| f.summary.as_str()).unwrap_or("")
+                );
+            }
+        }
+    }
+    Ok(applied)
 }
 
 /// Walk up from the current directory to the first `[workspace]` manifest.

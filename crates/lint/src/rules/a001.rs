@@ -1,0 +1,82 @@
+//! A001 — frame-buffer copies in the zero-copy hot path, under a ratchet.
+//!
+//! Roadmap item 2 is a zero-copy frame path through bridge → Synjitsu →
+//! vchan. Until that lands, every `.clone()`/`.to_vec()` of payload bytes
+//! or whole frames in `netstack`/`conduit` non-test code is *counted*, and
+//! the committed per-file counts in `crates/lint/budget.toml` are a
+//! ratchet: CI fails if a file's count grows (a new copy snuck in) or if
+//! the recorded budget exceeds reality (stale slack — ratchet it down).
+//! The budget reaching zero everywhere *is* the zero-copy milestone.
+
+use crate::ast::{self, Expr, ExprKind};
+use crate::diagnostics::Diagnostic;
+use crate::rules::{AstContext, FileContext};
+use crate::sema::Class;
+
+pub fn check(ctx: &FileContext<'_>, ast_cx: &AstContext<'_>) -> Vec<Diagnostic> {
+    let in_scope = ctx.crate_name.is_some_and(|c| ctx.config.is_frame_path(c));
+    if !in_scope || ctx.in_tests_dir {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in &ast_cx.ast.functions {
+        let Some(body) = &f.body else { continue };
+        let mut v = CopyVisitor {
+            ctx,
+            ast_cx,
+            out: &mut out,
+        };
+        ast::visit_block(body, &mut v);
+    }
+    out
+}
+
+struct CopyVisitor<'a, 'b> {
+    ctx: &'a FileContext<'a>,
+    ast_cx: &'a AstContext<'a>,
+    out: &'b mut Vec<Diagnostic>,
+}
+
+impl ast::Visit for CopyVisitor<'_, '_> {
+    fn expr(&mut self, e: &Expr) {
+        if self.ctx.is_test(e.ti) {
+            return;
+        }
+        let ExprKind::MethodCall { base, name, args } = &e.kind else {
+            return;
+        };
+        if !args.is_empty() {
+            return;
+        }
+        let base_class = self.ast_cx.classes.class(base);
+        let copied = match name.as_str() {
+            // `.to_vec()` on payload bytes materialises a fresh buffer.
+            "to_vec" => matches!(base_class, Class::ByteBuf),
+            // `.clone()` of payload bytes or of a whole frame struct.
+            "clone" => match base_class {
+                Class::ByteBuf => true,
+                Class::Struct(s) => crate::sema::FRAME_TYPES.contains(&s.as_str()),
+                _ => false,
+            },
+            _ => false,
+        };
+        if !copied {
+            return;
+        }
+        let t = self.ctx.tok(e.ti);
+        let what = match base_class {
+            Class::Struct(s) => format!("whole-frame `{s}` copy"),
+            _ => "payload byte-buffer copy".to_string(),
+        };
+        self.out.push(Diagnostic::error(
+            self.ctx.file,
+            t.line,
+            t.col,
+            "A001",
+            format!(
+                "{what} (`.{name}()`) in the frame hot path — counted against \
+                 the zero-copy ratchet in crates/lint/budget.toml"
+            ),
+        ));
+    }
+}

@@ -1,0 +1,111 @@
+//! C001 — RFC 1982 serial arithmetic on TCP sequence numbers.
+//!
+//! Sequence numbers wrap: `snd_una <= ack` is wrong the moment an ISN sits
+//! near `u32::MAX`, which is exactly the regime the handoff proptests pin.
+//! Any ordering comparison (`<`, `<=`, `>`, `>=`) or non-`wrapping_*`
+//! arithmetic (`+`, `-`, `*`, and their `=` forms) on a sequence-classed
+//! value in core-crate non-test code must go through `netstack::tcp`'s
+//! `seq_lt`/`seq_le`/`seq_gt`/`seq_ge` helpers or `wrapping_*` methods. The
+//! helpers themselves (any `fn seq_*`) are exempt — someone has to hold
+//! the raw bits.
+
+use crate::ast::{self, Expr, ExprKind};
+use crate::diagnostics::Diagnostic;
+use crate::rules::{AstContext, FileContext};
+use crate::sema::Class;
+
+pub fn check(ctx: &FileContext<'_>, ast_cx: &AstContext<'_>) -> Vec<Diagnostic> {
+    let in_scope = ctx.crate_name.is_some_and(|c| ctx.config.is_core(c));
+    if !in_scope || ctx.in_tests_dir {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in &ast_cx.ast.functions {
+        // The RFC 1982 helpers are the one sanctioned home for raw ops.
+        if f.name.starts_with("seq_") {
+            continue;
+        }
+        let Some(body) = &f.body else { continue };
+        let mut v = SeqVisitor {
+            ctx,
+            ast_cx,
+            out: &mut out,
+        };
+        ast::visit_block(body, &mut v);
+    }
+    out
+}
+
+struct SeqVisitor<'a, 'b> {
+    ctx: &'a FileContext<'a>,
+    ast_cx: &'a AstContext<'a>,
+    out: &'b mut Vec<Diagnostic>,
+}
+
+impl SeqVisitor<'_, '_> {
+    fn is_seq(&self, e: &Expr) -> bool {
+        *self.ast_cx.classes.class(e) == Class::Seq
+    }
+
+    fn fire(&mut self, e: &Expr, what: &str, instead: &str) {
+        let t = self.ctx.tok(e.ti);
+        self.out.push(Diagnostic::error(
+            self.ctx.file,
+            t.line,
+            t.col,
+            "C001",
+            format!(
+                "{what} on a TCP sequence-space value wraps incorrectly near \
+                 u32::MAX; use {instead} (RFC 1982)"
+            ),
+        ));
+    }
+}
+
+impl ast::Visit for SeqVisitor<'_, '_> {
+    fn expr(&mut self, e: &Expr) {
+        if self.ctx.is_test(e.ti) {
+            return;
+        }
+        match &e.kind {
+            ExprKind::Binary { op, lhs, rhs } => {
+                if !(self.is_seq(lhs) || self.is_seq(rhs)) {
+                    return;
+                }
+                if op.is_ordering() {
+                    let helper = match op {
+                        ast::BinOp::Lt => "netstack::tcp::seq_lt",
+                        ast::BinOp::Le => "netstack::tcp::seq_le",
+                        ast::BinOp::Gt => "netstack::tcp::seq_gt",
+                        _ => "netstack::tcp::seq_ge",
+                    };
+                    self.fire(e, &format!("raw `{}` comparison", op.text()), helper);
+                } else if op.is_wrap_arith() {
+                    self.fire(
+                        e,
+                        &format!("non-wrapping `{}` arithmetic", op.text()),
+                        &format!("`wrapping_{}`", wrap_name(*op)),
+                    );
+                }
+            }
+            ExprKind::Assign {
+                op: Some(op), lhs, ..
+            } if op.is_wrap_arith() && self.is_seq(lhs) => {
+                self.fire(
+                    e,
+                    &format!("non-wrapping `{}=` arithmetic", op.text()),
+                    &format!("`wrapping_{}`", wrap_name(*op)),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn wrap_name(op: ast::BinOp) -> &'static str {
+    match op {
+        ast::BinOp::Add => "add",
+        ast::BinOp::Sub => "sub",
+        _ => "mul",
+    }
+}

@@ -1,15 +1,21 @@
 //! The rule suite and the per-file context rules run against.
 
+pub mod a001;
+pub mod c001;
 pub mod d001;
 pub mod d002;
 pub mod d003;
 pub mod d004;
 pub mod h001;
+pub mod n001;
 pub mod p001;
+pub mod r001;
 
+use crate::ast;
 use crate::config::Config;
 use crate::diagnostics::Diagnostic;
 use crate::lexer::Token;
+use crate::sema;
 
 /// Everything a rule needs to know about one file.
 pub struct FileContext<'a> {
@@ -52,8 +58,18 @@ impl FileContext<'_> {
     }
 }
 
+/// The AST + dataflow view of the same file, for the shape-sensitive rules.
+pub struct AstContext<'a> {
+    /// The parsed file.
+    pub ast: &'a ast::File,
+    /// Per-expression type classes (indexed by `Expr::id`).
+    pub classes: &'a sema::Classified,
+    /// Workspace (or own-file) symbol knowledge.
+    pub index: &'a sema::SymbolIndex,
+}
+
 /// Run every rule over a file.
-pub fn all(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+pub fn all(ctx: &FileContext<'_>, ast_cx: &AstContext<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     out.extend(d001::check(ctx));
     out.extend(d002::check(ctx));
@@ -61,5 +77,9 @@ pub fn all(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
     out.extend(d004::check(ctx));
     out.extend(p001::check(ctx));
     out.extend(h001::check(ctx));
+    out.extend(c001::check(ctx, ast_cx));
+    out.extend(a001::check(ctx, ast_cx));
+    out.extend(r001::check(ctx, ast_cx));
+    out.extend(n001::check(ctx, ast_cx));
     out
 }

@@ -1,0 +1,113 @@
+//! N001 — unchecked narrowing `as` casts in wire-format crates.
+//!
+//! `len as u16` silently truncates the moment a payload outgrows the
+//! field — precisely the failure mode wire encoders in `netstack`,
+//! `xenstore` and `conduit` must never have. A cast is *narrowing* when
+//! the source class resolves to a strictly wider integer than the target
+//! (sequence-space values count as 32-bit); widening casts, same-width
+//! sign changes and unresolvable operands stay silent.
+//!
+//! The `--fix` scaffold rewrites single-line sites to
+//! `Ty::try_from(expr).expect("…TODO…")` with a P001 waiver scaffold, so
+//! the truncation becomes a loud invariant instead of a quiet one.
+
+use crate::ast::{self, Expr, ExprKind};
+use crate::diagnostics::Diagnostic;
+use crate::fix::{Edit, Fix};
+use crate::rules::{AstContext, FileContext};
+use crate::sema;
+
+pub fn check(ctx: &FileContext<'_>, ast_cx: &AstContext<'_>) -> Vec<Diagnostic> {
+    let in_scope = ctx
+        .crate_name
+        .is_some_and(|c| ctx.config.is_cast_checked(c));
+    if !in_scope || ctx.in_tests_dir {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in &ast_cx.ast.functions {
+        let Some(body) = &f.body else { continue };
+        let mut v = CastVisitor {
+            ctx,
+            ast_cx,
+            out: &mut out,
+        };
+        ast::visit_block(body, &mut v);
+    }
+    out
+}
+
+/// Integer types `try_from` can target mechanically.
+const FIXABLE_TARGETS: &[&str] = &[
+    "u8", "i8", "u16", "i16", "u32", "i32", "u64", "i64", "usize", "isize",
+];
+
+struct CastVisitor<'a, 'b> {
+    ctx: &'a FileContext<'a>,
+    ast_cx: &'a AstContext<'a>,
+    out: &'b mut Vec<Diagnostic>,
+}
+
+impl ast::Visit for CastVisitor<'_, '_> {
+    fn expr(&mut self, e: &Expr) {
+        if self.ctx.is_test(e.ti) {
+            return;
+        }
+        let ExprKind::Cast {
+            base,
+            ty,
+            ty_end_ti,
+        } = &e.kind
+        else {
+            return;
+        };
+        let Some(src_w) = self.ast_cx.classes.class(base).int_width() else {
+            return;
+        };
+        let Some(dst_w) = sema::class_of_ty(ty, None, self.ast_cx.index).int_width() else {
+            return;
+        };
+        if src_w <= dst_w {
+            return;
+        }
+        let as_tok = self.ctx.tok(e.ti);
+        let mut d = Diagnostic::error(
+            self.ctx.file,
+            as_tok.line,
+            as_tok.col,
+            "N001",
+            format!(
+                "narrowing `as {ty}` of a {src_w}-bit value can truncate \
+                 silently; use `{ty}::try_from(…)` or waive with the bound \
+                 that makes it fit"
+            ),
+        );
+        let base_start = self.ctx.tok(base.start_ti);
+        let base_end = self.ctx.tok(base.end_ti);
+        let ty_end = self.ctx.tok(*ty_end_ti);
+        let single_line = base_start.line == ty_end.line;
+        if single_line && FIXABLE_TARGETS.contains(&ty.as_str()) {
+            let after_base = base_end.col + base_end.text.chars().count() as u32;
+            let after_ty = ty_end.col + ty_end.text.chars().count() as u32;
+            d = d.with_fix(Fix {
+                summary: format!("rewrite `as {ty}` to `{ty}::try_from(…).expect(…)`"),
+                edits: vec![
+                    Edit::insert_at(base_start.line, base_start.col, format!("{ty}::try_from(")),
+                    Edit::replace(
+                        base_end.line,
+                        after_base,
+                        ty_end.line,
+                        after_ty,
+                        ").expect(\"jitsu-lint(N001): TODO state the bound that makes this fit\")",
+                    ),
+                    Edit::insert_at(
+                        ty_end.line,
+                        u32::MAX,
+                        " // jitsu-lint: allow(P001, \"N001 autofix: TODO state the bound\")",
+                    ),
+                ],
+            });
+        }
+        self.out.push(d);
+    }
+}

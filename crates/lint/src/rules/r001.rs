@@ -1,0 +1,150 @@
+//! R001 — discarded `Result` values in core crates.
+//!
+//! `let _ = commit(...)` swallows the error path that the whole two-phase
+//! handoff protocol exists to surface. In core-crate non-test code a
+//! `Result` from a workspace function must be handled, propagated, or
+//! waived with the reason the error is genuinely ignorable. The rule only
+//! fires when *every* known signature of the callee returns `Result`
+//! (see [`crate::sema::SymbolIndex::is_result_fn`]), plus the `write!`/
+//! `writeln!` macros whose `fmt::Result` is the classic discard.
+//!
+//! The `--fix` scaffold rewrites `let _ = f();` to
+//! `f().expect("…TODO…"); // jitsu-lint: allow(P001, "…TODO…")` — it keeps
+//! the program behaviour-identical on the happy path while forcing the
+//! author to either document the invariant or handle the error for real.
+
+use crate::ast::{self, Expr, ExprKind, Stmt};
+use crate::diagnostics::Diagnostic;
+use crate::fix::{Edit, Fix};
+use crate::rules::{AstContext, FileContext};
+
+const EXPECT_SCAFFOLD: &str = ".expect(\"jitsu-lint(R001): TODO state why this cannot fail\")";
+const WAIVER_SCAFFOLD: &str =
+    " // jitsu-lint: allow(P001, \"R001 autofix: TODO state the invariant\")";
+
+pub fn check(ctx: &FileContext<'_>, ast_cx: &AstContext<'_>) -> Vec<Diagnostic> {
+    let in_scope = ctx.crate_name.is_some_and(|c| ctx.config.is_core(c));
+    if !in_scope || ctx.in_tests_dir {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for f in &ast_cx.ast.functions {
+        let Some(body) = &f.body else { continue };
+        let mut v = DiscardVisitor {
+            ctx,
+            ast_cx,
+            out: &mut out,
+        };
+        ast::visit_block(body, &mut v);
+    }
+    out
+}
+
+/// If this expression's value is a `Result` from a known source, name the
+/// source for the diagnostic.
+fn result_source(e: &Expr, ast_cx: &AstContext<'_>) -> Option<String> {
+    match &e.kind {
+        ExprKind::MethodCall { name, .. } if ast_cx.index.is_result_fn(name) => {
+            Some(format!(".{name}()"))
+        }
+        ExprKind::Call { callee, .. } => match &callee.kind {
+            ExprKind::Path(segs) if segs.last().is_some_and(|n| ast_cx.index.is_result_fn(n)) => {
+                Some(format!("{}()", segs.join("::")))
+            }
+            _ => None,
+        },
+        ExprKind::MacroCall { name, .. } if name == "write" || name == "writeln" => {
+            Some(format!("{name}!"))
+        }
+        _ => None,
+    }
+}
+
+struct DiscardVisitor<'a, 'b> {
+    ctx: &'a FileContext<'a>,
+    ast_cx: &'a AstContext<'a>,
+    out: &'b mut Vec<Diagnostic>,
+}
+
+impl ast::Visit for DiscardVisitor<'_, '_> {
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Let {
+                underscore: true,
+                init: Some(init),
+                let_ti,
+                semi_ti,
+                ..
+            } => {
+                if self.ctx.is_test(*let_ti) {
+                    return;
+                }
+                let Some(source) = result_source(init, self.ast_cx) else {
+                    return;
+                };
+                let let_tok = self.ctx.tok(*let_ti);
+                let mut d = Diagnostic::error(
+                    self.ctx.file,
+                    let_tok.line,
+                    let_tok.col,
+                    "R001",
+                    format!(
+                        "`let _ =` discards the `Result` from `{source}`; handle \
+                         it, propagate it, or waive with the reason it is \
+                         ignorable"
+                    ),
+                );
+                if let Some(semi_ti) = semi_ti {
+                    let init_start = self.ctx.tok(init.start_ti);
+                    let semi = self.ctx.tok(*semi_ti);
+                    d = d.with_fix(Fix {
+                        summary: format!("replace `let _ =` with `{source}.expect(…)`"),
+                        edits: vec![
+                            Edit::replace(
+                                let_tok.line,
+                                let_tok.col,
+                                init_start.line,
+                                init_start.col,
+                                "",
+                            ),
+                            Edit::insert_at(semi.line, semi.col, EXPECT_SCAFFOLD),
+                            Edit::insert_at(semi.line, u32::MAX, WAIVER_SCAFFOLD),
+                        ],
+                    });
+                }
+                self.out.push(d);
+            }
+            Stmt::Expr { expr, semi: true } => {
+                if self.ctx.is_test(expr.ti) {
+                    return;
+                }
+                let Some(source) = result_source(expr, self.ast_cx) else {
+                    return;
+                };
+                let head = self.ctx.tok(expr.ti);
+                let end = self.ctx.tok(expr.end_ti);
+                let after_end = end.col + end.text.chars().count() as u32;
+                let d = Diagnostic::error(
+                    self.ctx.file,
+                    head.line,
+                    head.col,
+                    "R001",
+                    format!(
+                        "statement discards the `Result` from `{source}`; handle \
+                         it, propagate it, or waive with the reason it is \
+                         ignorable"
+                    ),
+                )
+                .with_fix(Fix {
+                    summary: format!("call `.expect(…)` on the `{source}` result"),
+                    edits: vec![
+                        Edit::insert_at(end.line, after_end, EXPECT_SCAFFOLD),
+                        Edit::insert_at(end.line, u32::MAX, WAIVER_SCAFFOLD),
+                    ],
+                });
+                self.out.push(d);
+            }
+            _ => {}
+        }
+    }
+}

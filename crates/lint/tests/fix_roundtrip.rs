@@ -1,0 +1,66 @@
+//! Round-trip test for `--fix`: apply every machine-applicable fix the
+//! analyzer attaches to the R001/N001 fixtures, re-analyze the rewritten
+//! source, and require the result to be completely clean — the scaffolds
+//! must silence the original finding without tripping any other rule
+//! (in particular, the `.expect` they introduce must arrive pre-waived
+//! for P001).
+
+use lint::Config;
+use std::fs;
+use std::path::PathBuf;
+
+fn fixture(stem: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/fixtures/{stem}.rs"));
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {stem}: {e}"))
+}
+
+fn roundtrip(stem: &str, pretend: &str) -> (String, Vec<lint::Diagnostic>) {
+    let cfg = Config::default();
+    let source = fixture(stem);
+    let before = lint::analyze_file(pretend, &source, &cfg);
+    let fixes: Vec<_> = before.iter().filter_map(|d| d.fix.clone()).collect();
+    assert!(
+        !fixes.is_empty(),
+        "{stem}: no machine-applicable fixes attached"
+    );
+    let fixed = lint::fix::apply(&source, &fixes);
+    assert_ne!(fixed, source, "{stem}: fixes did not change the source");
+    let after = lint::analyze_file(pretend, &fixed, &cfg);
+    (fixed, after)
+}
+
+#[test]
+fn r001_fixes_leave_the_fixture_clean() {
+    let (fixed, after) = roundtrip("r001", "crates/jitsu/src/fixture.rs");
+    assert!(
+        after.is_empty(),
+        "diagnostics remain after fixing r001:\n{}\n--- fixed source ---\n{fixed}",
+        after
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The discarded results are now consumed by `.expect`, each pre-waived.
+    assert!(fixed.contains(".expect(\"jitsu-lint(R001):"));
+    assert!(fixed.contains("jitsu-lint: allow(P001,"));
+    assert!(!fixed.contains("let _ = might_fail(1)"));
+}
+
+#[test]
+fn n001_fixes_leave_the_fixture_clean() {
+    let (fixed, after) = roundtrip("n001", "crates/netstack/src/fixture.rs");
+    assert!(
+        after.is_empty(),
+        "diagnostics remain after fixing n001:\n{}\n--- fixed source ---\n{fixed}",
+        after
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(fixed.contains("u16::try_from(len)"));
+    assert!(fixed.contains("u8::try_from(port)"));
+    // Widening casts were left alone.
+    assert!(fixed.contains("let a = x as u32;"));
+}

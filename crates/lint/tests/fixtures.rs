@@ -17,6 +17,10 @@ const FIXTURES: &[(&str, &str)] = &[
     ("d003", "crates/bench/src/fixture.rs"),
     ("d004", "crates/netstack/src/fixture.rs"),
     ("p001", "crates/xenstore/src/fixture.rs"),
+    ("c001", "crates/netstack/src/fixture.rs"),
+    ("a001", "crates/netstack/src/fixture.rs"),
+    ("r001", "crates/jitsu/src/fixture.rs"),
+    ("n001", "crates/netstack/src/fixture.rs"),
     ("h001_missing", "crates/sim/src/lib.rs"),
     ("h001_ok", "crates/sim/src/lib.rs"),
     ("waiver_ok", "crates/xenstore/src/fixture.rs"),
@@ -73,7 +77,8 @@ fn every_rule_fires_somewhere_in_the_fixture_suite() {
         all.push_str(&render(stem, pretend));
     }
     for rule in [
-        "D001", "D002", "D003", "D004", "P001", "H001", "W001", "W002", "W003",
+        "D001", "D002", "D003", "D004", "P001", "H001", "C001", "A001", "R001", "N001", "W001",
+        "W002", "W003",
     ] {
         assert!(
             all.contains(&format!("  {rule}  ")),

@@ -1,0 +1,20 @@
+// Fixture: frame-buffer copies in the hot path — `.clone()`/`.to_vec()` on
+// byte buffers and frame types. Length queries and non-buffer clones are
+// not copies.
+
+struct EthernetFrame {
+    payload: Vec<u8>,
+}
+
+fn copies(frame: &EthernetFrame, buf: &[u8]) -> usize {
+    let whole = frame.clone();
+    let payload = frame.payload.clone();
+    let body = buf.to_vec();
+    whole.payload.len() + payload.len() + body.len()
+}
+
+fn not_copies(frame: &EthernetFrame, label: &String) -> usize {
+    let n = frame.payload.len();
+    let s = label.clone();
+    n + s.len()
+}

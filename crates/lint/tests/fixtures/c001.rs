@@ -1,0 +1,24 @@
+// Fixture: raw ordering comparisons and non-wrapping arithmetic on TCP
+// sequence numbers. Wrapping ops and `seq_*` helper bodies are exempt.
+
+fn bad_ordering(seq: u32, ack: u32) -> bool {
+    seq < ack
+}
+
+fn bad_arith(snd_nxt: u32, len: u32) -> u32 {
+    let mut seq = snd_nxt + len;
+    seq += 1;
+    seq
+}
+
+fn good_wrapping(snd_nxt: u32, len: u32) -> u32 {
+    snd_nxt.wrapping_add(len).wrapping_add(1)
+}
+
+fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+fn unrelated_math(count: u32, total: u32) -> bool {
+    count + 1 < total
+}

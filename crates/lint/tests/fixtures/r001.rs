@@ -1,0 +1,25 @@
+// Fixture: discarded `Result` values — both `let _ =` bindings and bare
+// semicolon statements. Non-Result discards and named bindings are fine,
+// and a reasoned waiver silences the finding.
+
+fn might_fail(x: u32) -> Result<u32, String> {
+    if x == 0 {
+        Err("zero".to_string())
+    } else {
+        Ok(x)
+    }
+}
+
+fn infallible(x: u32) -> u32 {
+    x.wrapping_add(1)
+}
+
+fn discards() -> u32 {
+    let _ = might_fail(1);
+    might_fail(2);
+    let kept = might_fail(3);
+    let _ = infallible(4);
+    // jitsu-lint: allow(R001, "fixture: this discard is intentional")
+    let _ = might_fail(5);
+    kept.unwrap_or(0)
+}

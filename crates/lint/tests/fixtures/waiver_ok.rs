@@ -5,6 +5,7 @@ use std::collections::HashMap;
 fn waived(x: Option<u32>) -> u32 {
     let m: HashMap<u32, u32> = HashMap::new();
     // jitsu-lint: allow(D001, "counting is order-insensitive")
+    // jitsu-lint: allow(N001, "an in-memory map holds far fewer than 2^32 entries")
     let n = m.values().count() as u32;
     let v = x.unwrap(); // jitsu-lint: allow(P001, "caller guarantees Some")
     // jitsu-lint: allow(D001, "counting is order-insensitive")

@@ -1,0 +1,64 @@
+//! Golden test for the SARIF 2.1.0 emitter: the diagnostics from the
+//! dataflow-rule fixtures must serialize to exactly the committed
+//! `tests/fixtures/lint.sarif`, and that document must be well-formed JSON.
+//!
+//! Regenerate after an intentional change with
+//! `UPDATE_EXPECT=1 cargo test -p lint --test sarif_golden`.
+
+use lint::Config;
+use std::fs;
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_diags() -> Vec<lint::Diagnostic> {
+    let mut diags = Vec::new();
+    for (stem, pretend) in [
+        ("r001", "crates/jitsu/src/fixture.rs"),
+        ("n001", "crates/netstack/src/fixture.rs"),
+        ("waiver_unknown_rule", "crates/xenstore/src/fixture.rs"),
+    ] {
+        let source = fs::read_to_string(fixture_dir().join(format!("{stem}.rs")))
+            .unwrap_or_else(|e| panic!("read fixture {stem}: {e}"));
+        diags.extend(lint::analyze_file(pretend, &source, &Config::default()));
+    }
+    diags
+}
+
+#[test]
+fn sarif_output_matches_golden() {
+    let sarif = lint::sarif::to_sarif(&fixture_diags());
+    let golden_path = fixture_dir().join("lint.sarif");
+    if std::env::var_os("UPDATE_EXPECT").is_some() {
+        fs::write(&golden_path, &sarif).expect("write golden");
+        return;
+    }
+    let want = fs::read_to_string(&golden_path).expect("missing golden lint.sarif");
+    assert_eq!(
+        sarif, want,
+        "SARIF output drifted from tests/fixtures/lint.sarif"
+    );
+}
+
+#[test]
+fn sarif_output_is_well_formed_json() {
+    let sarif = lint::sarif::to_sarif(&fixture_diags());
+    assert!(lint::sarif::json_is_well_formed(&sarif));
+    // The invariants CI consumers rely on: schema pin, driver name, and one
+    // result per diagnostic with a ruleId.
+    assert!(sarif.contains("sarif-2.1.0.json"));
+    assert!(sarif.contains("\"jitsu-lint\""));
+    let results = sarif.matches("\"ruleId\"").count();
+    // Rule metadata also mentions rule ids via "id"; count only results.
+    assert_eq!(results, fixture_diags().len());
+}
+
+#[test]
+fn empty_workspace_sarif_is_still_valid() {
+    let sarif = lint::sarif::to_sarif(&[]);
+    assert!(lint::sarif::json_is_well_formed(&sarif));
+    assert!(sarif.contains("\"results\": ["));
+    assert_eq!(sarif.matches("\"ruleId\"").count(), 0);
+}

@@ -158,6 +158,7 @@ impl Connection {
                 }
                 // A FIN occupies the sequence slot *after* any payload in
                 // the same segment.
+                // jitsu-lint: allow(N001, "segment payloads are bounded by the u16 wire length field, well within u32")
                 let fin_seq = seg.seq.wrapping_add(seg.payload.len() as u32);
                 if seg.flags.fin && fin_seq == self.tcb.rcv_nxt {
                     self.tcb.rcv_nxt = self.tcb.rcv_nxt.wrapping_add(1);
@@ -184,6 +185,7 @@ impl Connection {
     }
 
     fn accept_data(&mut self, seg: &TcpSegment) -> Vec<TcpSegment> {
+        // jitsu-lint: allow(N001, "segment payloads are bounded by the u16 wire length field, well within u32")
         let end = seg.seq.wrapping_add(seg.payload.len() as u32);
         if seq_le(end, self.tcb.rcv_nxt) {
             // Entirely old data (a retransmission): re-ACK, never re-buffer.
@@ -224,6 +226,7 @@ impl Connection {
             window: 65535,
             payload: data.to_vec(),
         };
+        // jitsu-lint: allow(N001, "send chunks are MSS-sized, bounded by the u16 wire length field")
         self.tcb.snd_nxt = self.tcb.snd_nxt.wrapping_add(data.len() as u32);
         seg
     }

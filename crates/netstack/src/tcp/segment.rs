@@ -135,6 +135,7 @@ impl TcpSegment {
     /// The amount of sequence space this segment occupies (payload plus one
     /// for SYN and one for FIN).
     pub fn seq_len(&self) -> u32 {
+        // jitsu-lint: allow(N001, "segment payloads are bounded by the u16 wire length field, well within u32")
         self.payload.len() as u32 + u32::from(self.flags.syn) + u32::from(self.flags.fin)
     }
 
@@ -154,6 +155,7 @@ impl TcpSegment {
                 what: format!("bad data offset {data_offset}"),
             });
         }
+        // jitsu-lint: allow(N001, "buf is an IPv4 payload, itself bounded by the datagram's u16 total-length field")
         let ph = checksum::pseudo_header(src.0, dst.0, 6, buf.len() as u16);
         if checksum::finish(checksum::partial(ph, buf)) != 0 {
             return Err(NetError::BadChecksum("tcp"));
@@ -181,6 +183,7 @@ impl TcpSegment {
         out[13] = self.flags.to_bits();
         out[14..16].copy_from_slice(&self.window.to_be_bytes());
         out[HEADER_LEN..].copy_from_slice(&self.payload);
+        // jitsu-lint: allow(N001, "emitted segments are MTU-bounded (≤1500 bytes), far below 65536")
         let ph = checksum::pseudo_header(src.0, dst.0, 6, len as u16);
         let c = checksum::finish(checksum::partial(ph, &out));
         out[16..18].copy_from_slice(&c.to_be_bytes());

@@ -5,7 +5,6 @@
 //! and diffed between runs.
 
 use crate::series::Series;
-use std::fmt::Write as _;
 
 /// A simple column-aligned table.
 #[derive(Debug, Clone, Default)]
@@ -59,28 +58,29 @@ impl Table {
         }
         let mut out = String::new();
         if !self.title.is_empty() {
-            let _ = writeln!(out, "== {} ==", self.title);
+            out.push_str(&format!("== {} ==\n", self.title));
         }
         let mut header_line = String::new();
         for (i, h) in self.headers.iter().enumerate() {
-            let _ = write!(header_line, "{:width$}  ", h, width = widths[i]);
+            header_line.push_str(&format!("{:width$}  ", h, width = widths[i]));
         }
-        let _ = writeln!(out, "{}", header_line.trim_end());
-        let _ = writeln!(
-            out,
-            "{}",
-            widths
+        out.push_str(header_line.trim_end());
+        out.push('\n');
+        out.push_str(
+            &widths
                 .iter()
                 .map(|w| "-".repeat(*w))
                 .collect::<Vec<_>>()
-                .join("  ")
+                .join("  "),
         );
+        out.push('\n');
         for row in &self.rows {
             let mut line = String::new();
             for (i, cell) in row.iter().enumerate().take(ncols) {
-                let _ = write!(line, "{:width$}  ", cell, width = widths[i]);
+                line.push_str(&format!("{:width$}  ", cell, width = widths[i]));
             }
-            let _ = writeln!(out, "{}", line.trim_end());
+            out.push_str(line.trim_end());
+            out.push('\n');
         }
         out
     }
@@ -96,21 +96,18 @@ impl Table {
             }
         }
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{}",
-            self.headers
+        out.push_str(
+            &self
+                .headers
                 .iter()
                 .map(|h| esc(h))
                 .collect::<Vec<_>>()
-                .join(",")
+                .join(","),
         );
+        out.push('\n');
         for row in &self.rows {
-            let _ = writeln!(
-                out,
-                "{}",
-                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
-            );
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
         }
         out
     }

@@ -177,6 +177,7 @@ impl VifDevice {
     /// mark both ends closed.
     pub fn close(&mut self, xs: &mut XenStore, bridge: &mut Bridge) -> XsResult<()> {
         if let Some(port) = self.bridge_port.take() {
+            // jitsu-lint: allow(R001, "shutdown is best-effort: the bridge may have dropped the port already")
             let _ = bridge.detach(port);
         }
         let fe = frontend_path(self.dom, DeviceKind::Vif, self.index);

@@ -457,6 +457,7 @@ impl Toolstack {
             .domains
             .remove(&dom)
             .ok_or(ToolstackError::UnknownDomain(dom))?;
+        // jitsu-lint: allow(R001, "destroy forces the terminal state; an invalid-transition error must not abort teardown")
         let _ = d.transition(DomainState::Destroyed);
         if let Some(mut vif) = self.vifs.remove(&dom) {
             let _ = vif.close(&mut self.xenstore, &mut self.bridge);

@@ -111,6 +111,7 @@ impl Message {
         out.extend_from_slice(&(self.kind as u32).to_le_bytes());
         out.extend_from_slice(&self.req_id.to_le_bytes());
         out.extend_from_slice(&self.tx_id.to_le_bytes());
+        // jitsu-lint: allow(N001, "decode rejects payloads above PAYLOAD_MAX (4096); the store never builds larger ones")
         out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&self.payload);
         out
