@@ -16,6 +16,8 @@ pub mod fig8;
 pub mod fig9a;
 pub mod fig9b;
 pub mod handoff_storm;
+pub mod json;
+pub mod snapshot;
 pub mod table1;
 pub mod table2;
 pub mod throughput;

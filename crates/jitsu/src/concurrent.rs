@@ -55,7 +55,7 @@ use crate::synjitsu::Synjitsu;
 use conduit::flows::FlowTable;
 use conduit::rendezvous::ConduitRegistry;
 use conduit::vchan::Side;
-use jitsu_sim::{LatencyRecorder, Sim, SimDuration, SimRng, SimTime, Tracer};
+use jitsu_sim::{LatencyRecorder, Sim, SimDuration, SimRng, SimTime, SummaryStats, Tracer};
 use netstack::dns::{DnsMessage, Rcode};
 use netstack::ethernet::{EthernetFrame, MacAddr};
 use netstack::http::HttpRequest;
@@ -214,6 +214,16 @@ pub struct HandoffStats {
     pub request_latency: LatencyRecorder,
 }
 
+impl HandoffStats {
+    /// Summary statistics of the cold-path request latency, in
+    /// milliseconds of virtual time — exact and seed-deterministic, which
+    /// is what lets the `bench_snapshot` harness treat handoff latency as a
+    /// drift-checked virtual metric rather than a noisy wall measurement.
+    pub fn latency_summary(&self) -> Option<SummaryStats> {
+        self.request_latency.summary()
+    }
+}
+
 /// Counters and latency samples accumulated over a storm.
 #[derive(Debug, Default)]
 pub struct StormMetrics {
@@ -257,6 +267,12 @@ impl StormMetrics {
         } else {
             self.servfails as f64 / eligible as f64
         }
+    }
+
+    /// Summary statistics of time-to-first-byte across every served
+    /// request, in milliseconds of virtual time.
+    pub fn ttfb_summary(&self) -> Option<SummaryStats> {
+        self.ttfb.summary()
     }
 }
 

@@ -365,6 +365,17 @@ mod tests {
     }
 
     #[test]
+    fn d002_is_sanctioned_in_the_root_harness_binaries() {
+        // src/bin/ hosts the bench_snapshot wall-clock half, deliberately
+        // outside the crates/ fence; the same source anywhere else fires.
+        let src = "use std::time::Instant;\nfn t() { let _ = Instant::now(); }\n";
+        let d002 = |path: &str| run(path, src).iter().filter(|d| d.contains("D002")).count();
+        assert_eq!(d002("src/bin/bench_snapshot.rs"), 0);
+        assert_eq!(d002("src/lib.rs"), 2);
+        assert_eq!(d002("crates/bench/src/bin/fig3.rs"), 2);
+    }
+
+    #[test]
     fn d004_only_applies_to_sim_logic_crates() {
         let src = "use std::sync::Mutex;\n";
         assert_eq!(run("crates/netstack/src/x.rs", src).len(), 1);

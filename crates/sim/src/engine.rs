@@ -68,8 +68,14 @@ impl<W> Sim<W> {
         }
     }
 
-    /// Set a hard limit on the number of events executed by [`Sim::run`].
-    /// Exceeding the limit panics; use in tests to catch livelock.
+    /// Set a hard limit on the number of events executed.
+    ///
+    /// [`Sim::run`] treats exceeding the limit as livelock and panics (the
+    /// tripwire tests rely on). The windowed drivers [`Sim::run_until`] and
+    /// [`Sim::run_for`] instead stop *before* the event that would pass the
+    /// limit, leaving the clock at the last executed event rather than
+    /// advancing it to the deadline — the window was not fully simulated,
+    /// and pretending time passed would corrupt any metric read afterwards.
     pub fn with_event_limit(mut self, limit: u64) -> Self {
         self.event_limit = limit;
         self
@@ -167,13 +173,28 @@ impl<W> Sim<W> {
     }
 
     /// Run until the event queue is empty or virtual time would pass
-    /// `deadline`. Events scheduled exactly at the deadline still run.
-    /// Returns the number of events executed by this call.
+    /// `deadline`.
+    ///
+    /// The deadline is **inclusive**: an event scheduled exactly at
+    /// `deadline` executes before this call returns (ties at the deadline
+    /// fire in scheduling order, like any other tie). Only events strictly
+    /// after the deadline remain queued. Returns the number of events
+    /// executed by this call.
+    ///
+    /// If an event limit is set ([`Sim::with_event_limit`]) and reached, the
+    /// run stops mid-window: remaining in-window events stay queued and the
+    /// clock stays at the last executed event instead of jumping to the
+    /// deadline.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let before = self.executed;
         while let Some(head) = self.queue.peek() {
             if head.at > deadline {
                 break;
+            }
+            if self.executed >= self.event_limit {
+                // Stopped mid-window: do not advance the clock past the
+                // last executed event — the rest of the window never ran.
+                return self.executed - before;
             }
             self.step();
         }
@@ -192,6 +213,20 @@ impl<W> Sim<W> {
     pub fn run_for(&mut self, duration: SimDuration) -> u64 {
         let deadline = self.now + duration;
         self.run_until(deadline)
+    }
+
+    /// Execute up to `max_events` pending events regardless of their
+    /// timestamps and return how many actually ran (fewer only when the
+    /// queue drained first). This is the batch-run entry point the
+    /// `bench_snapshot` harness uses to measure raw dispatch throughput
+    /// (events/sec): the caller drives a fixed, exactly-known number of
+    /// events without reasoning about virtual deadlines.
+    pub fn run_steps(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
     }
 
     /// The timestamp of the next pending event, if any.
@@ -294,6 +329,55 @@ mod tests {
         assert_eq!(sim.run_for(SimDuration::from_millis(10)), 1);
         assert_eq!(sim.now(), SimTime::from_millis(20));
         assert_eq!(sim.world(), &vec![5, 15]);
+    }
+
+    #[test]
+    fn run_until_deadline_is_inclusive() {
+        // Pin the tie semantics: events exactly at the deadline execute,
+        // events one tick later do not.
+        let mut sim = Sim::new(Vec::<u64>::new());
+        for ns in [19_999_999u64, 20_000_000, 20_000_000, 20_000_001] {
+            sim.schedule_at(SimTime::from_nanos(ns), move |s| s.world_mut().push(ns));
+        }
+        let n = sim.run_until(SimTime::from_millis(20));
+        assert_eq!(n, 3, "both deadline-tied events must fire");
+        assert_eq!(sim.world(), &vec![19_999_999, 20_000_000, 20_000_000]);
+        assert_eq!(sim.now(), SimTime::from_millis(20));
+        assert_eq!(sim.events_pending(), 1);
+    }
+
+    #[test]
+    fn event_limit_stops_run_for_mid_window_without_advancing_the_clock() {
+        // Regression: with an event limit in force, run_for must stop at the
+        // limit and leave now() at the last executed event — not panic, and
+        // not pretend the rest of the window was simulated.
+        let mut sim = Sim::new(Vec::<u64>::new()).with_event_limit(2);
+        for ms in [5u64, 15, 25, 35] {
+            sim.schedule_at(SimTime::from_millis(ms), move |s| s.world_mut().push(ms));
+        }
+        let n = sim.run_for(SimDuration::from_millis(40));
+        assert_eq!(n, 2);
+        assert_eq!(sim.world(), &vec![5, 15]);
+        assert_eq!(sim.now(), SimTime::from_millis(15), "clock stays put");
+        assert_eq!(sim.events_pending(), 2);
+        // A further windowed run makes no progress and moves no clock.
+        assert_eq!(sim.run_for(SimDuration::from_millis(40)), 0);
+        assert_eq!(sim.now(), SimTime::from_millis(15));
+    }
+
+    #[test]
+    fn run_steps_executes_an_exact_batch() {
+        let mut sim = Sim::new(0u64);
+        for i in 0..10u64 {
+            sim.schedule_at(SimTime::from_millis(i), |s| *s.world_mut() += 1);
+        }
+        assert_eq!(sim.run_steps(4), 4);
+        assert_eq!(*sim.world(), 4);
+        assert_eq!(sim.events_executed(), 4);
+        // Draining past the end reports only what actually ran.
+        assert_eq!(sim.run_steps(100), 6);
+        assert_eq!(*sim.world(), 10);
+        assert_eq!(sim.run_steps(5), 0);
     }
 
     #[test]

@@ -57,17 +57,44 @@ impl SummaryStats {
         let values: Vec<f64> = durations.iter().map(|d| d.as_millis_f64()).collect();
         SummaryStats::from_values(&values)
     }
+
+    /// The statistics as `(field name, value)` pairs, in a fixed order — the
+    /// serialization hook used by the `bench_snapshot` harness to emit each
+    /// summary as machine-readable metrics without the crate knowing any
+    /// output format.
+    pub fn fields(&self) -> [(&'static str, f64); 8] {
+        [
+            ("count", self.count as f64),
+            ("min", self.min),
+            ("max", self.max),
+            ("mean", self.mean),
+            ("std_dev", self.std_dev),
+            ("median", self.median),
+            ("p95", self.p95),
+            ("p99", self.p99),
+        ]
+    }
 }
 
 /// Percentile of an already-sorted slice using linear interpolation.
+///
+/// `pct` is clamped to `[0, 100]`: out-of-range requests return the min or
+/// max element rather than indexing out of range. `pct = 0` is exactly the
+/// minimum and `pct = 100` exactly the maximum (no interpolation residue).
+/// A NaN `pct` has no defensible answer and returns NaN.
 fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
-    if sorted.is_empty() {
+    if sorted.is_empty() || pct.is_nan() {
         return f64::NAN;
+    }
+    if pct <= 0.0 {
+        return sorted[0];
+    }
+    if pct >= 100.0 {
+        return sorted[sorted.len() - 1];
     }
     if sorted.len() == 1 {
         return sorted[0];
     }
-    let pct = pct.clamp(0.0, 100.0);
     let rank = pct / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -79,7 +106,8 @@ fn percentile_sorted(sorted: &[f64], pct: f64) -> f64 {
     }
 }
 
-/// Percentile of an unsorted slice.
+/// Percentile of an unsorted slice. `pct` outside `[0, 100]` is clamped
+/// (see [`SummaryStats`]-style semantics: 0 → min, 100 → exact max).
 pub fn percentile(values: &[f64], pct: f64) -> f64 {
     let mut sorted: Vec<f64> = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -94,13 +122,16 @@ pub struct Histogram {
     buckets: Vec<u64>,
     underflow: u64,
     overflow: u64,
+    nan: u64,
     count: u64,
     sum: f64,
 }
 
 impl Histogram {
-    /// Create a histogram covering `[lo, hi)` with `buckets` equal-width
-    /// buckets. Panics if `buckets == 0` or `hi <= lo`.
+    /// Create a histogram covering the closed range `[lo, hi]` with
+    /// `buckets` equal-width buckets (a value exactly equal to `hi` lands in
+    /// the top bucket, not in overflow). Panics if `buckets == 0` or
+    /// `hi <= lo`.
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Histogram {
         assert!(buckets > 0, "histogram needs at least one bucket");
         assert!(hi > lo, "histogram range must be non-empty");
@@ -110,22 +141,33 @@ impl Histogram {
             buckets: vec![0; buckets],
             underflow: 0,
             overflow: 0,
+            nan: 0,
             count: 0,
             sum: 0.0,
         }
     }
 
     /// Record a value.
+    ///
+    /// NaN values are counted in [`Histogram::nan_count`] (and in the total
+    /// [`Histogram::count`]) but excluded from the running sum, so one bad
+    /// sample cannot poison [`Histogram::mean`] for the rest of the run.
     pub fn record(&mut self, value: f64) {
         self.count += 1;
+        if value.is_nan() {
+            self.nan += 1;
+            return;
+        }
         self.sum += value;
         if value < self.lo {
             self.underflow += 1;
-        } else if value >= self.hi {
+        } else if value > self.hi {
             self.overflow += 1;
         } else {
             let width = (self.hi - self.lo) / self.buckets.len() as f64;
             let idx = ((value - self.lo) / width) as usize;
+            // `value == hi` computes idx == buckets.len(); clamp it into the
+            // top bucket so the range is closed at both ends.
             let idx = idx.min(self.buckets.len() - 1);
             self.buckets[idx] += 1;
         }
@@ -141,12 +183,14 @@ impl Histogram {
         self.count
     }
 
-    /// Mean of all recorded values.
+    /// Mean of the recorded non-NaN values (0.0 when none have been
+    /// recorded).
     pub fn mean(&self) -> f64 {
-        if self.count == 0 {
+        let numeric = self.count - self.nan;
+        if numeric == 0 {
             0.0
         } else {
-            self.sum / self.count as f64
+            self.sum / numeric as f64
         }
     }
 
@@ -155,9 +199,14 @@ impl Histogram {
         self.underflow
     }
 
-    /// Number of values at or above the histogram range.
+    /// Number of values above the histogram range (`hi` itself is in range).
     pub fn overflow(&self) -> u64 {
         self.overflow
+    }
+
+    /// Number of NaN samples recorded (excluded from buckets and the mean).
+    pub fn nan_count(&self) -> u64 {
+        self.nan
     }
 
     /// Iterate over `(bucket_lower_bound, bucket_upper_bound, count)`.
@@ -369,6 +418,20 @@ mod tests {
     }
 
     #[test]
+    fn summary_fields_serialize_in_a_fixed_order() {
+        let s = SummaryStats::from_values(&[1.0, 2.0, 3.0]).unwrap();
+        let fields = s.fields();
+        let names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["count", "min", "max", "mean", "std_dev", "median", "p95", "p99"]
+        );
+        assert_eq!(fields[0].1, 3.0);
+        assert_eq!(fields[1].1, 1.0);
+        assert_eq!(fields[2].1, 3.0);
+    }
+
+    #[test]
     fn percentile_interpolates() {
         let v = [10.0, 20.0, 30.0, 40.0];
         assert!((percentile(&v, 0.0) - 10.0).abs() < 1e-12);
@@ -379,6 +442,26 @@ mod tests {
     }
 
     #[test]
+    fn percentile_clamps_out_of_range_requests() {
+        // Regression: out-of-range percentiles must clamp to the extremes
+        // rather than interpolating off the end of the slice.
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, -5.0), 10.0);
+        assert_eq!(percentile(&v, 250.0), 40.0);
+        assert!(percentile(&v, f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn percentile_100_is_exactly_the_max() {
+        // pct = 100 must return the max element itself, bit for bit — no
+        // interpolation residue from `rank = (n-1) * (100/100)`.
+        let v: Vec<f64> = (0..997).map(|i| (i as f64) * 0.1 + 0.3).collect();
+        let max = *v.last().unwrap();
+        assert_eq!(percentile(&v, 100.0), max);
+        assert_eq!(percentile(&v, 0.0), v[0]);
+    }
+
+    #[test]
     fn histogram_buckets_and_flows() {
         let mut h = Histogram::new(0.0, 100.0, 10);
         for v in [5.0, 15.0, 15.5, 99.9, -1.0, 100.0, 150.0] {
@@ -386,12 +469,44 @@ mod tests {
         }
         assert_eq!(h.count(), 7);
         assert_eq!(h.underflow(), 1);
-        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.overflow(), 1); // 150.0 only: 100.0 is in range
         let buckets: Vec<(f64, f64, u64)> = h.iter_buckets().collect();
         assert_eq!(buckets.len(), 10);
         assert_eq!(buckets[0].2, 1); // 5.0
         assert_eq!(buckets[1].2, 2); // 15.0, 15.5
-        assert_eq!(buckets[9].2, 1); // 99.9
+        assert_eq!(buckets[9].2, 2); // 99.9 and the boundary value 100.0
+    }
+
+    #[test]
+    fn histogram_hi_boundary_lands_in_the_top_bucket() {
+        // Regression: a value exactly equal to `hi` used to be counted as
+        // overflow, silently dropping the closed upper edge of the range.
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(10.0);
+        assert_eq!(h.overflow(), 0);
+        let buckets: Vec<(f64, f64, u64)> = h.iter_buckets().collect();
+        assert_eq!(buckets[4].2, 1);
+        // The open side just past `hi` still overflows.
+        h.record(10.0 + f64::EPSILON * 16.0);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn histogram_nan_does_not_corrupt_the_mean() {
+        // Regression: NaN used to be added to the running sum, turning
+        // `mean()` into NaN for every later sample.
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        h.record(10.0);
+        h.record(f64::NAN);
+        h.record(30.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.nan_count(), 1);
+        assert!((h.mean() - 20.0).abs() < 1e-12, "mean = {}", h.mean());
+        assert_eq!(h.underflow() + h.overflow(), 0);
+        // A histogram fed only NaN still reports a finite (zero) mean.
+        let mut only_nan = Histogram::new(0.0, 1.0, 1);
+        only_nan.record(f64::NAN);
+        assert_eq!(only_nan.mean(), 0.0);
     }
 
     #[test]

@@ -57,6 +57,28 @@ pub struct StoreStats {
     pub watch_events: u64,
 }
 
+impl StoreStats {
+    /// Fraction of commit attempts rejected with `EAGAIN`, in `[0, 1]`.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.conflicts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / attempts as f64
+        }
+    }
+
+    /// Fraction of successful commits that landed via the merge path (their
+    /// base had advanced concurrently), in `[0, 1]`.
+    pub fn merge_rate(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.merged as f64 / self.commits as f64
+        }
+    }
+}
+
 /// The shared store.
 pub struct XenStore {
     tree: Tree,
@@ -538,6 +560,21 @@ mod tests {
 
     fn store() -> XenStore {
         XenStore::new(EngineKind::JitsuMerge)
+    }
+
+    #[test]
+    fn stats_rates_are_well_formed() {
+        let empty = StoreStats::default();
+        assert_eq!(empty.abort_rate(), 0.0);
+        assert_eq!(empty.merge_rate(), 0.0);
+        let stats = StoreStats {
+            commits: 8,
+            merged: 6,
+            conflicts: 2,
+            ..StoreStats::default()
+        };
+        assert!((stats.abort_rate() - 0.2).abs() < 1e-12);
+        assert!((stats.merge_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

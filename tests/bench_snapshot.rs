@@ -1,0 +1,234 @@
+//! Integration tests for the `bench_snapshot` harness: golden schema,
+//! run-to-run determinism of the virtual section, the `--compare` exit
+//! codes through the real binary, and the committed `BENCH_BASELINE.json`
+//! staying in lockstep with the tree.
+//!
+//! No wall clock here: collection uses [`bench::snapshot::NullTimer`], and
+//! the binary (which does read the clock, sanctioned in `src/bin/`) is
+//! driven as a subprocess.
+
+use bench::json::{self, Value};
+use bench::snapshot::{
+    collect, compare, BenchConfig, MetricKind, NullTimer, Snapshot, Verdict, SCHEMA_VERSION,
+};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn snap(metrics: Vec<bench::snapshot::Metric>) -> Snapshot {
+    Snapshot {
+        schema_version: SCHEMA_VERSION,
+        git_sha: "test".to_string(),
+        date: "1970-01-01".to_string(),
+        metrics,
+    }
+}
+
+/// A scratch path unique to this test process.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bench_snapshot_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn golden_schema_every_metric_carries_the_full_field_set() {
+    let snapshot = snap(collect(&NullTimer, &BenchConfig::quick()));
+    let doc = json::parse(&snapshot.to_json()).expect("snapshot renders valid JSON");
+    for key in ["schema_version", "tool", "git_sha", "date", "metrics"] {
+        assert!(doc.get(key).is_some(), "top-level `{key}` missing");
+    }
+    assert_eq!(doc.get("schema_version").and_then(Value::as_num), Some(1.0));
+    assert_eq!(
+        doc.get("tool").and_then(Value::as_str),
+        Some("bench_snapshot")
+    );
+    let metrics = doc
+        .get("metrics")
+        .and_then(Value::as_arr)
+        .expect("metrics is an array");
+    assert!(!metrics.is_empty());
+    for m in metrics {
+        for key in [
+            "suite",
+            "name",
+            "unit",
+            "kind",
+            "direction",
+            "value",
+            "iterations",
+            "dispersion",
+        ] {
+            assert!(m.get(key).is_some(), "metric field `{key}` missing");
+        }
+        let kind = m.get("kind").and_then(Value::as_str).expect("kind is str");
+        assert!(kind == "virtual" || kind == "wall", "kind = {kind}");
+    }
+    // Every suite the issue names is present.
+    let suites: Vec<&str> = metrics
+        .iter()
+        .filter_map(|m| m.get("suite").and_then(Value::as_str))
+        .collect();
+    for suite in [
+        "sim_engine",
+        "xenstore_commit",
+        "xenstore_snapshot",
+        "vchan",
+        "handoff",
+        "cold_start",
+    ] {
+        assert!(suites.contains(&suite), "suite `{suite}` missing");
+    }
+}
+
+#[test]
+fn two_collections_produce_identical_virtual_sections() {
+    let cfg = BenchConfig::quick();
+    let a = snap(collect(&NullTimer, &cfg));
+    let b = snap(collect(&NullTimer, &cfg));
+    assert_eq!(a.virtual_section(), b.virtual_section());
+    // With the NullTimer the wall values are zero too, so the entire
+    // documents must be byte-identical.
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(compare(&a, &b, 10.0).verdict(), Verdict::Pass);
+}
+
+#[test]
+fn committed_baseline_virtual_metrics_match_the_current_tree() {
+    let baseline_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_BASELINE.json");
+    let text = std::fs::read_to_string(&baseline_path)
+        .expect("BENCH_BASELINE.json is committed at the repository root");
+    let mut baseline = Snapshot::from_json(&text).expect("baseline parses");
+    let mut current = snap(collect(&NullTimer, &BenchConfig::default()));
+    // The NullTimer zeroes wall metrics, so gate on the virtual section
+    // only — the binary's `--compare` covers the wall half.
+    baseline.metrics.retain(|m| m.kind == MetricKind::Virtual);
+    current.metrics.retain(|m| m.kind == MetricKind::Virtual);
+    let report = compare(&current, &baseline, 10.0);
+    assert_eq!(
+        report.verdict(),
+        Verdict::Pass,
+        "virtual metrics drifted from BENCH_BASELINE.json — if the change \
+         is intentional, refresh the baseline with \
+         `cargo run --release --bin bench_snapshot -- --out BENCH_BASELINE.json`:\n{}",
+        report.render()
+    );
+}
+
+/// Run the real binary with `args`, returning (exit code, stdout).
+fn run_binary(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_snapshot"))
+        .args(args)
+        .output()
+        .expect("bench_snapshot binary runs");
+    (
+        out.status.code().expect("binary exits normally"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Adjust one metric's value in a rendered snapshot document.
+fn rewrite_metric(doc: &str, name: &str, f: impl Fn(f64) -> f64) -> String {
+    let mut v = json::parse(doc).expect("document parses");
+    let Value::Obj(ref mut top) = v else {
+        panic!("top level is an object")
+    };
+    let Some(Value::Arr(metrics)) = top.get_mut("metrics") else {
+        panic!("metrics array present")
+    };
+    let mut hit = false;
+    for m in metrics.iter_mut() {
+        let Value::Obj(fields) = m else { continue };
+        if fields.get("name").and_then(Value::as_str) == Some(name) {
+            let old = fields
+                .get("value")
+                .and_then(Value::as_num)
+                .expect("metric has a numeric value");
+            fields.insert("value".to_string(), Value::Num(f(old)));
+            hit = true;
+        }
+    }
+    assert!(hit, "metric `{name}` found in document");
+    v.render()
+}
+
+#[test]
+fn binary_compare_distinguishes_pass_regress_and_drift() {
+    let out = scratch("out.json");
+    let out_s = out.to_str().expect("utf-8 temp path");
+
+    // Produce a snapshot; exit 0, file parses.
+    let (code, _) = run_binary(&["--quick", "--out", out_s]);
+    assert_eq!(code, 0);
+    let doc = std::fs::read_to_string(&out).expect("snapshot file written");
+    Snapshot::from_json(&doc).expect("snapshot file parses");
+
+    // Same tree vs its own snapshot: virtual metrics are identical by
+    // determinism; a huge wall tolerance absorbs timer noise → exit 0.
+    // (Every run below passes `--out` so no default-named BENCH_<date>.json
+    // lands in the repository root.)
+    let rerun = scratch("rerun.json");
+    let rerun_s = rerun.to_str().expect("utf-8 temp path");
+    let (code, _) = run_binary(&[
+        "--quick",
+        "--out",
+        rerun_s,
+        "--compare",
+        out_s,
+        "--wall-tolerance",
+        "100000",
+    ]);
+    assert_eq!(code, 0, "self-compare must pass");
+
+    // Perturb one virtual metric in the baseline → any drift is exit 3.
+    let drifted = scratch("drift.json");
+    std::fs::write(&drifted, rewrite_metric(&doc, "xs_merged", |v| v + 1.0))
+        .expect("drifted baseline written");
+    let (code, stdout) = run_binary(&[
+        "--quick",
+        "--out",
+        rerun_s,
+        "--compare",
+        drifted.to_str().expect("utf-8 temp path"),
+        "--wall-tolerance",
+        "100000",
+    ]);
+    assert_eq!(code, 3, "virtual drift must exit 3:\n{stdout}");
+    assert!(stdout.contains("VIRTUAL DRIFT"));
+
+    // Shrink a lower-is-better wall baseline to ~zero → the current run
+    // regresses past any tolerance → exit 2.
+    let fast = scratch("fast.json");
+    std::fs::write(&fast, rewrite_metric(&doc, "cell_seconds", |_| 1e-12))
+        .expect("fast baseline written");
+    let (code, stdout) = run_binary(&[
+        "--quick",
+        "--out",
+        rerun_s,
+        "--compare",
+        fast.to_str().expect("utf-8 temp path"),
+        "--wall-tolerance",
+        "100000",
+    ]);
+    assert_eq!(code, 2, "wall regression must exit 2:\n{stdout}");
+    assert!(stdout.contains("WALL REGRESSION"));
+
+    for p in [out, rerun, drifted, fast] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn binary_rejects_bad_usage() {
+    let (code, _) = run_binary(&["--no-such-flag"]);
+    assert_eq!(code, 1);
+    // `--out` keeps the pre-compare snapshot out of the repository root
+    // (the binary intentionally writes it before the baseline is read).
+    let bad = scratch("bad_usage.json");
+    let (code, _) = run_binary(&[
+        "--quick",
+        "--out",
+        bad.to_str().expect("utf-8 temp path"),
+        "--compare",
+        "/nonexistent/baseline.json",
+    ]);
+    assert_eq!(code, 1);
+    let _ = std::fs::remove_file(bad);
+}

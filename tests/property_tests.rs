@@ -467,6 +467,59 @@ proptest! {
         prop_assert!(owner_read.is_ok());
     }
 
+    // ---------------- metrics: percentile edges ---------------------------
+
+    #[test]
+    fn percentile_matches_an_independent_sorted_reference(
+        values in proptest::collection::vec(-1.0e9f64..1.0e9, 1..200),
+        pct in -50.0f64..150.0)
+    {
+        use jitsu_repro::sim::metrics::percentile;
+        // Reference: clamp the request, then interpolate over an explicitly
+        // sorted copy — written independently of the production code path.
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let p = pct.clamp(0.0, 100.0);
+        let expected = if p <= 0.0 {
+            sorted[0]
+        } else if p >= 100.0 {
+            sorted[sorted.len() - 1]
+        } else {
+            let rank = p / 100.0 * (sorted.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let frac = rank - lo as f64;
+            if frac == 0.0 {
+                sorted[lo]
+            } else {
+                sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac
+            }
+        };
+        let got = percentile(&values, pct);
+        prop_assert_eq!(got.to_bits(), expected.to_bits());
+        // And the result always lies inside the observed range.
+        prop_assert!(sorted[0] <= got && got <= sorted[sorted.len() - 1]);
+    }
+
+    #[test]
+    fn percentile_is_monotone_and_exact_at_both_ends(
+        values in proptest::collection::vec(-1.0e6f64..1.0e6, 1..100),
+        a in 0.0f64..=100.0, b in 0.0f64..=100.0)
+    {
+        use jitsu_repro::sim::metrics::percentile;
+        let (lo_p, hi_p) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(percentile(&values, lo_p) <= percentile(&values, hi_p));
+        let mut sorted = values.clone();
+        sorted.sort_by(|x, y| x.total_cmp(y));
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        // 0 and 100 return the extreme elements bit-exactly (no
+        // interpolation residue), and out-of-range requests clamp to them.
+        prop_assert_eq!(percentile(&values, 0.0).to_bits(), min.to_bits());
+        prop_assert_eq!(percentile(&values, 100.0).to_bits(), max.to_bits());
+        prop_assert_eq!(percentile(&values, -3.0).to_bits(), min.to_bits());
+        prop_assert_eq!(percentile(&values, 140.0).to_bits(), max.to_bits());
+    }
+
     // ---------------- vchan ring ------------------------------------------
 
     #[test]

@@ -209,7 +209,7 @@ pub mod strategy {
         };
     }
 
-    impl_range_strategy!(u8, u16, u32, u64, usize);
+    impl_range_strategy!(u8, u16, u32, u64, usize, f64);
 
     /// String strategies from a regex subset: one character class with a
     /// repetition count, e.g. `"[a-z0-9._-]{1,12}"`. This covers every

@@ -147,6 +147,16 @@ impl SampleRange<f64> for Range<f64> {
     }
 }
 
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        // Continuous sampling: the closed upper bound is reachable only up
+        // to rounding, which matches how uniform float ranges behave in the
+        // real crate closely enough for property-test strategies.
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
 /// Convenience methods layered over [`RngCore`], mirroring `rand::Rng`.
 pub trait Rng: RngCore {
     fn gen<T: Standard>(&mut self) -> T
