@@ -10,6 +10,7 @@
 //! systems; the higher-level rendezvous is layered on top by
 //! [`crate::rendezvous`].
 
+use netstack::FrameBuf;
 use xen_sim::event_channel::{EventChannelTable, Port};
 use xen_sim::grant_table::{GrantRef, GrantTable};
 use xen_sim::memory::PAGE_SIZE;
@@ -54,23 +55,41 @@ impl Ring {
 
     fn push(&mut self, data: &[u8]) -> usize {
         let n = data.len().min(self.free());
-        for &b in &data[..n] {
-            self.buf[self.write] = b;
-            self.write = (self.write + 1) % RING_CAPACITY;
+        if n == 0 {
+            return 0;
         }
+        // At most two bulk moves: up to the end of the ring page, then the
+        // wrapped remainder from its start.
+        let first = n.min(RING_CAPACITY - self.write);
+        self.buf[self.write..self.write + first].copy_from_slice(&data[..first]);
+        if first < n {
+            self.buf[..n - first].copy_from_slice(&data[first..n]);
+        }
+        self.write = (self.write + n) % RING_CAPACITY;
         self.len += n;
         n
     }
 
-    fn pop(&mut self, max: usize) -> Vec<u8> {
+    /// Drain up to `max` bytes into a shared buffer. This is the one
+    /// sanctioned copy on the frame hot path: bytes leave the granted ring
+    /// page in at most two bulk moves (wraparound), landing in an
+    /// allocation that every later layer — parser payloads, delivery
+    /// queues, replay — only takes views of. Zero-byte drains return the
+    /// allocation-free empty buffer.
+    fn pop(&mut self, max: usize) -> FrameBuf {
         let n = max.min(self.len);
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.buf[self.read]);
-            self.read = (self.read + 1) % RING_CAPACITY;
+        if n == 0 {
+            return FrameBuf::empty();
         }
+        let mut out = Vec::with_capacity(n);
+        let first = n.min(RING_CAPACITY - self.read);
+        out.extend_from_slice(&self.buf[self.read..self.read + first]);
+        if first < n {
+            out.extend_from_slice(&self.buf[..n - first]);
+        }
+        self.read = (self.read + n) % RING_CAPACITY;
         self.len -= n;
-        out
+        FrameBuf::from_vec(out)
     }
 }
 
@@ -230,12 +249,12 @@ impl VchanPair {
         from: Side,
         data: &[u8],
         evtchn: &mut EventChannelTable,
-    ) -> Result<Vec<u8>, VchanError> {
+    ) -> Result<FrameBuf, VchanError> {
         let to = match from {
             Side::Server => Side::Client,
             Side::Client => Side::Server,
         };
-        let mut received = Vec::new();
+        let mut received: Vec<FrameBuf> = Vec::new();
         let mut offset = 0;
         while offset < data.len() {
             match self.write(from, &data[offset..], evtchn) {
@@ -246,21 +265,28 @@ impl VchanPair {
                         // Full ring and nothing drained: cannot progress.
                         return Err(VchanError::WouldBlock);
                     }
-                    received.extend(got);
+                    received.push(got);
                 }
                 Err(e) => return Err(e),
             }
         }
-        received.extend(self.read(to, usize::MAX)?);
-        Ok(received)
+        let tail = self.read(to, usize::MAX)?;
+        if !tail.is_empty() {
+            received.push(tail);
+        }
+        // A transfer that fit in one ring drain comes back as an O(1) view
+        // of that single drained buffer.
+        Ok(FrameBuf::concat(&received))
     }
 
-    /// Read up to `max` bytes available to `side`.
-    pub fn read(&mut self, side: Side, max: usize) -> Result<Vec<u8>, VchanError> {
+    /// Read up to `max` bytes available to `side` as a shared buffer — a
+    /// view of the region drained from the ring. Zero-byte reads (an empty
+    /// ring with the peer still open, or `max == 0`) never allocate.
+    pub fn read(&mut self, side: Side, max: usize) -> Result<FrameBuf, VchanError> {
         let (_tx, rx, peer_open) = self.rings(side);
         if rx.len == 0 {
             return if peer_open {
-                Ok(Vec::new())
+                Ok(FrameBuf::empty())
             } else {
                 Err(VchanError::Closed)
             };
@@ -450,6 +476,25 @@ mod tests {
     }
 
     #[test]
+    fn zero_byte_reads_do_not_allocate() {
+        let (_grants, mut evtchn, mut pair) = setup();
+        // An idle ring with the peer open: empty result, no allocation.
+        let empty = pair.read(Side::Server, usize::MAX).unwrap();
+        assert!(empty.is_empty());
+        assert!(
+            !empty.has_allocation(),
+            "an empty-ring read must return the allocation-free empty buffer"
+        );
+        // `max == 0` with data buffered is also allocation-free.
+        pair.write(Side::Client, b"data", &mut evtchn).unwrap();
+        let zero = pair.read(Side::Server, 0).unwrap();
+        assert!(zero.is_empty());
+        assert!(!zero.has_allocation());
+        // The buffered bytes are still there afterwards.
+        assert_eq!(pair.read(Side::Server, usize::MAX).unwrap(), b"data");
+    }
+
+    #[test]
     fn zero_length_write_does_not_notify() {
         let (_grants, mut evtchn, mut pair) = setup();
         pair.write(Side::Client, b"", &mut evtchn).unwrap();
@@ -499,8 +544,8 @@ mod tests {
         pair.close(Side::Server);
         // Every byte written before the close is still readable…
         let mut drained = Vec::new();
-        drained.extend(pair.read(Side::Client, 1000).unwrap());
-        drained.extend(pair.read(Side::Client, usize::MAX).unwrap());
+        drained.extend_from_slice(&pair.read(Side::Client, 1000).unwrap());
+        drained.extend_from_slice(&pair.read(Side::Client, usize::MAX).unwrap());
         assert_eq!(drained, exact);
         // …and only then does the reader observe the close.
         assert_eq!(pair.read(Side::Client, 16), Err(VchanError::Closed));

@@ -62,6 +62,7 @@ use netstack::http::HttpRequest;
 use netstack::iface::{IfaceEvent, Interface};
 use netstack::ipv4::{Ipv4Addr, Ipv4Packet};
 use netstack::tcp::Tcb;
+use netstack::FrameBuf;
 use platform::Board;
 use std::collections::{BTreeMap, VecDeque};
 use unikernel::appliance::{Appliance, StaticSiteAppliance};
@@ -86,7 +87,7 @@ pub struct QueuedClient {
 #[derive(Debug)]
 struct ClientFlow {
     iface: Interface,
-    request: Vec<u8>,
+    request: FrameBuf,
     response: Vec<u8>,
     sent_request: bool,
 }
@@ -97,14 +98,14 @@ impl ClientFlow {
     /// response — including its HTTP request, sent exactly once, the
     /// moment the handshake completes. Response bytes accumulate for the
     /// zero-drop/zero-dup accounting.
-    fn on_peer_frame(&mut self, frame: &[u8]) -> Vec<Vec<u8>> {
+    fn on_peer_frame(&mut self, frame: &FrameBuf) -> Vec<FrameBuf> {
         let (mut out, events) = self.iface.handle_frame(frame);
         for ev in events {
             match ev {
                 IfaceEvent::TcpConnected { remote, local_port } if !self.sent_request => {
                     self.sent_request = true;
-                    let request = self.request.clone();
-                    if let Some(f) = self.iface.tcp_send(remote, local_port, &request) {
+                    let request = self.request.slice(..);
+                    if let Some(f) = self.iface.tcp_send(remote, local_port, request) {
                         out.push(f);
                     }
                 }
@@ -466,14 +467,14 @@ impl ConcurrentJitsud {
     }
 
     /// The client id a frame is addressed to (by destination IP).
-    fn frame_client_dst(frame: &[u8]) -> Option<u32> {
+    fn frame_client_dst(frame: &FrameBuf) -> Option<u32> {
         let eth = EthernetFrame::parse(frame).ok()?;
         let ip = Ipv4Packet::parse(&eth.payload).ok()?;
         Self::client_id_of_ip(ip.dst)
     }
 
     /// The client id a frame came from (by source IP).
-    fn frame_client_src(frame: &[u8]) -> Option<u32> {
+    fn frame_client_src(frame: &FrameBuf) -> Option<u32> {
         let eth = EthernetFrame::parse(frame).ok()?;
         let ip = Ipv4Packet::parse(&eth.payload).ok()?;
         Self::client_id_of_ip(ip.src)
@@ -482,7 +483,7 @@ impl ConcurrentJitsud {
     /// The exact byte stream the static-site appliance serves for `GET /`
     /// on `name` — the oracle the zero-drop/zero-dup accounting compares
     /// each client's accumulated response against.
-    fn expected_response(name: &str) -> Vec<u8> {
+    fn expected_response(name: &str) -> FrameBuf {
         let mut app = StaticSiteAppliance::new(name);
         let mut rng = SimRng::seed_from_u64(0);
         let (response, _) = app.handle(&HttpRequest::get("/", name), &mut rng);
@@ -519,7 +520,7 @@ impl ConcurrentJitsud {
         world: &mut ConcurrentJitsud,
         name: &str,
         client_id: u32,
-        frames: Vec<Vec<u8>>,
+        frames: Vec<FrameBuf>,
     ) {
         if frames.is_empty() {
             return;
@@ -552,7 +553,7 @@ impl ConcurrentJitsud {
         world: &mut ConcurrentJitsud,
         name: &str,
         client_id: u32,
-        mut to_proxy: Vec<Vec<u8>>,
+        mut to_proxy: Vec<FrameBuf>,
     ) {
         let Some(flow) = world.clients.get_mut(&client_id) else {
             return;
@@ -583,7 +584,7 @@ impl ConcurrentJitsud {
         world: &mut ConcurrentJitsud,
         name: &str,
         client_id: u32,
-        to_server: Vec<Vec<u8>>,
+        to_server: Vec<FrameBuf>,
     ) {
         let Some(plane) = world.planes.get_mut(name) else {
             return;
@@ -600,7 +601,7 @@ impl ConcurrentJitsud {
         world: &mut ConcurrentJitsud,
         name: &str,
         client_id: u32,
-        to_client: Vec<Vec<u8>>,
+        to_client: Vec<FrameBuf>,
     ) {
         let Some(plane) = world.planes.get_mut(name) else {
             return;
@@ -616,8 +617,8 @@ impl ConcurrentJitsud {
     fn exchange(
         plane: &mut DataPlane,
         flow: &mut ClientFlow,
-        mut to_server: Vec<Vec<u8>>,
-        mut to_client: Vec<Vec<u8>>,
+        mut to_server: Vec<FrameBuf>,
+        mut to_client: Vec<FrameBuf>,
     ) {
         for _ in 0..32 {
             if to_server.is_empty() && to_client.is_empty() {

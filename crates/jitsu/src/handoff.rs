@@ -19,6 +19,7 @@
 
 use netstack::tcp::tcb::{hex_decode, hex_encode};
 use netstack::tcp::Tcb;
+use netstack::FrameBuf;
 use xenstore::{DomId, Result as XsResult, XenStore};
 
 /// The phase of the handoff for one service.
@@ -184,8 +185,10 @@ impl HandoffCoordinator {
     }
 
     /// Remove and return every parked frame, in arrival order. Called by the
-    /// unikernel right after it commits the takeover.
-    pub fn drain_pending_frames(&self, xs: &mut XenStore, name: &str) -> XsResult<Vec<Vec<u8>>> {
+    /// unikernel right after it commits the takeover. Each frame is decoded
+    /// into a fresh shared buffer, replayed downstream without further
+    /// copies.
+    pub fn drain_pending_frames(&self, xs: &mut XenStore, name: &str) -> XsResult<Vec<FrameBuf>> {
         let base = Self::pending_path(name);
         let mut entries = xs.directory(DomId::DOM0, None, &base).unwrap_or_default();
         entries.sort();
@@ -193,7 +196,7 @@ impl HandoffCoordinator {
         for entry in entries {
             if let Ok(hex) = xs.read_string(DomId::DOM0, None, &format!("{base}/{entry}")) {
                 if let Some(frame) = hex_decode(hex.trim()) {
-                    frames.push(frame);
+                    frames.push(FrameBuf::from_vec(frame));
                 }
             }
         }

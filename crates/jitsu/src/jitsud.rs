@@ -441,7 +441,7 @@ impl Jitsud {
                 }
             }
         }
-        if let Ok(Some(resp)) = HttpResponse::parse(&collected) {
+        if let Ok(Some(resp)) = HttpResponse::parse(&collected.into()) {
             http_status = resp.status;
         }
         let t_response_at_client = t_response_sent + self.one_way_delay;
@@ -515,7 +515,7 @@ impl Jitsud {
                 }
             }
         }
-        let status = HttpResponse::parse(&collected)
+        let status = HttpResponse::parse(&collected.into())
             .ok()
             .flatten()
             .map(|r| r.status)

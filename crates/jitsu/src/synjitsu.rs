@@ -19,6 +19,7 @@ use crate::handoff::{HandoffCoordinator, HandoffPhase};
 use netstack::iface::{IfaceEvent, Interface};
 use netstack::ipv4::Ipv4Addr;
 use netstack::tcp::Tcb;
+use netstack::FrameBuf;
 use std::collections::BTreeMap;
 use xenstore::{Result as XsResult, XenStore};
 
@@ -110,8 +111,8 @@ impl Synjitsu {
         &mut self,
         xs: &mut XenStore,
         name: &str,
-        frame: &[u8],
-    ) -> XsResult<Vec<Vec<u8>>> {
+        frame: &FrameBuf,
+    ) -> XsResult<Vec<FrameBuf>> {
         // Only answer while the handoff protocol says the proxy owns
         // traffic. During the `Prepare` window neither side may answer, so
         // the frame is parked in the handoff area for the unikernel to
@@ -164,8 +165,11 @@ impl Synjitsu {
                 continue;
             }
             let remote = (rip, rport);
+            // `tcb_snapshot` (not a raw `tcb` clone) so any segment bytes
+            // still staged as shared views inside the connection are
+            // flattened into `buffered` before serialisation.
             let tcb = match svc.iface.connection(remote, lport) {
-                Some(conn) => conn.tcb.clone(),
+                Some(conn) => conn.tcb_snapshot(),
                 None => continue,
             };
             let id = Self::record_id(svc, remote);
@@ -216,7 +220,7 @@ impl Synjitsu {
     /// copies) and collects any frames that arrived during the `Prepare`
     /// window for replay. Synjitsu forgets the service — from this point
     /// only the unikernel touches its traffic.
-    pub fn commit_handoff(&mut self, xs: &mut XenStore, name: &str) -> XsResult<Vec<Vec<u8>>> {
+    pub fn commit_handoff(&mut self, xs: &mut XenStore, name: &str) -> XsResult<Vec<FrameBuf>> {
         self.handoff.commit_phase_only(xs, name)?;
         let pending = self.handoff.drain_pending_frames(xs, name)?;
         self.services.remove(name);
@@ -263,7 +267,7 @@ mod tests {
         syn: &mut Synjitsu,
         client: &mut Interface,
         name: &str,
-        first: Vec<u8>,
+        first: FrameBuf,
     ) {
         let mut to_proxy = vec![first];
         for _ in 0..16 {

@@ -257,6 +257,26 @@ mod tests {
     }
 
     #[test]
+    fn the_committed_budget_is_empty_and_stays_that_way() {
+        // The zero-copy milestone: the committed budget.toml carries no
+        // entries, so every A001 finding anywhere in the frame-path crates
+        // is an immediate error. Re-adding an entry would un-retire the
+        // ratchet; this test makes that a deliberate, reviewed act.
+        let text = include_str!("../budget.toml");
+        let (budget, errs) = parse(text);
+        assert!(
+            errs.is_empty(),
+            "budget.toml must stay well-formed: {errs:?}"
+        );
+        assert!(
+            budget.entries.is_empty(),
+            "the A001 budget was retired to empty when the zero-copy frame \
+             path landed; new copy debt may not be banked: {:?}",
+            budget.entries
+        );
+    }
+
+    #[test]
     fn non_a001_diagnostics_pass_through() {
         let d = Diagnostic::error("f.rs", 1, 1, "P001", "panic");
         let out = apply(vec![d.clone()], &Budget::default());

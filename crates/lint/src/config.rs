@@ -49,7 +49,12 @@ impl Default for Config {
         Config {
             sim_logic_crates: sim_logic.iter().map(|s| s.to_string()).collect(),
             core_crates: sim_logic.iter().map(|s| s.to_string()).collect(),
-            frame_path_crates: vec!["netstack".to_string(), "conduit".to_string()],
+            frame_path_crates: vec![
+                "netstack".to_string(),
+                "conduit".to_string(),
+                "unikernel".to_string(),
+                "jitsu".to_string(),
+            ],
             cast_crates: vec![
                 "netstack".to_string(),
                 "xenstore".to_string(),
@@ -111,7 +116,7 @@ mod tests {
     #[test]
     fn frame_path_and_cast_scopes_are_narrower_than_core() {
         let cfg = Config::default();
-        for c in ["netstack", "conduit"] {
+        for c in ["netstack", "conduit", "unikernel", "jitsu"] {
             assert!(cfg.is_frame_path(c), "{c} is on the frame path");
         }
         assert!(!cfg.is_frame_path("xenstore"));

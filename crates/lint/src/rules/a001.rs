@@ -1,12 +1,16 @@
 //! A001 — frame-buffer copies in the zero-copy hot path, under a ratchet.
 //!
-//! Roadmap item 2 is a zero-copy frame path through bridge → Synjitsu →
-//! vchan. Until that lands, every `.clone()`/`.to_vec()` of payload bytes
-//! or whole frames in `netstack`/`conduit` non-test code is *counted*, and
-//! the committed per-file counts in `crates/lint/budget.toml` are a
-//! ratchet: CI fails if a file's count grows (a new copy snuck in) or if
-//! the recorded budget exceeds reality (stale slack — ratchet it down).
-//! The budget reaching zero everywhere *is* the zero-copy milestone.
+//! Roadmap item 2's zero-copy frame path has landed: every
+//! `.clone()`/`.to_vec()` of payload bytes or whole frames — and every
+//! `.to_vec()` that materialises a `FrameBuf` view back into an owned
+//! buffer — in frame-path (`netstack`/`conduit`/`unikernel`/`jitsu`)
+//! non-test code is *counted*, and the committed per-file counts in
+//! `crates/lint/budget.toml` are a ratchet: CI fails if a file's count
+//! grows (a new copy snuck in) or if the recorded budget exceeds reality
+//! (stale slack — ratchet it down). The budget is now empty and must stay
+//! that way: any counted copy is a regression of the zero-copy milestone.
+//! (`FrameBuf::clone()` is uncounted — it is an O(1) refcount bump, not a
+//! byte copy.)
 
 use crate::ast::{self, Expr, ExprKind};
 use crate::diagnostics::Diagnostic;
@@ -50,8 +54,13 @@ impl ast::Visit for CopyVisitor<'_, '_> {
         }
         let base_class = self.ast_cx.classes.class(base);
         let copied = match name.as_str() {
-            // `.to_vec()` on payload bytes materialises a fresh buffer.
-            "to_vec" => matches!(base_class, Class::ByteBuf),
+            // `.to_vec()` on payload bytes — or on a shared `FrameBuf`
+            // view — materialises a fresh buffer.
+            "to_vec" => match base_class {
+                Class::ByteBuf => true,
+                Class::Struct(s) => s == "FrameBuf",
+                _ => false,
+            },
             // `.clone()` of payload bytes or of a whole frame struct.
             "clone" => match base_class {
                 Class::ByteBuf => true,

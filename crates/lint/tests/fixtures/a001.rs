@@ -18,3 +18,17 @@ fn not_copies(frame: &EthernetFrame, label: &String) -> usize {
     let s = label.clone();
     n + s.len()
 }
+
+struct FrameBuf {
+    len: usize,
+}
+
+fn view_copies(view: &FrameBuf) -> usize {
+    let owned = view.to_vec();
+    owned.len()
+}
+
+fn view_shares(view: &FrameBuf) -> usize {
+    let shared = view.clone();
+    shared.len
+}

@@ -1,5 +1,6 @@
 //! Ethernet II framing.
 
+use crate::buf::{FrameBuf, FrameBufMut};
 use crate::{NetError, Result};
 use std::fmt;
 
@@ -93,8 +94,8 @@ pub struct EthernetFrame {
     pub src: MacAddr,
     /// Payload EtherType.
     pub ethertype: EtherType,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes: a view into the received frame's shared buffer.
+    pub payload: FrameBuf,
 }
 
 impl EthernetFrame {
@@ -103,18 +104,19 @@ impl EthernetFrame {
         dst: MacAddr,
         src: MacAddr,
         ethertype: EtherType,
-        payload: Vec<u8>,
+        payload: impl Into<FrameBuf>,
     ) -> EthernetFrame {
         EthernetFrame {
             dst,
             src,
             ethertype,
-            payload,
+            payload: payload.into(),
         }
     }
 
-    /// Parse a frame from wire bytes.
-    pub fn parse(buf: &[u8]) -> Result<EthernetFrame> {
+    /// Parse a frame from wire bytes. The payload is an O(1) view sharing
+    /// `buf`'s allocation — no bytes are copied.
+    pub fn parse(buf: &FrameBuf) -> Result<EthernetFrame> {
         if buf.len() < HEADER_LEN {
             return Err(NetError::Truncated {
                 layer: "ethernet",
@@ -131,18 +133,18 @@ impl EthernetFrame {
             dst: MacAddr(dst),
             src: MacAddr(src),
             ethertype,
-            payload: buf[HEADER_LEN..].to_vec(),
+            payload: buf.slice(HEADER_LEN..),
         })
     }
 
-    /// Serialise to wire bytes.
-    pub fn emit(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+    /// Serialise to wire bytes: compose once, seal into a shared buffer.
+    pub fn emit(&self) -> FrameBuf {
+        let mut out = FrameBufMut::with_capacity(HEADER_LEN + self.payload.len());
         out.extend_from_slice(&self.dst.0);
         out.extend_from_slice(&self.src.0);
         out.extend_from_slice(&self.ethertype.as_u16().to_be_bytes());
         out.extend_from_slice(&self.payload);
-        out
+        out.freeze()
     }
 
     /// Total frame length on the wire.
@@ -176,15 +178,23 @@ mod tests {
     #[test]
     fn truncated_frame_rejected() {
         assert!(matches!(
-            EthernetFrame::parse(&[0; 13]),
+            EthernetFrame::parse(&FrameBuf::copy_from_slice(&[0; 13])),
             Err(NetError::Truncated {
                 layer: "ethernet",
                 ..
             })
         ));
         // Exactly a header with no payload is fine.
-        let f = EthernetFrame::parse(&[0; 14]).unwrap();
+        let f = EthernetFrame::parse(&FrameBuf::copy_from_slice(&[0; 14])).unwrap();
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn parsed_payload_is_a_view_not_a_copy() {
+        let bytes = EthernetFrame::new(A, B, EtherType::Ipv4, vec![9; 64]).emit();
+        let parsed = EthernetFrame::parse(&bytes).unwrap();
+        assert!(parsed.payload.shares_allocation(&bytes));
+        assert_eq!(parsed.payload, vec![9; 64]);
     }
 
     #[test]

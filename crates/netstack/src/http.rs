@@ -6,6 +6,7 @@
 //! This module implements just enough of HTTP/1.1 — request line, headers,
 //! `Content-Length` bodies — to drive those workloads realistically.
 
+use crate::buf::{FrameBuf, FrameBufMut};
 use crate::{NetError, Result};
 use std::collections::BTreeMap;
 
@@ -18,8 +19,8 @@ pub struct HttpRequest {
     pub path: String,
     /// Headers with lower-cased names.
     pub headers: BTreeMap<String, String>,
-    /// Body bytes.
-    pub body: Vec<u8>,
+    /// Body bytes: a view into the received buffer.
+    pub body: FrameBuf,
 }
 
 impl HttpRequest {
@@ -31,12 +32,13 @@ impl HttpRequest {
             method: "GET".to_string(),
             path: path.to_string(),
             headers,
-            body: Vec::new(),
+            body: FrameBuf::empty(),
         }
     }
 
     /// Build a POST request with a body.
-    pub fn post(path: &str, host: &str, body: Vec<u8>) -> HttpRequest {
+    pub fn post(path: &str, host: &str, body: impl Into<FrameBuf>) -> HttpRequest {
+        let body = body.into();
         let mut headers = BTreeMap::new();
         headers.insert("host".to_string(), host.to_string());
         headers.insert("content-length".to_string(), body.len().to_string());
@@ -48,20 +50,22 @@ impl HttpRequest {
         }
     }
 
-    /// Serialise to wire bytes.
-    pub fn emit(&self) -> Vec<u8> {
-        let mut out = format!("{} {} HTTP/1.1\r\n", self.method, self.path).into_bytes();
+    /// Serialise to wire bytes: compose once, seal into a shared buffer.
+    pub fn emit(&self) -> FrameBuf {
+        let mut out = FrameBufMut::new();
+        out.extend_from_slice(format!("{} {} HTTP/1.1\r\n", self.method, self.path).as_bytes());
         for (k, v) in &self.headers {
             out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
         }
         out.extend_from_slice(b"\r\n");
         out.extend_from_slice(&self.body);
-        out
+        out.freeze()
     }
 
     /// Parse from wire bytes. Returns `Ok(None)` if the buffer does not yet
-    /// contain a complete request (headers plus declared body).
-    pub fn parse(buf: &[u8]) -> Result<Option<HttpRequest>> {
+    /// contain a complete request (headers plus declared body). The body is
+    /// an O(1) view sharing `buf`'s allocation.
+    pub fn parse(buf: &FrameBuf) -> Result<Option<HttpRequest>> {
         let Some((head, body_start)) = split_head(buf) else {
             return Ok(None);
         };
@@ -90,7 +94,7 @@ impl HttpRequest {
             method,
             path,
             headers,
-            body: buf[body_start..body_start + content_length].to_vec(),
+            body: buf.slice(body_start..body_start + content_length),
         }))
     }
 }
@@ -104,13 +108,13 @@ pub struct HttpResponse {
     pub reason: String,
     /// Headers with lower-cased names.
     pub headers: BTreeMap<String, String>,
-    /// Body bytes.
-    pub body: Vec<u8>,
+    /// Body bytes: a view into the received buffer.
+    pub body: FrameBuf,
 }
 
 impl HttpResponse {
     /// A 200 OK response with a body.
-    pub fn ok(body: Vec<u8>) -> HttpResponse {
+    pub fn ok(body: impl Into<FrameBuf>) -> HttpResponse {
         HttpResponse::with_status(200, "OK", body)
     }
 
@@ -126,7 +130,8 @@ impl HttpResponse {
     }
 
     /// Build a response with an arbitrary status.
-    pub fn with_status(status: u16, reason: &str, body: Vec<u8>) -> HttpResponse {
+    pub fn with_status(status: u16, reason: &str, body: impl Into<FrameBuf>) -> HttpResponse {
+        let body = body.into();
         let mut headers = BTreeMap::new();
         headers.insert("content-length".to_string(), body.len().to_string());
         headers.insert("connection".to_string(), "keep-alive".to_string());
@@ -138,19 +143,21 @@ impl HttpResponse {
         }
     }
 
-    /// Serialise to wire bytes.
-    pub fn emit(&self) -> Vec<u8> {
-        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).into_bytes();
+    /// Serialise to wire bytes: compose once, seal into a shared buffer.
+    pub fn emit(&self) -> FrameBuf {
+        let mut out = FrameBufMut::new();
+        out.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", self.status, self.reason).as_bytes());
         for (k, v) in &self.headers {
             out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
         }
         out.extend_from_slice(b"\r\n");
         out.extend_from_slice(&self.body);
-        out
+        out.freeze()
     }
 
-    /// Parse from wire bytes; `Ok(None)` when incomplete.
-    pub fn parse(buf: &[u8]) -> Result<Option<HttpResponse>> {
+    /// Parse from wire bytes; `Ok(None)` when incomplete. The body is an
+    /// O(1) view sharing `buf`'s allocation.
+    pub fn parse(buf: &FrameBuf) -> Result<Option<HttpResponse>> {
         let Some((head, body_start)) = split_head(buf) else {
             return Ok(None);
         };
@@ -187,7 +194,7 @@ impl HttpResponse {
             status,
             reason,
             headers,
-            body: buf[body_start..body_start + content_length].to_vec(),
+            body: buf.slice(body_start..body_start + content_length),
         }))
     }
 }
@@ -230,8 +237,10 @@ mod tests {
     #[test]
     fn post_with_body_round_trip() {
         let req = HttpRequest::post("/queue", "q.local", b"item-1".to_vec());
-        let parsed = HttpRequest::parse(&req.emit()).unwrap().unwrap();
+        let emitted = req.emit();
+        let parsed = HttpRequest::parse(&emitted).unwrap().unwrap();
         assert_eq!(parsed.body, b"item-1");
+        assert!(parsed.body.shares_allocation(&emitted));
         assert_eq!(parsed.headers["content-length"], "6");
     }
 
@@ -258,32 +267,35 @@ mod tests {
         let req = HttpRequest::post("/q", "h", vec![0; 100]);
         let bytes = req.emit();
         // Headers not yet complete.
-        assert_eq!(HttpRequest::parse(&bytes[..10]).unwrap(), None);
+        assert_eq!(HttpRequest::parse(&bytes.slice(..10)).unwrap(), None);
         // Headers complete but body still streaming.
         let head_end = bytes.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
-        assert_eq!(HttpRequest::parse(&bytes[..head_end + 10]).unwrap(), None);
+        assert_eq!(
+            HttpRequest::parse(&bytes.slice(..head_end + 10)).unwrap(),
+            None
+        );
         // Same for responses.
         let resp = HttpResponse::ok(vec![0; 50]);
         let rbytes = resp.emit();
         assert_eq!(
-            HttpResponse::parse(&rbytes[..rbytes.len() - 1]).unwrap(),
+            HttpResponse::parse(&rbytes.slice(..rbytes.len() - 1)).unwrap(),
             None
         );
     }
 
     #[test]
     fn malformed_messages_rejected() {
-        assert!(HttpRequest::parse(b"NOT A REQUEST\r\n\r\n").is_err());
-        assert!(HttpRequest::parse(b"GET /x SPDY/9\r\n\r\n").is_err());
-        assert!(HttpRequest::parse(b"GET / HTTP/1.1\r\nbadheader\r\n\r\n").is_err());
-        assert!(HttpResponse::parse(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
-        assert!(HttpResponse::parse(b"ICY 200 OK\r\n\r\n").is_err());
+        assert!(HttpRequest::parse(&b"NOT A REQUEST\r\n\r\n".into()).is_err());
+        assert!(HttpRequest::parse(&b"GET /x SPDY/9\r\n\r\n".into()).is_err());
+        assert!(HttpRequest::parse(&b"GET / HTTP/1.1\r\nbadheader\r\n\r\n".into()).is_err());
+        assert!(HttpResponse::parse(&b"HTTP/1.1 abc OK\r\n\r\n".into()).is_err());
+        assert!(HttpResponse::parse(&b"ICY 200 OK\r\n\r\n".into()).is_err());
     }
 
     #[test]
     fn headers_are_case_insensitive() {
         let raw = b"GET / HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\nok";
-        let parsed = HttpRequest::parse(raw).unwrap().unwrap();
+        let parsed = HttpRequest::parse(&raw.into()).unwrap().unwrap();
         assert_eq!(parsed.headers["host"], "x");
         assert_eq!(parsed.body, b"ok");
     }

@@ -1,6 +1,7 @@
 //! ICMP echo (ping), the protocol behind Figure 8's datapath-latency
 //! measurement.
 
+use crate::buf::FrameBuf;
 use crate::checksum;
 use crate::{NetError, Result};
 
@@ -17,33 +18,36 @@ pub struct IcmpEcho {
     /// Sequence number.
     pub seq: u16,
     /// Payload carried back verbatim in the reply — Figure 8 sweeps this
-    /// from 56 to 1400 bytes.
-    pub payload: Vec<u8>,
+    /// from 56 to 1400 bytes. A view into the received frame's shared
+    /// buffer.
+    pub payload: FrameBuf,
 }
 
 impl IcmpEcho {
     /// Build an echo request.
-    pub fn request(ident: u16, seq: u16, payload: Vec<u8>) -> IcmpEcho {
+    pub fn request(ident: u16, seq: u16, payload: impl Into<FrameBuf>) -> IcmpEcho {
         IcmpEcho {
             is_request: true,
             ident,
             seq,
-            payload,
+            payload: payload.into(),
         }
     }
 
-    /// Build the reply answering this request (payload is echoed).
+    /// Build the reply answering this request. The echoed payload is an
+    /// O(1) view of the request's — no bytes are copied.
     pub fn reply(&self) -> IcmpEcho {
         IcmpEcho {
             is_request: false,
             ident: self.ident,
             seq: self.seq,
-            payload: self.payload.clone(),
+            payload: self.payload.slice(..),
         }
     }
 
-    /// Parse and verify from wire bytes.
-    pub fn parse(buf: &[u8]) -> Result<IcmpEcho> {
+    /// Parse and verify from wire bytes. The payload is an O(1) view
+    /// sharing `buf`'s allocation.
+    pub fn parse(buf: &FrameBuf) -> Result<IcmpEcho> {
         if buf.len() < HEADER_LEN {
             return Err(NetError::Truncated {
                 layer: "icmp",
@@ -68,12 +72,12 @@ impl IcmpEcho {
             is_request,
             ident: u16::from_be_bytes([buf[4], buf[5]]),
             seq: u16::from_be_bytes([buf[6], buf[7]]),
-            payload: buf[HEADER_LEN..].to_vec(),
+            payload: buf.slice(HEADER_LEN..),
         })
     }
 
     /// Serialise to wire bytes with a valid checksum.
-    pub fn emit(&self) -> Vec<u8> {
+    pub fn emit(&self) -> FrameBuf {
         let mut out = vec![0u8; HEADER_LEN + self.payload.len()];
         out[0] = if self.is_request { 8 } else { 0 };
         out[4..6].copy_from_slice(&self.ident.to_be_bytes());
@@ -81,7 +85,7 @@ impl IcmpEcho {
         out[HEADER_LEN..].copy_from_slice(&self.payload);
         let c = checksum::checksum(&out);
         out[2..4].copy_from_slice(&c.to_be_bytes());
-        out
+        FrameBuf::from_vec(out)
     }
 }
 
@@ -99,6 +103,10 @@ mod tests {
         assert_eq!(reply.ident, 0x1234);
         assert_eq!(reply.seq, 7);
         assert_eq!(reply.payload, req.payload);
+        assert!(
+            reply.payload.shares_allocation(&parsed.payload),
+            "the echoed payload is a view, not a copy"
+        );
         assert_eq!(IcmpEcho::parse(&reply.emit()).unwrap(), reply);
     }
 
@@ -114,11 +122,14 @@ mod tests {
     #[test]
     fn corruption_and_truncation_detected() {
         let req = IcmpEcho::request(1, 1, vec![1, 2, 3, 4]);
-        let mut bytes = req.emit();
+        let mut bytes = req.emit().to_vec();
         bytes[9] ^= 0xff;
-        assert_eq!(IcmpEcho::parse(&bytes), Err(NetError::BadChecksum("icmp")));
+        assert_eq!(
+            IcmpEcho::parse(&bytes.into()),
+            Err(NetError::BadChecksum("icmp"))
+        );
         assert!(matches!(
-            IcmpEcho::parse(&req.emit()[..4]),
+            IcmpEcho::parse(&req.emit().slice(..4)),
             Err(NetError::Truncated { .. })
         ));
     }
@@ -130,7 +141,7 @@ mod tests {
         let c = checksum::checksum(&bytes);
         bytes[2..4].copy_from_slice(&c.to_be_bytes());
         assert!(matches!(
-            IcmpEcho::parse(&bytes),
+            IcmpEcho::parse(&bytes.into()),
             Err(NetError::Malformed { layer: "icmp", .. })
         ));
     }

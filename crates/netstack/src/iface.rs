@@ -10,6 +10,7 @@
 //! simulated dom0 bridge, over a conduit, or in unit tests.
 
 use crate::arp::{ArpCache, ArpOp, ArpPacket};
+use crate::buf::FrameBuf;
 use crate::ethernet::{EtherType, EthernetFrame, MacAddr};
 use crate::icmp::IcmpEcho;
 use crate::ipv4::{Ipv4Addr, Ipv4Packet, Protocol};
@@ -33,8 +34,9 @@ pub enum IfaceEvent {
         remote: (Ipv4Addr, u16),
         /// Local port.
         local_port: u16,
-        /// The received bytes.
-        data: Vec<u8>,
+        /// The received bytes: a view of the frame's shared buffer when a
+        /// single segment is pending (the common case).
+        data: FrameBuf,
     },
     /// The remote side closed a connection.
     TcpClosed {
@@ -49,8 +51,8 @@ pub enum IfaceEvent {
         src: (Ipv4Addr, u16),
         /// Destination port.
         dst_port: u16,
-        /// Payload.
-        payload: Vec<u8>,
+        /// Payload: a view into the received frame's shared buffer.
+        payload: FrameBuf,
     },
     /// An ICMP echo reply arrived (the client side of Figure 8's ping).
     IcmpEchoReply {
@@ -164,7 +166,7 @@ impl Interface {
         self.arp_cache.lookup(ip).unwrap_or(MacAddr::BROADCAST)
     }
 
-    fn wrap_ip(&self, dst_ip: Ipv4Addr, protocol: Protocol, payload: Vec<u8>) -> Vec<u8> {
+    fn wrap_ip(&self, dst_ip: Ipv4Addr, protocol: Protocol, payload: FrameBuf) -> FrameBuf {
         let packet = Ipv4Packet::new(self.ip, dst_ip, protocol, payload);
         EthernetFrame::new(
             self.lookup_mac(dst_ip),
@@ -176,7 +178,7 @@ impl Interface {
     }
 
     /// Build an ARP who-has request frame for `ip`.
-    pub fn arp_request(&self, ip: Ipv4Addr) -> Vec<u8> {
+    pub fn arp_request(&self, ip: Ipv4Addr) -> FrameBuf {
         let arp = ArpPacket::request(self.mac, self.ip, ip);
         EthernetFrame::new(MacAddr::BROADCAST, self.mac, EtherType::Arp, arp.emit()).emit()
     }
@@ -188,7 +190,7 @@ impl Interface {
         ident: u16,
         seq: u16,
         payload_len: usize,
-    ) -> Vec<u8> {
+    ) -> FrameBuf {
         let echo = IcmpEcho::request(ident, seq, vec![0x42; payload_len]);
         self.wrap_ip(dst, Protocol::Icmp, echo.emit())
     }
@@ -199,14 +201,14 @@ impl Interface {
         dst: Ipv4Addr,
         src_port: u16,
         dst_port: u16,
-        payload: Vec<u8>,
-    ) -> Vec<u8> {
+        payload: impl Into<FrameBuf>,
+    ) -> FrameBuf {
         let datagram = UdpDatagram::new(src_port, dst_port, payload);
         self.wrap_ip(dst, Protocol::Udp, datagram.emit(self.ip, dst))
     }
 
     /// Open a TCP connection; returns the SYN frame to transmit.
-    pub fn tcp_connect(&mut self, dst: Ipv4Addr, dst_port: u16) -> Vec<u8> {
+    pub fn tcp_connect(&mut self, dst: Ipv4Addr, dst_port: u16) -> FrameBuf {
         let local_port = self.next_ephemeral;
         self.next_ephemeral = self.next_ephemeral.wrapping_add(1).max(49152);
         let isn = self
@@ -218,13 +220,14 @@ impl Interface {
         self.wrap_ip(dst, Protocol::Tcp, syn.emit(self.ip, dst))
     }
 
-    /// Send data on an established connection; returns the frame.
+    /// Send data on an established connection; returns the frame. A
+    /// [`FrameBuf`] argument rides through as an O(1) view.
     pub fn tcp_send(
         &mut self,
         remote: (Ipv4Addr, u16),
         local_port: u16,
-        data: &[u8],
-    ) -> Option<Vec<u8>> {
+        data: impl Into<FrameBuf>,
+    ) -> Option<FrameBuf> {
         let conn = self
             .connections
             .get_mut(&(remote.0, remote.1, local_port))?;
@@ -234,7 +237,7 @@ impl Interface {
     }
 
     /// Close a connection; returns the FIN frame.
-    pub fn tcp_close(&mut self, remote: (Ipv4Addr, u16), local_port: u16) -> Option<Vec<u8>> {
+    pub fn tcp_close(&mut self, remote: (Ipv4Addr, u16), local_port: u16) -> Option<FrameBuf> {
         let conn = self
             .connections
             .get_mut(&(remote.0, remote.1, local_port))?;
@@ -244,7 +247,11 @@ impl Interface {
     }
 
     /// Process one received Ethernet frame. Returns `(frames_to_send, events)`.
-    pub fn handle_frame(&mut self, frame_bytes: &[u8]) -> (Vec<Vec<u8>>, Vec<IfaceEvent>) {
+    ///
+    /// The frame is a shared buffer; every payload handed out in the events
+    /// (TCP data, UDP datagrams) is a view into it, so the one copy made at
+    /// ring ingress is the last copy a packet sees.
+    pub fn handle_frame(&mut self, frame_bytes: &FrameBuf) -> (Vec<FrameBuf>, Vec<IfaceEvent>) {
         let mut out = Vec::new();
         let mut events = Vec::new();
         let Ok(frame) = EthernetFrame::parse(frame_bytes) else {
@@ -293,7 +300,7 @@ impl Interface {
     fn handle_icmp(
         &mut self,
         packet: &Ipv4Packet,
-        out: &mut Vec<Vec<u8>>,
+        out: &mut Vec<FrameBuf>,
         events: &mut Vec<IfaceEvent>,
     ) {
         if let Ok(echo) = IcmpEcho::parse(&packet.payload) {
@@ -324,7 +331,7 @@ impl Interface {
     fn handle_tcp(
         &mut self,
         packet: &Ipv4Packet,
-        out: &mut Vec<Vec<u8>>,
+        out: &mut Vec<FrameBuf>,
         events: &mut Vec<IfaceEvent>,
     ) {
         let Ok(seg) = TcpSegment::parse(&packet.payload, packet.src, packet.dst) else {
@@ -418,11 +425,11 @@ mod tests {
     fn pump(
         a: &mut Interface,
         b: &mut Interface,
-        mut frames_to_b: Vec<Vec<u8>>,
+        mut frames_to_b: Vec<FrameBuf>,
     ) -> (Vec<IfaceEvent>, Vec<IfaceEvent>) {
         let mut events_a = Vec::new();
         let mut events_b = Vec::new();
-        let mut frames_to_a: Vec<Vec<u8>> = Vec::new();
+        let mut frames_to_a: Vec<FrameBuf> = Vec::new();
         for _ in 0..32 {
             if frames_to_b.is_empty() && frames_to_a.is_empty() {
                 break;
@@ -490,14 +497,22 @@ mod tests {
         let (client, mut server) = pair();
         let frame = client.udp_send(SERVER_IP, 5353, 53, b"query".to_vec());
         let (_, events) = server.handle_frame(&frame);
-        assert_eq!(
-            events,
-            vec![IfaceEvent::Udp {
-                src: (CLIENT_IP, 5353),
-                dst_port: 53,
-                payload: b"query".to_vec(),
-            }]
-        );
+        match &events[..] {
+            [IfaceEvent::Udp {
+                src,
+                dst_port,
+                payload,
+            }] => {
+                assert_eq!(*src, (CLIENT_IP, 5353));
+                assert_eq!(*dst_port, 53);
+                assert_eq!(payload, b"query");
+                assert!(
+                    payload.shares_allocation(&frame),
+                    "the delivered datagram payload is a view of the frame"
+                );
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
     }
 
     #[test]
@@ -523,7 +538,7 @@ mod tests {
         let frame = client
             .tcp_send(remote, local_port, b"GET / HTTP/1.1\r\n\r\n")
             .unwrap();
-        let (_, events_server) = pump(&mut client, &mut server, vec![frame]);
+        let (_, events_server) = pump(&mut client, &mut server, vec![frame.slice(..)]);
         let data_event = events_server
             .iter()
             .find_map(|e| match e {
@@ -533,6 +548,10 @@ mod tests {
             .expect("server receives the request");
         assert_eq!(data_event.0, b"GET / HTTP/1.1\r\n\r\n");
         assert_eq!(data_event.1 .0, CLIENT_IP);
+        assert!(
+            data_event.0.shares_allocation(&frame),
+            "delivered TCP data is a view of the frame that carried it"
+        );
     }
 
     #[test]
@@ -551,13 +570,13 @@ mod tests {
     fn frames_for_other_hosts_are_ignored() {
         let (client, mut server) = pair();
         // Address the frame at some third MAC.
-        let mut frame = client.udp_send(SERVER_IP, 1, 2, b"x".to_vec());
+        let mut frame = client.udp_send(SERVER_IP, 1, 2, b"x".to_vec()).to_vec();
         frame[0..6].copy_from_slice(&[2, 0, 0, 0, 0, 9]);
-        let (out, events) = server.handle_frame(&frame);
+        let (out, events) = server.handle_frame(&frame.into());
         assert!(out.is_empty());
         assert!(events.is_empty());
         // Garbage frames are ignored too.
-        let (out, events) = server.handle_frame(&[1, 2, 3]);
+        let (out, events) = server.handle_frame(&FrameBuf::copy_from_slice(&[1, 2, 3]));
         assert!(out.is_empty());
         assert!(events.is_empty());
     }

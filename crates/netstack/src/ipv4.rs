@@ -1,5 +1,6 @@
 //! IPv4 packet parsing and construction.
 
+use crate::buf::{FrameBuf, FrameBufMut};
 use crate::checksum;
 use crate::{NetError, Result};
 use std::fmt;
@@ -105,26 +106,33 @@ pub struct Ipv4Packet {
     pub ttl: u8,
     /// Identification field (used by fragmentation, which we do not perform).
     pub ident: u16,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes: a view into the received frame's shared buffer.
+    pub payload: FrameBuf,
 }
 
 impl Ipv4Packet {
     /// Construct a packet with the default TTL of 64 (the stack default the
     /// smoltcp/Mirage stacks use).
-    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: Protocol, payload: Vec<u8>) -> Ipv4Packet {
+    pub fn new(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        protocol: Protocol,
+        payload: impl Into<FrameBuf>,
+    ) -> Ipv4Packet {
         Ipv4Packet {
             src,
             dst,
             protocol,
             ttl: 64,
             ident: 0,
-            payload,
+            payload: payload.into(),
         }
     }
 
-    /// Parse and verify a packet from wire bytes.
-    pub fn parse(buf: &[u8]) -> Result<Ipv4Packet> {
+    /// Parse and verify a packet from wire bytes. The payload is an O(1)
+    /// view sharing `buf`'s allocation — trailing padding (Ethernet
+    /// minimum-size fill) is excluded by the view bounds, not by copying.
+    pub fn parse(buf: &FrameBuf) -> Result<Ipv4Packet> {
         if buf.len() < HEADER_LEN {
             return Err(NetError::Truncated {
                 layer: "ipv4",
@@ -170,12 +178,12 @@ impl Ipv4Packet {
             protocol,
             ttl,
             ident,
-            payload: buf[ihl..total_len].to_vec(),
+            payload: buf.slice(ihl..total_len),
         })
     }
 
     /// Serialise to wire bytes, computing the header checksum.
-    pub fn emit(&self) -> Vec<u8> {
+    pub fn emit(&self) -> FrameBuf {
         // jitsu-lint: allow(N001, "payloads are MTU-bounded (≤1500 bytes), so header + payload is far below 65536")
         let total_len = (HEADER_LEN + self.payload.len()) as u16;
         let mut header = [0u8; HEADER_LEN];
@@ -190,10 +198,10 @@ impl Ipv4Packet {
         header[16..20].copy_from_slice(&self.dst.0);
         let c = checksum::checksum(&header);
         header[10..12].copy_from_slice(&c.to_be_bytes());
-        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        let mut out = FrameBufMut::with_capacity(HEADER_LEN + self.payload.len());
         out.extend_from_slice(&header);
         out.extend_from_slice(&self.payload);
-        out
+        out.freeze()
     }
 }
 
@@ -216,10 +224,10 @@ mod tests {
     #[test]
     fn corrupted_checksum_detected() {
         let p = Ipv4Packet::new(SRC, DST, Protocol::Tcp, vec![0; 8]);
-        let mut bytes = p.emit();
+        let mut bytes = p.emit().to_vec();
         bytes[15] ^= 0x01;
         assert_eq!(
-            Ipv4Packet::parse(&bytes),
+            Ipv4Packet::parse(&bytes.into()),
             Err(NetError::BadChecksum("ipv4"))
         );
     }
@@ -227,29 +235,32 @@ mod tests {
     #[test]
     fn rejects_truncation_and_bad_version() {
         assert!(matches!(
-            Ipv4Packet::parse(&[0x45; 10]),
+            Ipv4Packet::parse(&FrameBuf::copy_from_slice(&[0x45; 10])),
             Err(NetError::Truncated { layer: "ipv4", .. })
         ));
         let p = Ipv4Packet::new(SRC, DST, Protocol::Udp, vec![1, 2, 3]);
-        let mut bytes = p.emit();
+        let mut bytes = p.emit().to_vec();
         bytes[0] = 0x65; // version 6
         assert!(matches!(
-            Ipv4Packet::parse(&bytes),
+            Ipv4Packet::parse(&bytes.into()),
             Err(NetError::Malformed { layer: "ipv4", .. })
         ));
         // Payload shorter than total length.
         let bytes = p.emit();
-        assert!(Ipv4Packet::parse(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Ipv4Packet::parse(&bytes.slice(..bytes.len() - 1)).is_err());
     }
 
     #[test]
     fn extra_trailing_bytes_are_ignored() {
-        // Ethernet minimum-size padding must not end up in the payload.
+        // Ethernet minimum-size padding must not end up in the payload:
+        // the payload view's bounds stop at the header's total length.
         let p = Ipv4Packet::new(SRC, DST, Protocol::Udp, b"ab".to_vec());
-        let mut bytes = p.emit();
+        let mut bytes = p.emit().to_vec();
         bytes.extend_from_slice(&[0u8; 20]);
-        let parsed = Ipv4Packet::parse(&bytes).unwrap();
+        let padded = FrameBuf::from_vec(bytes);
+        let parsed = Ipv4Packet::parse(&padded).unwrap();
         assert_eq!(parsed.payload, b"ab");
+        assert!(parsed.payload.shares_allocation(&padded));
     }
 
     #[test]

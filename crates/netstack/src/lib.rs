@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod arp;
+pub mod buf;
 pub mod checksum;
 pub mod dns;
 pub mod ethernet;
@@ -31,6 +32,7 @@ pub mod ipv4;
 pub mod tcp;
 pub mod udp;
 
+pub use buf::{FrameBuf, FrameBufMut};
 pub use ethernet::{EtherType, EthernetFrame, MacAddr};
 pub use iface::Interface;
 pub use ipv4::{Ipv4Addr, Ipv4Packet, Protocol};

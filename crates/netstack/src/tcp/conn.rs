@@ -9,6 +9,7 @@
 use super::segment::{TcpFlags, TcpSegment};
 use super::tcb::{Tcb, TcpState};
 use super::{seq_gt, seq_le};
+use crate::buf::FrameBuf;
 use crate::ipv4::Ipv4Addr;
 
 /// A passive listener bound to `(ip, port)`.
@@ -63,7 +64,13 @@ impl Listener {
             tcb.rcv_nxt,
             TcpFlags::SYN_ACK,
         );
-        Some((Connection { tcb }, syn_ack))
+        Some((
+            Connection {
+                tcb,
+                staged: Vec::new(),
+            },
+            syn_ack,
+        ))
     }
 }
 
@@ -72,13 +79,39 @@ impl Listener {
 pub struct Connection {
     /// The connection control block.
     pub tcb: Tcb,
+    /// In-order received payload views, staged until the application takes
+    /// them. Each entry shares the allocation of the frame it arrived in, so
+    /// delivery stays zero-copy; [`Connection::take_received`] concatenates
+    /// them (an O(1) view in the common single-segment case).
+    staged: Vec<FrameBuf>,
 }
 
 impl Connection {
     /// Adopt a connection from a serialised TCB — the unikernel side of the
-    /// Synjitsu handoff.
-    pub fn from_tcb(tcb: Tcb) -> Connection {
-        Connection { tcb }
+    /// Synjitsu handoff. Any bytes the proxy buffered move into the staged
+    /// delivery queue without copying.
+    pub fn from_tcb(mut tcb: Tcb) -> Connection {
+        let staged = if tcb.buffered.is_empty() {
+            Vec::new()
+        } else {
+            vec![FrameBuf::from_vec(std::mem::take(&mut tcb.buffered))]
+        };
+        Connection { tcb, staged }
+    }
+
+    /// A serialisable snapshot of the control block with the staged (not
+    /// yet consumed) bytes flattened back into `buffered`, ready for
+    /// [`Tcb::to_sexp`] and the XenStore handoff.
+    pub fn tcb_snapshot(&self) -> Tcb {
+        let mut tcb = self.tcb.clone();
+        if !self.staged.is_empty() {
+            let staged = FrameBuf::concat(&self.staged);
+            let mut buffered = Vec::with_capacity(tcb.buffered.len() + staged.len());
+            buffered.extend_from_slice(&tcb.buffered);
+            buffered.extend_from_slice(&staged);
+            tcb.buffered = buffered;
+        }
+        tcb
     }
 
     /// Start an active open towards `(remote_ip, remote_port)`. Returns the
@@ -94,7 +127,13 @@ impl Connection {
         tcb.state = TcpState::SynSent;
         tcb.snd_nxt = isn.wrapping_add(1);
         let syn = TcpSegment::control(local_port, remote_port, isn, 0, TcpFlags::SYN);
-        (Connection { tcb }, syn)
+        (
+            Connection {
+                tcb,
+                staged: Vec::new(),
+            },
+            syn,
+        )
     }
 
     /// Current state.
@@ -107,9 +146,19 @@ impl Connection {
         self.tcb.state == TcpState::Established
     }
 
-    /// Application data received in order and not yet consumed.
-    pub fn take_received(&mut self) -> Vec<u8> {
-        std::mem::take(&mut self.tcb.buffered)
+    /// Application data received in order and not yet consumed, as a shared
+    /// buffer. When a single segment is pending this is an O(1) view of the
+    /// frame it arrived in — no bytes are copied on the way up.
+    pub fn take_received(&mut self) -> FrameBuf {
+        if !self.tcb.buffered.is_empty() {
+            // Bytes placed directly in the control block (e.g. by a caller
+            // mutating an adopted TCB) drain ahead of the staged views.
+            self.staged.insert(
+                0,
+                FrameBuf::from_vec(std::mem::take(&mut self.tcb.buffered)),
+            );
+        }
+        FrameBuf::concat(&std::mem::take(&mut self.staged))
     }
 
     /// Process an incoming segment, returning any segments to transmit in
@@ -200,7 +249,7 @@ impl Connection {
         // a retransmission that partially overlaps delivered data cannot
         // duplicate bytes into the stream.
         let skip = self.tcb.rcv_nxt.wrapping_sub(seg.seq) as usize;
-        self.tcb.buffered.extend_from_slice(&seg.payload[skip..]);
+        self.staged.push(seg.payload.slice(skip..));
         self.tcb.rcv_nxt = end;
         vec![self.make_ack()]
     }
@@ -215,8 +264,13 @@ impl Connection {
         )
     }
 
-    /// Send application data, returning the data segment to transmit.
-    pub fn send(&mut self, data: &[u8]) -> TcpSegment {
+    /// Send application data, returning the data segment to transmit. A
+    /// [`FrameBuf`] argument is forwarded as an O(1) view; `Vec<u8>` and
+    /// `&[u8]` arguments are converted on entry.
+    pub fn send(&mut self, data: impl Into<FrameBuf>) -> TcpSegment {
+        let payload = data.into();
+        // jitsu-lint: allow(N001, "send chunks are MSS-sized, bounded by the u16 wire length field")
+        let len = payload.len() as u32;
         let seg = TcpSegment {
             src_port: self.tcb.local_port,
             dst_port: self.tcb.remote_port,
@@ -224,10 +278,9 @@ impl Connection {
             ack: self.tcb.rcv_nxt,
             flags: TcpFlags::PSH_ACK,
             window: 65535,
-            payload: data.to_vec(),
+            payload,
         };
-        // jitsu-lint: allow(N001, "send chunks are MSS-sized, bounded by the u16 wire length field")
-        self.tcb.snd_nxt = self.tcb.snd_nxt.wrapping_add(data.len() as u32);
+        self.tcb.snd_nxt = self.tcb.snd_nxt.wrapping_add(len);
         seg
     }
 
@@ -312,6 +365,18 @@ mod tests {
     }
 
     #[test]
+    fn single_segment_delivery_shares_the_segment_allocation() {
+        let (mut client, mut server) = handshake();
+        let request = client.send(b"GET / HTTP/1.1\r\n\r\n");
+        server.on_segment(&request);
+        let received = server.take_received();
+        assert!(
+            received.shares_allocation(&request.payload),
+            "in-order single-segment delivery is a view, not a copy"
+        );
+    }
+
+    #[test]
     fn listener_ignores_non_syn() {
         let mut listener = Listener::new(SERVER_IP, 80, 7);
         let ack = TcpSegment::control(51000, 80, 5, 5, TcpFlags::ACK);
@@ -369,8 +434,9 @@ mod tests {
         let request = client.send(b"GET / HTTP/1.1\r\n\r\n");
         proxy_side.on_segment(&request);
 
-        // Serialise through the XenStore format and adopt.
-        let sexp = proxy_side.tcb.to_sexp();
+        // Serialise through the XenStore format and adopt. The snapshot
+        // flattens the staged delivery views back into `buffered`.
+        let sexp = proxy_side.tcb_snapshot().to_sexp();
         let adopted_tcb = Tcb::from_sexp(&sexp).unwrap();
         let mut unikernel_side = Connection::from_tcb(adopted_tcb);
         assert!(unikernel_side.is_established());
@@ -431,7 +497,7 @@ mod tests {
         // A retransmission that re-covers "cde" and extends with "fgh":
         // only the unseen suffix may enter the stream.
         let overlap = TcpSegment {
-            payload: b"cdefgh".to_vec(),
+            payload: FrameBuf::copy_from_slice(b"cdefgh"),
             ..TcpSegment::control(
                 first.src_port,
                 first.dst_port,

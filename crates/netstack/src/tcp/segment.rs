@@ -1,5 +1,6 @@
 //! TCP segment parsing and construction.
 
+use crate::buf::FrameBuf;
 use crate::checksum;
 use crate::ipv4::Ipv4Addr;
 use crate::{NetError, Result};
@@ -108,8 +109,8 @@ pub struct TcpSegment {
     pub flags: TcpFlags,
     /// Advertised receive window.
     pub window: u16,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes: a view into the received frame's shared buffer.
+    pub payload: FrameBuf,
 }
 
 impl TcpSegment {
@@ -128,7 +129,7 @@ impl TcpSegment {
             ack,
             flags,
             window: 65535,
-            payload: Vec::new(),
+            payload: FrameBuf::empty(),
         }
     }
 
@@ -139,8 +140,9 @@ impl TcpSegment {
         self.payload.len() as u32 + u32::from(self.flags.syn) + u32::from(self.flags.fin)
     }
 
-    /// Parse and verify from wire bytes.
-    pub fn parse(buf: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<TcpSegment> {
+    /// Parse and verify from wire bytes. The payload is an O(1) view
+    /// sharing `buf`'s allocation — no bytes are copied.
+    pub fn parse(buf: &FrameBuf, src: Ipv4Addr, dst: Ipv4Addr) -> Result<TcpSegment> {
         if buf.len() < HEADER_LEN {
             return Err(NetError::Truncated {
                 layer: "tcp",
@@ -167,12 +169,12 @@ impl TcpSegment {
             ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
             flags: TcpFlags::from_bits(buf[13]),
             window: u16::from_be_bytes([buf[14], buf[15]]),
-            payload: buf[data_offset..].to_vec(),
+            payload: buf.slice(data_offset..),
         })
     }
 
     /// Serialise to wire bytes with a valid checksum.
-    pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+    pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr) -> FrameBuf {
         let len = HEADER_LEN + self.payload.len();
         let mut out = vec![0u8; len];
         out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
@@ -187,7 +189,7 @@ impl TcpSegment {
         let ph = checksum::pseudo_header(src.0, dst.0, 6, len as u16);
         let c = checksum::finish(checksum::partial(ph, &out));
         out[16..18].copy_from_slice(&c.to_be_bytes());
-        out
+        FrameBuf::from_vec(out)
     }
 }
 
@@ -223,11 +225,12 @@ mod tests {
             ack: 0x8765_4321,
             flags: TcpFlags::PSH_ACK,
             window: 29200,
-            payload: b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+            payload: FrameBuf::copy_from_slice(b"GET / HTTP/1.1\r\n\r\n"),
         };
         let bytes = seg.emit(SRC, DST);
         let parsed = TcpSegment::parse(&bytes, SRC, DST).unwrap();
         assert_eq!(parsed, seg);
+        assert!(parsed.payload.shares_allocation(&bytes));
     }
 
     #[test]
@@ -244,14 +247,14 @@ mod tests {
     #[test]
     fn corrupted_payload_detected() {
         let seg = TcpSegment {
-            payload: b"data".to_vec(),
+            payload: FrameBuf::copy_from_slice(b"data"),
             ..TcpSegment::control(1, 2, 3, 4, TcpFlags::PSH_ACK)
         };
-        let mut bytes = seg.emit(SRC, DST);
+        let mut bytes = seg.emit(SRC, DST).to_vec();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xff;
         assert_eq!(
-            TcpSegment::parse(&bytes, SRC, DST),
+            TcpSegment::parse(&bytes.into(), SRC, DST),
             Err(NetError::BadChecksum("tcp"))
         );
     }
@@ -263,7 +266,7 @@ mod tests {
         let fin = TcpSegment::control(1, 2, 100, 0, TcpFlags::FIN_ACK);
         assert_eq!(fin.seq_len(), 1);
         let data = TcpSegment {
-            payload: vec![0; 10],
+            payload: vec![0; 10].into(),
             ..TcpSegment::control(1, 2, 100, 0, TcpFlags::ACK)
         };
         assert_eq!(data.seq_len(), 10);
@@ -274,14 +277,14 @@ mod tests {
     #[test]
     fn truncation_and_bad_offset_rejected() {
         assert!(matches!(
-            TcpSegment::parse(&[0; 10], SRC, DST),
+            TcpSegment::parse(&FrameBuf::copy_from_slice(&[0; 10]), SRC, DST),
             Err(NetError::Truncated { .. })
         ));
         let seg = TcpSegment::control(1, 2, 3, 4, TcpFlags::ACK);
-        let mut bytes = seg.emit(SRC, DST);
+        let mut bytes = seg.emit(SRC, DST).to_vec();
         bytes[12] = 0x30; // data offset 12 bytes < 20
         assert!(matches!(
-            TcpSegment::parse(&bytes, SRC, DST),
+            TcpSegment::parse(&bytes.into(), SRC, DST),
             Err(NetError::Malformed { .. })
         ));
     }

@@ -1,5 +1,6 @@
 //! UDP datagrams (DNS transport for the Jitsu directory service).
 
+use crate::buf::FrameBuf;
 use crate::checksum;
 use crate::ipv4::Ipv4Addr;
 use crate::{NetError, Result};
@@ -14,24 +15,25 @@ pub struct UdpDatagram {
     pub src_port: u16,
     /// Destination port.
     pub dst_port: u16,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes: a view into the received frame's shared buffer.
+    pub payload: FrameBuf,
 }
 
 impl UdpDatagram {
     /// Construct a datagram.
-    pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> UdpDatagram {
+    pub fn new(src_port: u16, dst_port: u16, payload: impl Into<FrameBuf>) -> UdpDatagram {
         UdpDatagram {
             src_port,
             dst_port,
-            payload,
+            payload: payload.into(),
         }
     }
 
     /// Parse from wire bytes, verifying the checksum against the IPv4
     /// pseudo-header (a zero checksum means "not computed" and is accepted,
-    /// per the RFC).
-    pub fn parse(buf: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<UdpDatagram> {
+    /// per the RFC). The payload is an O(1) view sharing `buf`'s
+    /// allocation.
+    pub fn parse(buf: &FrameBuf, src: Ipv4Addr, dst: Ipv4Addr) -> Result<UdpDatagram> {
         if buf.len() < HEADER_LEN {
             return Err(NetError::Truncated {
                 layer: "udp",
@@ -58,12 +60,12 @@ impl UdpDatagram {
         Ok(UdpDatagram {
             src_port: u16::from_be_bytes([buf[0], buf[1]]),
             dst_port: u16::from_be_bytes([buf[2], buf[3]]),
-            payload: buf[HEADER_LEN..length].to_vec(),
+            payload: buf.slice(HEADER_LEN..length),
         })
     }
 
     /// Serialise with a checksum computed over the IPv4 pseudo-header.
-    pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr) -> Vec<u8> {
+    pub fn emit(&self, src: Ipv4Addr, dst: Ipv4Addr) -> FrameBuf {
         // jitsu-lint: allow(N001, "payloads are MTU-bounded (≤1500 bytes), so header + payload is far below 65536")
         let length = (HEADER_LEN + self.payload.len()) as u16;
         let mut out = vec![0u8; length as usize];
@@ -77,7 +79,7 @@ impl UdpDatagram {
             c = 0xffff; // 0 is reserved for "no checksum"
         }
         out[6..8].copy_from_slice(&c.to_be_bytes());
-        out
+        FrameBuf::from_vec(out)
     }
 }
 
@@ -109,10 +111,10 @@ mod tests {
     #[test]
     fn zero_checksum_is_accepted() {
         let d = UdpDatagram::new(5, 6, b"x".to_vec());
-        let mut bytes = d.emit(SRC, DST);
+        let mut bytes = d.emit(SRC, DST).to_vec();
         bytes[6] = 0;
         bytes[7] = 0;
-        let parsed = UdpDatagram::parse(&bytes, SRC, DST).unwrap();
+        let parsed = UdpDatagram::parse(&bytes.into(), SRC, DST).unwrap();
         assert_eq!(parsed.payload, b"x");
     }
 
@@ -121,11 +123,11 @@ mod tests {
         let d = UdpDatagram::new(5, 6, vec![0; 32]);
         let bytes = d.emit(SRC, DST);
         assert!(matches!(
-            UdpDatagram::parse(&bytes[..10], SRC, DST),
+            UdpDatagram::parse(&bytes.slice(..10), SRC, DST),
             Err(NetError::Truncated { .. })
         ));
         assert!(matches!(
-            UdpDatagram::parse(&[0; 4], SRC, DST),
+            UdpDatagram::parse(&FrameBuf::copy_from_slice(&[0; 4]), SRC, DST),
             Err(NetError::Truncated { .. })
         ));
     }

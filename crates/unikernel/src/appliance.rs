@@ -9,6 +9,7 @@
 
 use jitsu_sim::{SimDuration, SimRng};
 use netstack::http::{HttpRequest, HttpResponse};
+use netstack::FrameBuf;
 use platform::StorageDevice;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -28,7 +29,9 @@ pub trait Appliance: std::fmt::Debug {
 #[derive(Debug, Clone)]
 pub struct StaticSiteAppliance {
     name: String,
-    pages: BTreeMap<String, Vec<u8>>,
+    /// Page bodies as shared buffers: serving a page hands the response an
+    /// O(1) view instead of cloning the body per request.
+    pages: BTreeMap<String, FrameBuf>,
     requests_served: u64,
 }
 
@@ -39,8 +42,10 @@ impl StaticSiteAppliance {
         let mut pages = BTreeMap::new();
         pages.insert(
             "/".to_string(),
-            format!("<html><body><h1>{name}</h1><p>served by a unikernel</p></body></html>")
-                .into_bytes(),
+            FrameBuf::from_vec(
+                format!("<html><body><h1>{name}</h1><p>served by a unikernel</p></body></html>")
+                    .into_bytes(),
+            ),
         );
         StaticSiteAppliance {
             name,
@@ -50,8 +55,8 @@ impl StaticSiteAppliance {
     }
 
     /// Add a page.
-    pub fn add_page(&mut self, path: &str, body: Vec<u8>) {
-        self.pages.insert(path.to_string(), body);
+    pub fn add_page(&mut self, path: &str, body: impl Into<FrameBuf>) {
+        self.pages.insert(path.to_string(), body.into());
     }
 
     /// Number of requests served so far.
@@ -68,8 +73,8 @@ impl Appliance for StaticSiteAppliance {
     fn handle(&mut self, request: &HttpRequest, _rng: &mut SimRng) -> (HttpResponse, SimDuration) {
         self.requests_served += 1;
         let response = match self.pages.get(&request.path) {
-            Some(body) if request.method == "GET" => HttpResponse::ok(body.clone()),
-            Some(_) => HttpResponse::with_status(405, "Method Not Allowed", Vec::new()),
+            Some(body) if request.method == "GET" => HttpResponse::ok(body),
+            Some(_) => HttpResponse::with_status(405, "Method Not Allowed", FrameBuf::empty()),
             None => HttpResponse::not_found(),
         };
         // Serving from the OCaml heap costs microseconds.
@@ -141,7 +146,7 @@ impl Appliance for QueueAppliance {
                 self.items.push_back(size);
                 let io = self.backing.write_time(size, rng);
                 (
-                    HttpResponse::with_status(201, "Created", b"queued\n".to_vec()),
+                    HttpResponse::with_status(201, "Created", b"queued\n"),
                     io + SimDuration::from_micros(300),
                 )
             }
@@ -159,12 +164,12 @@ impl Appliance for QueueAppliance {
                     )
                 }
                 None => (
-                    HttpResponse::with_status(204, "No Content", Vec::new()),
+                    HttpResponse::with_status(204, "No Content", FrameBuf::empty()),
                     SimDuration::from_micros(100),
                 ),
             },
             _ => (
-                HttpResponse::with_status(405, "Method Not Allowed", Vec::new()),
+                HttpResponse::with_status(405, "Method Not Allowed", FrameBuf::empty()),
                 SimDuration::from_micros(100),
             ),
         }
@@ -218,7 +223,7 @@ mod tests {
                 method: "DELETE".into(),
                 path: "/q".into(),
                 headers: Default::default(),
-                body: Vec::new(),
+                body: FrameBuf::empty(),
             },
             &mut r,
         );

@@ -49,13 +49,14 @@ fn main() {
     let cases: Vec<(&str, bool)> = vec![
         (
             "truncated IPv4 header",
-            Ipv4Packet::parse(&[0x45, 0, 0]).is_err(),
+            Ipv4Packet::parse(&(&[0x45u8, 0, 0]).into()).is_err(),
         ),
         ("TCP segment with corrupt checksum", {
             let mut seg = TcpSegment::control(1, 80, 1, 0, jitsu_repro::netstack::TcpFlags::SYN)
-                .emit(src, dst);
+                .emit(src, dst)
+                .to_vec();
             seg[16] ^= 0xff;
-            TcpSegment::parse(&seg, src, dst).is_err()
+            TcpSegment::parse(&seg.into(), src, dst).is_err()
         }),
         ("DNS message with a compression bomb pointer", {
             let mut q = DnsMessage::query(1, "legit.family.name").emit();
@@ -64,7 +65,7 @@ fn main() {
         }),
         (
             "HTTP request line from a fuzzer",
-            HttpRequest::parse(b"\x00\x01\x02GET\x00/ HTTP/9.9\r\n\r\n").is_err(),
+            HttpRequest::parse(&b"\x00\x01\x02GET\x00/ HTTP/9.9\r\n\r\n".into()).is_err(),
         ),
     ];
     for (what, rejected) in &cases {

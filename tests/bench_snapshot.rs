@@ -71,6 +71,7 @@ fn golden_schema_every_metric_carries_the_full_field_set() {
         "xenstore_commit",
         "xenstore_snapshot",
         "vchan",
+        "frame_path",
         "handoff",
         "cold_start",
     ] {

@@ -116,6 +116,34 @@ fn storm_migrates_over_100_connections_with_zero_drop_zero_dup() {
     assert_eq!(a.latency_count as u64, a.cold_served);
 }
 
+/// Golden counters for seed `0x4A0D`, pinned when the zero-copy frame path
+/// landed: the `FrameBuf` refactor threads shared views from the bridge to
+/// the unikernel, and this test proves the migrated-byte accounting did not
+/// move by a single connection, byte or event in the process. If a future
+/// change shifts these numbers it must be a deliberate behavioural change,
+/// re-pinned in review — never an accidental side effect of buffer plumbing.
+#[test]
+fn storm_counters_match_the_pre_zero_copy_golden_values() {
+    let a = run_storm();
+    let golden = (
+        a.queries,
+        a.cold_served,
+        a.warm_hits,
+        a.migrated,
+        a.queued_prepare,
+        a.replayed,
+        a.completed,
+        a.dropped_bytes,
+        a.duplicated_bytes,
+        a.events,
+    );
+    assert_eq!(
+        golden,
+        (462, 147, 315, 146, 0, 0, 147, 0, 0, 1407),
+        "handoff storm counters moved for seed {SEED:#x}"
+    );
+}
+
 #[test]
 fn handoff_storm_is_deterministic_under_a_fixed_seed() {
     let a = run_storm();

@@ -63,12 +63,12 @@ proptest! {
         corrupt_at in 0usize..20, flip in 1u8..=255)
     {
         let packet = Ipv4Packet::new(src, dst, Protocol::Tcp, payload);
-        let mut bytes = packet.emit();
+        let mut bytes = packet.emit().to_vec();
         bytes[corrupt_at] ^= flip;
         // Either the parse fails (checksum/shape) or — if the corrupted field
         // was one the parser does not interpret strictly (e.g. flags) — the
         // parse succeeds; it must never panic.
-        let _ = Ipv4Packet::parse(&bytes);
+        let _ = Ipv4Packet::parse(&bytes.into());
     }
 
     #[test]
@@ -84,7 +84,7 @@ proptest! {
                                dport in 1u16..=65535, seq in any::<u32>(), ack in any::<u32>(),
                                payload in proptest::collection::vec(any::<u8>(), 0..256)) {
         let seg = TcpSegment { src_port: sport, dst_port: dport, seq, ack,
-                               flags: TcpFlags::PSH_ACK, window: 8192, payload };
+                               flags: TcpFlags::PSH_ACK, window: 8192, payload: payload.into() };
         let parsed = TcpSegment::parse(&seg.emit(src, dst), src, dst).unwrap();
         prop_assert_eq!(parsed, seg);
     }
@@ -100,7 +100,7 @@ proptest! {
         // The 5 flag bits encode losslessly.
         prop_assert_eq!(flags.to_bits(), flag_bits);
         let seg = TcpSegment { src_port: sport, dst_port: dport, seq, ack, flags, window,
-                               payload };
+                               payload: payload.into() };
         let parsed = TcpSegment::parse(&seg.emit(src, dst), src, dst).unwrap();
         prop_assert_eq!(&parsed, &seg);
         prop_assert_eq!(parsed.seq_len(),
@@ -127,16 +127,16 @@ proptest! {
         // Splitting one segment into two (second seq advanced by the first
         // chunk's length) yields two independently checksum-valid segments
         // whose payloads reassemble into the original bytes.
-        let first = TcpSegment { payload: payload[..k].to_vec(),
+        let first = TcpSegment { payload: payload[..k].into(),
                                  ..TcpSegment::control(49152, 80, seq, 1, TcpFlags::ACK) };
-        let second = TcpSegment { payload: payload[k..].to_vec(),
+        let second = TcpSegment { payload: payload[k..].into(),
                                   ..TcpSegment::control(49152, 80,
                                                         seq.wrapping_add(k as u32), 1,
                                                         TcpFlags::PSH_ACK) };
         let a = TcpSegment::parse(&first.emit(src, dst), src, dst).unwrap();
         let b = TcpSegment::parse(&second.emit(src, dst), src, dst).unwrap();
         prop_assert_eq!(b.seq.wrapping_sub(a.seq) as usize, a.payload.len());
-        let mut reassembled = a.payload.clone();
+        let mut reassembled = a.payload.to_vec();
         reassembled.extend_from_slice(&b.payload);
         prop_assert_eq!(reassembled, payload);
     }
@@ -184,13 +184,14 @@ proptest! {
     #[test]
     fn parsers_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256),
                                       src in arb_ipv4(), dst in arb_ipv4()) {
-        let _ = Ipv4Packet::parse(&bytes);
-        let _ = TcpSegment::parse(&bytes, src, dst);
-        let _ = UdpDatagram::parse(&bytes, src, dst);
-        let _ = IcmpEcho::parse(&bytes);
-        let _ = DnsMessage::parse(&bytes);
-        let _ = HttpRequest::parse(&bytes);
-        let _ = HttpResponse::parse(&bytes);
+        let buf = jitsu_repro::netstack::FrameBuf::from_vec(bytes);
+        let _ = Ipv4Packet::parse(&buf);
+        let _ = TcpSegment::parse(&buf, src, dst);
+        let _ = UdpDatagram::parse(&buf, src, dst);
+        let _ = IcmpEcho::parse(&buf);
+        let _ = DnsMessage::parse(&buf);
+        let _ = HttpRequest::parse(&buf);
+        let _ = HttpResponse::parse(&buf);
     }
 
     // ---------------- TCP sequence arithmetic ----------------------------
@@ -235,7 +236,7 @@ proptest! {
         let mut sent = Vec::new();
         let mut segments = Vec::new();
         for chunk in &chunks {
-            let seg = client.send(chunk);
+            let seg = client.send(&chunk[..]);
             server.on_segment(&seg);
             segments.push(seg);
             sent.extend_from_slice(chunk);
@@ -265,7 +266,7 @@ proptest! {
 
         // A stale ACK captured before the data is sent…
         let stale = TcpSegment::control(80, 51000, server.tcb.snd_nxt, server.tcb.rcv_nxt, TcpFlags::ACK);
-        let seg = client.send(&payload);
+        let seg = client.send(&payload[..]);
         let responses = server.on_segment(&seg);
         client.on_segment(&responses[0]);
         // …the post-wrap cumulative ACK landed:
@@ -539,13 +540,13 @@ proptest! {
                 match pair.write(Side::Client, &chunk[offset..], &mut evtchn) {
                     Ok(n) => offset += n,
                     Err(_) => {
-                        received.extend(pair.read(Side::Server, usize::MAX).unwrap());
+                        received.extend_from_slice(&pair.read(Side::Server, usize::MAX).unwrap());
                     }
                 }
             }
             sent.extend_from_slice(chunk);
         }
-        received.extend(pair.read(Side::Server, usize::MAX).unwrap());
+        received.extend_from_slice(&pair.read(Side::Server, usize::MAX).unwrap());
         prop_assert_eq!(received, sent);
     }
 }

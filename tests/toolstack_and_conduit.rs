@@ -196,7 +196,7 @@ fn unikernel_instances_serve_http_over_simulated_bridge_frames() {
         .tcp_send(
             (service_ip, 80),
             49152,
-            &HttpRequest::get("/", "docs.family.name").emit(),
+            HttpRequest::get("/", "docs.family.name").emit(),
         )
         .unwrap();
     let (frames, _) = instance.handle_frame(&req);
@@ -209,7 +209,7 @@ fn unikernel_instances_serve_http_over_simulated_bridge_frames() {
             }
         }
     }
-    let response = HttpResponse::parse(&body).unwrap().unwrap();
+    let response = HttpResponse::parse(&body.into()).unwrap().unwrap();
     assert_eq!(response.status, 200);
     assert!(String::from_utf8_lossy(&response.body).contains("docs.family.name"));
 }
