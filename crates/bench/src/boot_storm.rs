@@ -22,9 +22,10 @@
 //! Everything is scheduled on the deterministic `jitsu_sim` engine, so a
 //! fixed seed reproduces the storm byte for byte.
 
+use crate::fleet::{board_seed, FLEET_EPOCH};
 use jitsu::concurrent::ConcurrentJitsud;
 use jitsu::config::{JitsuConfig, ServiceConfig};
-use jitsu_sim::{SimDuration, SimRng, SimTime, Table};
+use jitsu_sim::{DomainId, ShardedSim, SimDuration, SimRng, SimTime, Table};
 use netstack::ipv4::Ipv4Addr;
 use platform::BoardKind;
 
@@ -139,6 +140,27 @@ fn host_config(cfg: &StormConfig) -> JitsuConfig {
     host
 }
 
+/// The Poisson arrival times and service names of one board's storm, a
+/// pure function of `(cfg, seed)` — shared between the flat single-board
+/// run and every board of a fleet so the two agree bit-for-bit.
+fn arrivals(cfg: &StormConfig, seed: u64) -> Vec<(SimTime, String)> {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xB007_5708);
+    let mean_gap = 1.0 / cfg.rate_per_sec;
+    let window = cfg.duration.as_secs_f64();
+    let mut t = 0.0;
+    let mut out = Vec::new();
+    loop {
+        t += rng.exponential(mean_gap);
+        if t >= window {
+            break;
+        }
+        let service = rng.index(cfg.services);
+        let name = format!("svc{service:03}.storm.example");
+        out.push((SimTime::ZERO + SimDuration::from_secs_f64(t), name));
+    }
+    out
+}
+
 /// Run one storm cell to quiescence and collect its metrics.
 pub fn run_storm(cfg: &StormConfig) -> StormResult {
     let board = BoardKind::Cubieboard2.board();
@@ -148,29 +170,19 @@ pub fn run_storm(cfg: &StormConfig) -> StormResult {
     // offered rate, each query aimed at a uniformly random service. The
     // arrival process never waits for the system (that is what makes the
     // overload regimes visible).
-    let mut rng = SimRng::seed_from_u64(cfg.seed ^ 0xB007_5708);
-    let mean_gap = 1.0 / cfg.rate_per_sec;
-    let window = cfg.duration.as_secs_f64();
-    let mut t = 0.0;
-    loop {
-        t += rng.exponential(mean_gap);
-        if t >= window {
-            break;
-        }
-        let service = rng.index(cfg.services);
-        let name = format!("svc{service:03}.storm.example");
-        ConcurrentJitsud::inject_query(
-            &mut sim,
-            SimTime::ZERO + SimDuration::from_secs_f64(t),
-            &name,
-        );
+    for (at, name) in arrivals(cfg, cfg.seed) {
+        ConcurrentJitsud::inject_query(&mut sim, at, &name);
     }
     // Drain: every in-flight boot completes, every idle unikernel is
     // reaped, and the event queue empties.
     sim.run();
+    collect_result(cfg, sim.world())
+}
 
-    let xs = sim.world().xenstore_stats();
-    let m = sim.world().metrics();
+/// Build a cell's [`StormResult`] from a finished world (flat or fleet).
+fn collect_result(cfg: &StormConfig, world: &ConcurrentJitsud) -> StormResult {
+    let xs = world.xenstore_stats();
+    let m = world.metrics();
     let tail = m.ttfb.percentiles_ms(&[50.0, 95.0, 99.0]);
     StormResult {
         label: cfg.label,
@@ -247,6 +259,145 @@ pub fn table(seed: u64) -> Table {
             format!("{:.1}", r.p50_ms),
             format!("{:.1}", r.p95_ms),
             format!("{:.1}", r.p99_ms),
+        ]);
+    }
+    table
+}
+
+/// The outcome of one storm cell run as a fleet of boards on the sharded
+/// engine: per-board results plus fleet-wide fail-over and engine counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStormResult {
+    /// Per-board cell results, in board-id order.
+    pub boards: Vec<StormResult>,
+    /// `SERVFAIL`ed queries forwarded to a peer board at an epoch barrier.
+    pub failovers: u64,
+    /// Queries dropped after every board in the ring refused them.
+    pub failover_dropped: u64,
+    /// Total events executed by the sharded engine (shard-count-invariant).
+    pub events: u64,
+    /// Epoch barriers processed (shard-count-invariant).
+    pub barriers: u64,
+}
+
+/// Run one cell as a fleet of `boards` boards at `shards` shards.
+///
+/// Each board gets its own world and its own arrival stream (derived from
+/// [`board_seed`], so board 0 of a 1-board fleet reproduces [`run_storm`]
+/// bit-for-bit), and `SERVFAIL`ed queries fail over around the board ring
+/// at epoch barriers. The result is invariant in `shards` — the CI
+/// shard-invariance gate diffs rendered outputs at 1 and 4 shards.
+pub fn run_fleet(cfg: &StormConfig, boards: u32, shards: u32) -> FleetStormResult {
+    let boards = boards.max(1);
+    let mut sim = ShardedSim::new(shards, FLEET_EPOCH);
+    for b in 0..boards {
+        let seed = board_seed(cfg.seed, b);
+        let mut host = host_config(cfg);
+        // A single standalone board keeps fail-over off so its behaviour
+        // is bit-identical to the classic flat-engine run.
+        host.failover = boards > 1;
+        let mut world = ConcurrentJitsud::world(host, BoardKind::Cubieboard2.board(), seed);
+        world.set_failover_hops(boards - 1);
+        sim.add_domain(world, seed);
+    }
+    for b in 0..boards {
+        for (at, name) in arrivals(cfg, board_seed(cfg.seed, b)) {
+            jitsu::fleet::inject_query(&mut sim, DomainId(b), at, &name);
+        }
+    }
+    sim.run();
+    let events = sim.events_executed();
+    let barriers = sim.barriers();
+    let worlds = sim.into_worlds();
+    FleetStormResult {
+        failovers: worlds.iter().map(|w| w.metrics().failovers).sum(),
+        failover_dropped: worlds.iter().map(|w| w.metrics().failover_dropped).sum(),
+        boards: worlds.iter().map(|w| collect_result(cfg, w)).collect(),
+        events,
+        barriers,
+    }
+}
+
+/// The fleet sweep: one slot-bound and one memory-bound cell (the latter is
+/// where `SERVFAIL` fail-over between boards actually fires), shortened to
+/// a 10 s window per board.
+pub fn fleet_sweep(seed: u64) -> Vec<StormConfig> {
+    let mut slot = StormConfig::slot_bound(8.0, 2, seed);
+    slot.duration = SimDuration::from_secs(10);
+    let mut memory = StormConfig::memory_bound(60, seed);
+    memory.duration = SimDuration::from_secs(10);
+    // Heavier images than the classic cell: each board exhausts its
+    // 832 MiB of guest memory inside the shortened window, so the
+    // fail-over ring actually carries traffic in the fleet report.
+    memory.service_mib = 48;
+    vec![slot, memory]
+}
+
+/// Render the fleet sweep as a report table: one row per board plus a
+/// `TOTAL` row per cell. Deliberately *not* a function of the shard count —
+/// the CI shard-invariance gate diffs this output byte-for-byte across
+/// shard counts.
+pub fn fleet_table(seed: u64, boards: u32, shards: u32) -> Table {
+    let mut table = Table::new(
+        "Boot storm fleet: per-board Poisson arrivals, SERVFAIL fail-over around the board ring at 50 ms epoch barriers (Cubieboard2 x N)",
+        &[
+            "regime",
+            "board",
+            "queries",
+            "launches",
+            "cold",
+            "warm",
+            "SERVFAIL",
+            "fo-sent",
+            "fo-drop",
+            "reaps",
+            "events",
+            "barriers",
+        ],
+    );
+    for cfg in fleet_sweep(seed) {
+        let r = run_fleet(&cfg, boards, shards);
+        for (b, br) in r.boards.iter().enumerate() {
+            table.add_row(&[
+                br.label.to_string(),
+                b.to_string(),
+                br.queries.to_string(),
+                br.launches.to_string(),
+                br.cold_served.to_string(),
+                br.warm_hits.to_string(),
+                br.servfails.to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                br.reaps.to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+        }
+        table.add_row(&[
+            cfg.label.to_string(),
+            "TOTAL".to_string(),
+            r.boards.iter().map(|b| b.queries).sum::<u64>().to_string(),
+            r.boards.iter().map(|b| b.launches).sum::<u64>().to_string(),
+            r.boards
+                .iter()
+                .map(|b| b.cold_served)
+                .sum::<u64>()
+                .to_string(),
+            r.boards
+                .iter()
+                .map(|b| b.warm_hits)
+                .sum::<u64>()
+                .to_string(),
+            r.boards
+                .iter()
+                .map(|b| b.servfails)
+                .sum::<u64>()
+                .to_string(),
+            r.failovers.to_string(),
+            r.failover_dropped.to_string(),
+            r.boards.iter().map(|b| b.reaps).sum::<u64>().to_string(),
+            r.events.to_string(),
+            r.barriers.to_string(),
         ]);
     }
     table
@@ -359,5 +510,27 @@ mod tests {
         assert!(r.syn_handoffs > 0);
         assert!(r.syn_handoffs <= r.cold_served);
         assert!(r.reaps > 0, "short TTL must reap between bursts");
+    }
+
+    #[test]
+    fn one_board_fleet_reproduces_the_classic_run() {
+        // board_seed(seed, 0) == seed and fail-over is off for a lone
+        // board, so the sharded engine must reproduce the flat engine
+        // bit-for-bit.
+        let cfg = quick(10.0, 2, 12, 1);
+        let fleet = run_fleet(&cfg, 1, 1);
+        assert_eq!(fleet.boards.len(), 1);
+        assert_eq!(fleet.boards[0], run_storm(&cfg));
+        assert_eq!(fleet.failovers, 0);
+        assert_eq!(fleet.failover_dropped, 0);
+    }
+
+    #[test]
+    fn fleet_counters_are_invariant_across_shard_counts() {
+        let cfg = quick(10.0, 2, 12, 1);
+        let one = run_fleet(&cfg, 3, 1);
+        for shards in [2, 4, 8] {
+            assert_eq!(run_fleet(&cfg, 3, shards), one, "shards={shards}");
+        }
     }
 }

@@ -1,0 +1,98 @@
+//! Shared plumbing for fleet (multi-board) storm experiments.
+//!
+//! Both storm experiments can run as a *fleet*: N boards, each its own
+//! [`jitsu::concurrent::ConcurrentJitsud`] world, executed as domains of a
+//! [`jitsu_sim::ShardedSim`] with `SERVFAIL` fail-over between boards at
+//! epoch barriers (`jitsu::fleet`). The helpers here pin the conventions
+//! that make fleet runs reproducible and shard-count-invariant:
+//!
+//! * **board seeds** derive from the experiment seed and the board id only
+//!   (never the shard), and board 0's seed *is* the experiment seed — so a
+//!   1-board fleet is bit-identical to the classic single-board run;
+//! * **the epoch length** is part of the experiment definition (it decides
+//!   when fail-over retries arrive), fixed here for every fleet experiment.
+
+use jitsu_sim::SimDuration;
+
+/// The virtual-time epoch of every fleet experiment: cross-board fail-over
+/// retries are delivered at the next 50 ms barrier, a plausible DNS
+/// client retry latency and long enough that barrier overhead is noise.
+pub const FLEET_EPOCH: SimDuration = SimDuration::from_millis(50);
+
+/// The RNG seed of one board: board 0 keeps the experiment seed unchanged
+/// (single-board fleets reproduce classic runs bit-for-bit); later boards
+/// spread via the golden-ratio multiplier so their engine and arrival
+/// streams are unrelated.
+pub fn board_seed(seed: u64, board: u32) -> u64 {
+    seed ^ u64::from(board).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Parse the shared storm-binary command line: an optional positional
+/// hexadecimal seed plus `--boards N` and `--shards N` flags, in any
+/// order. Unrecognised arguments and malformed values fall back to the
+/// defaults (`default_seed`, 1 board, 1 shard) — the binaries are
+/// experiment reproducers, not general CLIs.
+pub fn parse_storm_args(default_seed: u64) -> (u64, u32, u32) {
+    parse_args(std::env::args().skip(1), default_seed)
+}
+
+fn parse_args(args: impl Iterator<Item = String>, default_seed: u64) -> (u64, u32, u32) {
+    let mut seed = default_seed;
+    let mut boards = 1u32;
+    let mut shards = 1u32;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--boards" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    boards = n;
+                }
+            }
+            "--shards" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    shards = n;
+                }
+            }
+            s => {
+                if let Ok(v) = u64::from_str_radix(s.trim_start_matches("0x"), 16) {
+                    seed = v;
+                }
+            }
+        }
+    }
+    (seed, boards.max(1), shards.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn board_zero_keeps_the_experiment_seed() {
+        assert_eq!(board_seed(0x4A0D, 0), 0x4A0D);
+        assert_eq!(board_seed(0xB007, 0), 0xB007);
+    }
+
+    #[test]
+    fn args_parse_in_any_order_with_defaults() {
+        let parse = |v: &[&str]| parse_args(v.iter().map(|s| s.to_string()), 0xB007);
+        assert_eq!(parse(&[]), (0xB007, 1, 1));
+        assert_eq!(parse(&["4A0D"]), (0x4A0D, 1, 1));
+        assert_eq!(
+            parse(&["0x4A0D", "--boards", "4", "--shards", "2"]),
+            (0x4A0D, 4, 2)
+        );
+        assert_eq!(parse(&["--shards", "4", "--boards", "3", "1"]), (0x1, 3, 4));
+        assert_eq!(parse(&["--boards", "0"]), (0xB007, 1, 1));
+    }
+
+    #[test]
+    fn board_seeds_are_distinct() {
+        let seeds: Vec<u64> = (0..16).map(|b| board_seed(0x4A0D, b)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -20,9 +20,10 @@
 //! Everything runs on the deterministic `jitsu_sim` engine: a fixed seed
 //! reproduces the storm byte for byte.
 
+use crate::fleet::{board_seed, FLEET_EPOCH};
 use jitsu::concurrent::ConcurrentJitsud;
 use jitsu::config::{JitsuConfig, ServiceConfig};
-use jitsu_sim::{SimDuration, SimRng, SimTime, Table};
+use jitsu_sim::{DomainId, ShardedSim, SimDuration, SimRng, SimTime, Table};
 use netstack::ipv4::Ipv4Addr;
 use platform::BoardKind;
 
@@ -109,15 +110,15 @@ fn host_config(cfg: &HandoffStormConfig) -> JitsuConfig {
     host
 }
 
-/// Run one cell to quiescence and collect its handoff metrics.
-pub fn run_cell(cfg: &HandoffStormConfig) -> HandoffStormResult {
-    let board = BoardKind::Cubieboard2.board();
-    let mut sim = ConcurrentJitsud::sim(host_config(cfg), board, cfg.seed);
-
-    // Open-loop Poisson arrivals, uniformly spread across the services.
-    let mut rng = SimRng::seed_from_u64(cfg.seed ^ 0x4A0D_0FF5);
+/// The open-loop Poisson arrival schedule of one cell (or one board of a
+/// fleet): absolute arrival times and service names, uniformly spread
+/// across the services. A pure function of `(cfg, seed)`, shared by the
+/// flat and fleet runners so a 1-board fleet replays the classic stream.
+fn arrivals(cfg: &HandoffStormConfig, seed: u64) -> Vec<(SimTime, String)> {
+    let mut rng = SimRng::seed_from_u64(seed ^ 0x4A0D_0FF5);
     let mean_gap = 1.0 / cfg.rate_per_sec;
     let window = cfg.duration.as_secs_f64();
+    let mut out = Vec::new();
     let mut t = 0.0;
     loop {
         t += rng.exponential(mean_gap);
@@ -126,16 +127,15 @@ pub fn run_cell(cfg: &HandoffStormConfig) -> HandoffStormResult {
         }
         let service = rng.index(cfg.services);
         let name = format!("svc{service:02}.handoff.example");
-        ConcurrentJitsud::inject_query(
-            &mut sim,
-            SimTime::ZERO + SimDuration::from_secs_f64(t),
-            &name,
-        );
+        out.push((SimTime::ZERO + SimDuration::from_secs_f64(t), name));
     }
-    sim.run();
+    out
+}
 
-    let xs = sim.world().xenstore_stats();
-    let m = sim.world().metrics();
+/// Collect the handoff metrics of one quiesced world into a cell result.
+fn collect_cell(cfg: &HandoffStormConfig, world: &ConcurrentJitsud) -> HandoffStormResult {
+    let xs = world.xenstore_stats();
+    let m = world.metrics();
     let tail = m
         .handoff
         .request_latency
@@ -157,6 +157,135 @@ pub fn run_cell(cfg: &HandoffStormConfig) -> HandoffStormResult {
         xs_merged: xs.merged,
         xs_conflicts: xs.conflicts,
     }
+}
+
+/// Run one cell to quiescence and collect its handoff metrics.
+pub fn run_cell(cfg: &HandoffStormConfig) -> HandoffStormResult {
+    let board = BoardKind::Cubieboard2.board();
+    let mut sim = ConcurrentJitsud::sim(host_config(cfg), board, cfg.seed);
+    for (at, name) in arrivals(cfg, cfg.seed) {
+        ConcurrentJitsud::inject_query(&mut sim, at, &name);
+    }
+    sim.run();
+    collect_cell(cfg, sim.world())
+}
+
+/// The outcome of one handoff-storm cell run as a fleet of boards on the
+/// sharded engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetHandoffResult {
+    /// Per-board cell results, in board-id order.
+    pub boards: Vec<HandoffStormResult>,
+    /// `SERVFAIL`ed queries forwarded to a peer board at an epoch barrier.
+    pub failovers: u64,
+    /// Queries dropped after every board in the ring refused them.
+    pub failover_dropped: u64,
+    /// Total events executed by the sharded engine (shard-count-invariant).
+    pub events: u64,
+    /// Epoch barriers processed (shard-count-invariant).
+    pub barriers: u64,
+}
+
+/// Run one cell as a fleet of `boards` boards at `shards` shards, each
+/// board driving its own arrival stream (seeded via [`board_seed`], so a
+/// 1-board fleet reproduces [`run_cell`] bit-for-bit). The result is
+/// invariant in `shards`.
+pub fn run_fleet(cfg: &HandoffStormConfig, boards: u32, shards: u32) -> FleetHandoffResult {
+    let boards = boards.max(1);
+    let mut sim = ShardedSim::new(shards, FLEET_EPOCH);
+    for b in 0..boards {
+        let seed = board_seed(cfg.seed, b);
+        let mut host = host_config(cfg);
+        host.failover = boards > 1;
+        let mut world = ConcurrentJitsud::world(host, BoardKind::Cubieboard2.board(), seed);
+        world.set_failover_hops(boards - 1);
+        sim.add_domain(world, seed);
+    }
+    for b in 0..boards {
+        for (at, name) in arrivals(cfg, board_seed(cfg.seed, b)) {
+            jitsu::fleet::inject_query(&mut sim, DomainId(b), at, &name);
+        }
+    }
+    sim.run();
+    let events = sim.events_executed();
+    let barriers = sim.barriers();
+    let worlds = sim.into_worlds();
+    FleetHandoffResult {
+        failovers: worlds.iter().map(|w| w.metrics().failovers).sum(),
+        failover_dropped: worlds.iter().map(|w| w.metrics().failover_dropped).sum(),
+        boards: worlds.iter().map(|w| collect_cell(cfg, w)).collect(),
+        events,
+        barriers,
+    }
+}
+
+/// Render a fleet run of the storm cell (`rate 24/s, 2 slots`) as a report
+/// table: one row per board plus a `TOTAL` row. Deliberately *not* a
+/// function of the shard count — the CI shard-invariance gate diffs this
+/// output byte-for-byte across shard counts.
+pub fn fleet_table(seed: u64, boards: u32, shards: u32) -> Table {
+    let mut table = Table::new(
+        "Handoff storm fleet: per-board live-flow migration with SERVFAIL fail-over around the board ring at 50 ms epoch barriers (Cubieboard2 x N)",
+        &[
+            "board",
+            "queries",
+            "launches",
+            "migrated",
+            "replayed",
+            "completed",
+            "dropped B",
+            "dup B",
+            "fo-sent",
+            "fo-drop",
+            "events",
+            "barriers",
+        ],
+    );
+    let cfg = HandoffStormConfig::cell(24.0, 2, seed);
+    let r = run_fleet(&cfg, boards, shards);
+    for (b, br) in r.boards.iter().enumerate() {
+        table.add_row(&[
+            b.to_string(),
+            br.queries.to_string(),
+            br.launches.to_string(),
+            br.migrated.to_string(),
+            br.replayed.to_string(),
+            br.completed.to_string(),
+            br.dropped_bytes.to_string(),
+            br.duplicated_bytes.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    table.add_row(&[
+        "TOTAL".to_string(),
+        r.boards.iter().map(|b| b.queries).sum::<u64>().to_string(),
+        r.boards.iter().map(|b| b.launches).sum::<u64>().to_string(),
+        r.boards.iter().map(|b| b.migrated).sum::<u64>().to_string(),
+        r.boards.iter().map(|b| b.replayed).sum::<u64>().to_string(),
+        r.boards
+            .iter()
+            .map(|b| b.completed)
+            .sum::<u64>()
+            .to_string(),
+        r.boards
+            .iter()
+            .map(|b| b.dropped_bytes)
+            .sum::<u64>()
+            .to_string(),
+        r.boards
+            .iter()
+            .map(|b| b.duplicated_bytes)
+            .sum::<u64>()
+            .to_string(),
+        r.failovers.to_string(),
+        r.failover_dropped.to_string(),
+        r.events.to_string(),
+        r.barriers.to_string(),
+    ]);
+    table
 }
 
 /// The default sweep: arrival rate × launch slots.
@@ -261,5 +390,27 @@ mod tests {
         let a = table(0x4A0D).render();
         let b = table(0x4A0D).render();
         assert_eq!(a, b, "the experiment is a pure function of its seed");
+    }
+
+    #[test]
+    fn one_board_fleet_reproduces_the_classic_cell() {
+        let cfg = quick(12.0, 2);
+        let fleet = run_fleet(&cfg, 1, 1);
+        assert_eq!(fleet.boards.len(), 1);
+        assert_eq!(fleet.boards[0], run_cell(&cfg));
+        assert_eq!(fleet.failovers, 0);
+        assert_eq!(fleet.failover_dropped, 0);
+    }
+
+    #[test]
+    fn fleet_tables_render_identically_at_any_shard_count() {
+        let one = fleet_table(0x4A0D, 2, 1).render();
+        for shards in [2, 4] {
+            assert_eq!(
+                fleet_table(0x4A0D, 2, shards).render(),
+                one,
+                "shards={shards}"
+            );
+        }
     }
 }

@@ -15,6 +15,7 @@ pub mod fig4;
 pub mod fig8;
 pub mod fig9a;
 pub mod fig9b;
+pub mod fleet;
 pub mod handoff_storm;
 pub mod json;
 pub mod snapshot;

@@ -31,7 +31,8 @@ use crate::{handoff_storm, xenstore_storm};
 use conduit::vchan::{Side, VchanPair};
 use jitsu::config::{JitsuConfig, ServiceConfig};
 use jitsu::jitsud::Jitsud;
-use jitsu_sim::{Sim, SimDuration, SimTime};
+use jitsu_sim::shard::{Domain, DomainCtx};
+use jitsu_sim::{DomainId, Scheduler, ShardedSim, Sim, SimDuration, SimTime};
 use netstack::http::{HttpRequest, HttpResponse};
 use netstack::iface::{IfaceEvent, Interface};
 use netstack::ipv4::Ipv4Addr;
@@ -244,6 +245,12 @@ pub struct BenchConfig {
     pub snapshot_clones: u64,
     /// HTTP exchanges driven through the end-to-end frame-path suite.
     pub frame_path_requests: u64,
+    /// Domains in the sharded-engine suite's ring workload.
+    pub sharded_domains: u32,
+    /// Ring messages each domain originates in the sharded-engine suite.
+    pub sharded_messages: u64,
+    /// Hops each ring message makes before it dies (its barrier count).
+    pub sharded_ttl: u64,
 }
 
 impl Default for BenchConfig {
@@ -258,6 +265,9 @@ impl Default for BenchConfig {
             snapshot_sizes: vec![100, 1_000, 10_000, 100_000],
             snapshot_clones: 10_000,
             frame_path_requests: 32,
+            sharded_domains: 32,
+            sharded_messages: 64,
+            sharded_ttl: 16,
         }
     }
 }
@@ -274,6 +284,9 @@ impl BenchConfig {
             snapshot_sizes: vec![100, 1_000],
             snapshot_clones: 100,
             frame_path_requests: 4,
+            sharded_domains: 6,
+            sharded_messages: 8,
+            sharded_ttl: 4,
         }
     }
 }
@@ -387,6 +400,7 @@ fn rate(work: f64, secs: f64) -> f64 {
 pub fn collect(timer: &dyn WallTimer, cfg: &BenchConfig) -> Vec<Metric> {
     let mut out = Vec::new();
     suite_sim_engine(timer, cfg, &mut out);
+    suite_sharded_engine(timer, cfg, &mut out);
     suite_xenstore_commit(timer, cfg, &mut out);
     suite_xenstore_snapshot(timer, cfg, &mut out);
     suite_vchan(timer, cfg, &mut out);
@@ -426,6 +440,109 @@ fn suite_sim_engine(timer: &dyn WallTimer, cfg: &BenchConfig, out: &mut Vec<Metr
         cfg.wall_reps as u64,
         disp,
     ));
+}
+
+/// One domain of the sharded-engine benchmark workload: a ring of domains
+/// exchanging TTL'd messages. Every hop draws from the domain RNG and
+/// folds the draw into an FNV-style checksum, so the `checksum` metric
+/// pins the exact event schedule *and* the exact RNG streams — any
+/// engine change that reorders events or draws shows up as virtual drift.
+struct RingDomain {
+    hops: u64,
+    checksum: u64,
+}
+
+impl Domain for RingDomain {
+    type Msg = u64;
+
+    fn on_message(ctx: &mut DomainCtx<RingDomain>, ttl: u64) {
+        let draw = ctx.rng().uniform_u64(0, 1 << 20);
+        let w = ctx.world_mut();
+        w.hops += 1;
+        w.checksum = w.checksum.wrapping_mul(0x0000_0100_0000_01B3) ^ draw;
+        if ttl > 0 {
+            let next = DomainId((ctx.id().0 + 1) % ctx.domain_count());
+            ctx.send(next, ttl - 1);
+        }
+    }
+}
+
+/// Run the ring workload at `shards` shards, returning
+/// `(events, barriers, checksum)` — all three invariant in `shards`.
+fn run_ring(cfg: &BenchConfig, shards: u32) -> (u64, u64, u64) {
+    let mut sim = ShardedSim::new(shards, SimDuration::from_millis(1));
+    let domains: Vec<DomainId> = (0..cfg.sharded_domains)
+        .map(|d| {
+            sim.add_domain(
+                RingDomain {
+                    hops: 0,
+                    checksum: 0xCBF2_9CE4_8422_2325,
+                },
+                cfg.seed ^ u64::from(d),
+            )
+        })
+        .collect();
+    for (d, id) in domains.iter().enumerate() {
+        for m in 0..cfg.sharded_messages {
+            let at = SimTime::from_micros(1 + m * 37 + d as u64);
+            let ttl = cfg.sharded_ttl;
+            sim.schedule_at(*id, at, move |ctx| {
+                RingDomain::on_message(ctx, ttl);
+            });
+        }
+    }
+    sim.run();
+    let events = sim.events_executed();
+    let barriers = sim.barriers();
+    let checksum = sim
+        .into_worlds()
+        .iter()
+        .fold(0u64, |acc, w| acc.rotate_left(7) ^ w.checksum);
+    (events, barriers, checksum)
+}
+
+/// The sharded engine under a cross-domain ring workload, at 1, 4 and 16
+/// shards. The virtual metrics (events, barriers, checksum) must be
+/// *identical across the three shard counts* — the baseline records the
+/// invariance itself, so any scheduling divergence between shard counts is
+/// drift. The wall metrics track dispatch throughput per shard count.
+fn suite_sharded_engine(timer: &dyn WallTimer, cfg: &BenchConfig, out: &mut Vec<Metric>) {
+    const SUITE: &str = "sharded_engine";
+    for shards in [1u32, 4, 16] {
+        let (events, barriers, checksum) = run_ring(cfg, shards);
+        out.push(Metric::virt(
+            SUITE,
+            &format!("events@{shards}"),
+            "events",
+            events as f64,
+        ));
+        out.push(Metric::virt(
+            SUITE,
+            &format!("barriers@{shards}"),
+            "barriers",
+            barriers as f64,
+        ));
+        // Masked to 48 bits so the checksum survives the f64 metric
+        // representation without rounding.
+        out.push(Metric::virt(
+            SUITE,
+            &format!("checksum@{shards}"),
+            "fold",
+            (checksum & 0xFFFF_FFFF_FFFF) as f64,
+        ));
+        let (secs, disp) = measure(timer, cfg.wall_reps, || {
+            run_ring(cfg, shards);
+        });
+        out.push(Metric::wall(
+            SUITE,
+            &format!("events_per_sec@{shards}"),
+            "events/s",
+            Direction::HigherIsBetter,
+            rate(events as f64, secs),
+            cfg.wall_reps as u64,
+            disp,
+        ));
+    }
 }
 
 /// XenStore commit/merge throughput on the Jitsu merge engine: the

@@ -55,7 +55,9 @@ use crate::synjitsu::Synjitsu;
 use conduit::flows::FlowTable;
 use conduit::rendezvous::ConduitRegistry;
 use conduit::vchan::Side;
-use jitsu_sim::{LatencyRecorder, Sim, SimDuration, SimRng, SimTime, SummaryStats, Tracer};
+use jitsu_sim::{
+    LatencyRecorder, Scheduler, Sim, SimDuration, SimRng, SimTime, SummaryStats, Tracer,
+};
 use netstack::dns::{DnsMessage, Rcode};
 use netstack::ethernet::{EthernetFrame, MacAddr};
 use netstack::http::HttpRequest;
@@ -243,6 +245,12 @@ pub struct StormMetrics {
     /// Queries answered `SERVFAIL` because memory was exhausted (the client
     /// fails over to another board, §3.3.2).
     pub servfails: u64,
+    /// `SERVFAIL`ed queries parked for retry on a peer board (fleet runs
+    /// only; the retry is delivered at the next epoch barrier).
+    pub failovers: u64,
+    /// `SERVFAIL`ed queries with no boards left to try (every board in the
+    /// fleet was exhausted) — the client-visible hard failure count.
+    pub failover_dropped: u64,
     /// Idle unikernels reaped.
     pub reaps: u64,
     /// TCP connections handed from Synjitsu to a freshly booted unikernel.
@@ -312,6 +320,17 @@ pub struct ConcurrentJitsud {
     syn_rto: SimDuration,
     next_client_id: u32,
     seed_counter: u64,
+    /// `SERVFAIL`ed queries waiting for the next epoch barrier, where the
+    /// fleet layer forwards them to a peer board. Each entry carries the
+    /// number of further boards the query may still try.
+    pub(crate) pending_failover: Vec<(String, u32)>,
+    /// Remaining-hops hint for the query currently being handled (set by
+    /// `fleet::on_message` around a forwarded query; `None` for fresh
+    /// arrivals, which start from `failover_hops_default`).
+    pub(crate) failover_hint: Option<u32>,
+    /// How many peer boards a fresh query may fail over to (boards − 1 in a
+    /// fleet; 0 standalone).
+    pub(crate) failover_hops_default: u32,
     /// Event trace (reuses the Figure 6 vocabulary).
     pub tracer: Tracer,
 }
@@ -322,6 +341,13 @@ pub type StormSim = Sim<ConcurrentJitsud>;
 impl ConcurrentJitsud {
     /// Build the world and wrap it in a simulator at time zero.
     pub fn sim(config: JitsuConfig, board: Board, seed: u64) -> StormSim {
+        Sim::new(Self::world(config, board, seed))
+    }
+
+    /// Build the bare world (one board's jitsud). Used directly by the
+    /// sharded fleet, where each board is one [`jitsu_sim::shard::Domain`]
+    /// rather than the owner of its own flat simulator.
+    pub fn world(config: JitsuConfig, board: Board, seed: u64) -> ConcurrentJitsud {
         let mut toolstack = Toolstack::new(board.clone(), config.engine, seed);
         // Synjitsu registers its conduit endpoint up front: every booting
         // unikernel rendezvouses here to drain its proxied connections.
@@ -333,7 +359,7 @@ impl ConcurrentJitsud {
         let launcher = Launcher::new(toolstack, config.boot);
         let directory = DirectoryService::new(config.clone());
         let slots = LaunchSlots::new(config.launch_slots);
-        Sim::new(ConcurrentJitsud {
+        ConcurrentJitsud {
             directory,
             launcher,
             synjitsu: Synjitsu::new(),
@@ -354,13 +380,26 @@ impl ConcurrentJitsud {
             syn_rto: SimDuration::from_secs(1),
             next_client_id: 0,
             seed_counter: seed,
+            pending_failover: Vec::new(),
+            failover_hint: None,
+            failover_hops_default: 0,
             tracer: Tracer::new(),
             config,
-        })
+        }
+    }
+
+    /// Set how many peer boards a fresh `SERVFAIL`ed query may still try
+    /// (boards − 1 in a fleet). The fleet layer calls this at construction.
+    pub fn set_failover_hops(&mut self, hops: u32) {
+        self.failover_hops_default = hops;
     }
 
     /// Schedule a DNS query for `name` to arrive at `at`.
-    pub fn inject_query(sim: &mut StormSim, at: SimTime, name: &str) {
+    pub fn inject_query<S: Scheduler<World = ConcurrentJitsud>>(
+        sim: &mut S,
+        at: SimTime,
+        name: &str,
+    ) {
         let name = name.to_string();
         sim.schedule_at(at, move |sim| Self::on_query(sim, name));
     }
@@ -634,8 +673,10 @@ impl ConcurrentJitsud {
         }
     }
 
-    /// Event: a DNS query for `name` arrives.
-    fn on_query(sim: &mut StormSim, name: String) {
+    /// Event: a DNS query for `name` arrives. Crate-visible so the fleet
+    /// layer (`crate::fleet`) can route failed-over queries into a board's
+    /// domain context directly.
+    pub(crate) fn on_query<S: Scheduler<World = ConcurrentJitsud>>(sim: &mut S, name: String) {
         let now = sim.now();
         let world = sim.world_mut();
         world.metrics.queries += 1;
@@ -667,6 +708,18 @@ impl ConcurrentJitsud {
                     "jitsud",
                     format!("SERVFAIL for {name}: memory exhausted, client fails over"),
                 );
+                // §3.3.2's other half: in a fleet the SERVFAIL makes the
+                // client retry against the next board. Parked here; the
+                // fleet layer forwards it at the next epoch barrier.
+                if world.config.failover {
+                    let hops = world.failover_hint.unwrap_or(world.failover_hops_default);
+                    if hops > 0 {
+                        world.metrics.failovers += 1;
+                        world.pending_failover.push((name, hops - 1));
+                    } else {
+                        world.metrics.failover_dropped += 1;
+                    }
+                }
             }
             DirectoryAction::AlreadyRunning { name } => Self::on_alive_query(sim, name),
             DirectoryAction::Launch { name } => Self::on_admitted(sim, name),
@@ -675,7 +728,7 @@ impl ConcurrentJitsud {
 
     /// A query for a service the directory considers alive (mid-launch or
     /// running) — coalesce or serve warm.
-    fn on_alive_query(sim: &mut StormSim, name: String) {
+    fn on_alive_query<S: Scheduler<World = ConcurrentJitsud>>(sim: &mut S, name: String) {
         let now = sim.now();
         let world = sim.world_mut();
         let client = world.new_client(now);
@@ -730,7 +783,7 @@ impl ConcurrentJitsud {
 
     /// A query the directory admitted for launch: reserve memory, start
     /// Synjitsu proxying, and queue for a launch slot.
-    fn on_admitted(sim: &mut StormSim, name: String) {
+    fn on_admitted<S: Scheduler<World = ConcurrentJitsud>>(sim: &mut S, name: String) {
         let now = sim.now();
         let world = sim.world_mut();
         let svc = world
@@ -775,7 +828,7 @@ impl ConcurrentJitsud {
 
     /// Grant launch slots to queued services, in admission order, for as
     /// long as slots are free.
-    fn dispatch(sim: &mut StormSim) {
+    fn dispatch<S: Scheduler<World = ConcurrentJitsud>>(sim: &mut S) {
         loop {
             let now = sim.now();
             let world = sim.world_mut();
@@ -921,7 +974,7 @@ impl ConcurrentJitsud {
     /// on the serialising engine it aborts with `EAGAIN` and the whole
     /// registration is redone, the "cancel and retry a large set of domain
     /// building RPCs" cost §3.1 describes. Then release the launch slot.
-    fn on_construction_done(sim: &mut StormSim, name: String) {
+    fn on_construction_done<S: Scheduler<World = ConcurrentJitsud>>(sim: &mut S, name: String) {
         let world = sim.world_mut();
         if let Some(tx) = world.boot_txns.remove(&name) {
             let dom = world.dom_of(&name);
@@ -957,7 +1010,7 @@ impl ConcurrentJitsud {
     /// connection record — `Tcb` plus buffered request bytes, serialised
     /// with `to_sexp` — through a vchan. The commit itself runs one handoff
     /// window later, in [`Self::on_commit_handoff`].
-    fn on_network_ready(sim: &mut StormSim, name: String) {
+    fn on_network_ready<S: Scheduler<World = ConcurrentJitsud>>(sim: &mut S, name: String) {
         let now = sim.now();
         let world = sim.world_mut();
         if !world.config.use_synjitsu || !world.synjitsu.is_proxying(&name) {
@@ -1050,7 +1103,7 @@ impl ConcurrentJitsud {
     /// drained connection — replaying buffered requests straight away — and
     /// replays any frames that were parked during the `Prepare` window.
     /// From this moment Synjitsu never touches the service's traffic again.
-    fn on_commit_handoff(sim: &mut StormSim, name: String) {
+    fn on_commit_handoff<S: Scheduler<World = ConcurrentJitsud>>(sim: &mut S, name: String) {
         let now = sim.now();
         let world = sim.world_mut();
         let pending = world
@@ -1144,7 +1197,7 @@ impl ConcurrentJitsud {
 
     /// Event: the application is up — serve the queued clients, enter
     /// `Running`, and arm the idle reaper.
-    fn on_app_ready(sim: &mut StormSim, name: String) {
+    fn on_app_ready<S: Scheduler<World = ConcurrentJitsud>>(sim: &mut S, name: String) {
         let now = sim.now();
         let world = sim.world_mut();
         let Some(Lifecycle::Launching {
@@ -1237,7 +1290,11 @@ impl ConcurrentJitsud {
 
     /// Arm an idle check at `activity_at + TTL`. Stale checks (the service
     /// saw traffic in the meantime, or was already reaped) fizzle.
-    fn schedule_reap_check(sim: &mut StormSim, name: String, activity_at: SimTime) {
+    fn schedule_reap_check<S: Scheduler<World = ConcurrentJitsud>>(
+        sim: &mut S,
+        name: String,
+        activity_at: SimTime,
+    ) {
         let Some(ttl) = sim.world().config.idle_timeout else {
             return;
         };
@@ -1245,7 +1302,7 @@ impl ConcurrentJitsud {
     }
 
     /// Event: an idle check fires.
-    fn on_reap_check(sim: &mut StormSim, name: String) {
+    fn on_reap_check<S: Scheduler<World = ConcurrentJitsud>>(sim: &mut S, name: String) {
         let now = sim.now();
         let world = sim.world_mut();
         let Some(ttl) = world.config.idle_timeout else {
@@ -1276,7 +1333,7 @@ impl ConcurrentJitsud {
 
     /// Event: teardown finished — free the domain and either go idle or
     /// immediately relaunch for clients that arrived mid-drain.
-    fn on_drain_done(sim: &mut StormSim, name: String) {
+    fn on_drain_done<S: Scheduler<World = ConcurrentJitsud>>(sim: &mut S, name: String) {
         let now = sim.now();
         let world = sim.world_mut();
         let Some(Lifecycle::Draining { dom, queued }) = world.services.remove(&name) else {

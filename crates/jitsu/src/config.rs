@@ -77,6 +77,12 @@ pub struct JitsuConfig {
     /// bound, so this defaults to the dom0 core count of the boards used in
     /// the paper).
     pub launch_slots: u32,
+    /// Park memory-exhausted (`SERVFAIL`) queries for fail-over to a peer
+    /// board (§3.3.2: "resource exhaustion is reported as `SERVFAIL` so
+    /// clients fail over to another board"). Only meaningful when the world
+    /// runs as a fleet domain (`jitsu::fleet`); a single standalone board
+    /// leaves this off so its behaviour is bit-identical to earlier PRs.
+    pub failover: bool,
     /// The services this host manages.
     pub services: Vec<ServiceConfig>,
 }
@@ -93,8 +99,15 @@ impl JitsuConfig {
             use_synjitsu: true,
             idle_timeout: Some(SimDuration::from_secs(120)),
             launch_slots: 2,
+            failover: false,
             services: Vec::new(),
         }
+    }
+
+    /// Enable cross-board fail-over of `SERVFAIL`ed queries (fleet runs).
+    pub fn with_failover(mut self) -> JitsuConfig {
+        self.failover = true;
+        self
     }
 
     /// Add a service (builder style).

@@ -32,6 +32,7 @@
 pub mod concurrent;
 pub mod config;
 pub mod directory;
+pub mod fleet;
 pub mod handoff;
 pub mod jitsud;
 pub mod launcher;
@@ -40,6 +41,7 @@ pub mod synjitsu;
 pub use concurrent::{ConcurrentJitsud, Lifecycle, LifecyclePhase, StormMetrics, StormSim};
 pub use config::{JitsuConfig, Protocol, ServiceConfig};
 pub use directory::{DirectoryAction, DirectoryService, ServicePhase};
+pub use fleet::{FleetMsg, FleetSim};
 pub use handoff::{HandoffCoordinator, HandoffPhase};
 pub use jitsud::{ColdStartMode, ColdStartReport, Jitsud, RequestOutcome};
 pub use launcher::{LaunchOutcome, Launcher};

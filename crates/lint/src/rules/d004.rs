@@ -5,6 +5,16 @@
 //! `Mutex`/`RwLock`, because the host scheduler would then influence event
 //! order. Applies only to the sim-logic crates named in the config; the
 //! harness/tooling crates may use real concurrency.
+//!
+//! The *sharded* engine (`jitsu_sim::shard`) does not relax this rule.
+//! Sharding is deterministic scheduling, not threading: shards are executed
+//! sequentially in fixed order inside each virtual-time epoch, domains are
+//! isolated values, and cross-shard messages are delivered only at epoch
+//! barriers in canonical order — which is exactly why an N-shard run is
+//! bit-identical to a 1-shard run. Introducing a real lock or thread into
+//! that loop would hand event ordering back to the host scheduler and
+//! destroy the invariance, so D004 stays enforced over `crates/sim` and
+//! every other sim-logic crate unchanged.
 
 use crate::diagnostics::Diagnostic;
 use crate::lexer::TokenKind;

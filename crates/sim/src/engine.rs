@@ -11,27 +11,32 @@ use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// A boxed event callback.
-type EventFn<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+/// A boxed event callback, generic over the context handed to events.
+///
+/// For the flat engine the context is [`Sim<W>`]; for the sharded engine it
+/// is a per-domain [`crate::shard::DomainCtx`]. Sharing the alias (and the
+/// queue below) keeps the two engines' (time, seq) ordering semantics
+/// identical by construction.
+pub(crate) type EventFn<Ctx> = Box<dyn FnOnce(&mut Ctx)>;
 
-struct Scheduled<W> {
+struct Scheduled<Ctx> {
     at: SimTime,
     seq: u64,
-    run: EventFn<W>,
+    run: EventFn<Ctx>,
 }
 
-impl<W> PartialEq for Scheduled<W> {
+impl<Ctx> PartialEq for Scheduled<Ctx> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
+impl<Ctx> Eq for Scheduled<Ctx> {}
+impl<Ctx> PartialOrd for Scheduled<Ctx> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Scheduled<W> {
+impl<Ctx> Ord for Scheduled<Ctx> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first.
         other
@@ -41,15 +46,108 @@ impl<W> Ord for Scheduled<W> {
     }
 }
 
+/// The ordered event queue shared by [`Sim`] and the sharded engine.
+///
+/// Events pop in `(timestamp, scheduling sequence)` order: time first, ties
+/// broken by the order in which they were scheduled. The queue owns the
+/// sequence counter so every consumer gets the same deterministic tie-break.
+pub(crate) struct EventQueue<Ctx> {
+    heap: BinaryHeap<Scheduled<Ctx>>,
+    seq: u64,
+}
+
+impl<Ctx> EventQueue<Ctx> {
+    pub(crate) fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub(crate) fn push(&mut self, at: SimTime, run: EventFn<Ctx>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, run });
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, EventFn<Ctx>)> {
+        self.heap.pop().map(|e| (e.at, e.run))
+    }
+
+    /// Pop the earliest event only if it fires strictly before `bound`.
+    pub(crate) fn pop_before(&mut self, bound: SimTime) -> Option<(SimTime, EventFn<Ctx>)> {
+        match self.peek_time() {
+            Some(at) if at < bound => self.pop(),
+            _ => None,
+        }
+    }
+}
+
+/// The scheduling surface shared by [`Sim`] and the sharded engine's
+/// per-domain contexts.
+///
+/// System logic written against this trait (for example the
+/// `jitsu::concurrent` lifecycle handlers) runs unchanged on the flat
+/// single-queue engine and on any domain of a [`crate::shard::ShardedSim`]:
+/// the flat `Sim` is literally the 1-shard special case. Implementors must
+/// preserve the engine's determinism contract — events fire in `(time,
+/// scheduling order)` and scheduling in the past clamps to "now".
+pub trait Scheduler: Sized {
+    /// The world type mutated by events.
+    type World;
+
+    /// Current virtual time.
+    fn now(&self) -> SimTime;
+
+    /// Shared access to the world.
+    fn world(&self) -> &Self::World;
+
+    /// Mutable access to the world.
+    fn world_mut(&mut self) -> &mut Self::World;
+
+    /// Schedule `f` to run at absolute time `at`. Scheduling in the past is
+    /// clamped to "now".
+    fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut Self) + 'static;
+
+    /// Schedule `f` to run `delay` after the current time.
+    fn schedule_in<F>(&mut self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&mut Self) + 'static,
+    {
+        let at = self.now() + delay;
+        self.schedule_at(at, f);
+    }
+
+    /// Schedule `f` to run immediately (still after the current event
+    /// finishes, preserving run-to-completion semantics).
+    fn schedule_now<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut Self) + 'static,
+    {
+        let at = self.now();
+        self.schedule_at(at, f);
+    }
+}
+
 /// The discrete-event simulator.
 ///
 /// `W` is the world type: all simulated state lives there and is reachable
 /// from event callbacks through [`Sim::world_mut`].
 pub struct Sim<W> {
     now: SimTime,
-    seq: u64,
     executed: u64,
-    queue: BinaryHeap<Scheduled<W>>,
+    queue: EventQueue<Sim<W>>,
     world: W,
     /// Hard cap on executed events, to catch accidental livelock in tests.
     event_limit: u64,
@@ -60,9 +158,8 @@ impl<W> Sim<W> {
     pub fn new(world: W) -> Self {
         Sim {
             now: SimTime::ZERO,
-            seq: 0,
             executed: 0,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             world,
             event_limit: u64::MAX,
         }
@@ -118,13 +215,7 @@ impl<W> Sim<W> {
         F: FnOnce(&mut Sim<W>) + 'static,
     {
         let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            run: Box::new(f),
-        });
+        self.queue.push(at, Box::new(f));
     }
 
     /// Schedule `f` to run `delay` after the current time.
@@ -150,9 +241,9 @@ impl<W> Sim<W> {
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
             None => false,
-            Some(ev) => {
-                debug_assert!(ev.at >= self.now, "event queue went backwards");
-                self.now = ev.at;
+            Some((at, run)) => {
+                debug_assert!(at >= self.now, "event queue went backwards");
+                self.now = at;
                 self.executed += 1;
                 if self.executed > self.event_limit {
                     // jitsu-lint: allow(P001, "livelock tripwire: exceeding the event limit means the experiment is unsound and must abort")
@@ -161,7 +252,7 @@ impl<W> Sim<W> {
                         self.event_limit
                     );
                 }
-                (ev.run)(self);
+                run(self);
                 true
             }
         }
@@ -187,8 +278,8 @@ impl<W> Sim<W> {
     /// deadline.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let before = self.executed;
-        while let Some(head) = self.queue.peek() {
-            if head.at > deadline {
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
                 break;
             }
             if self.executed >= self.event_limit {
@@ -231,7 +322,30 @@ impl<W> Sim<W> {
 
     /// The timestamp of the next pending event, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|e| e.at)
+        self.queue.peek_time()
+    }
+}
+
+impl<W> Scheduler for Sim<W> {
+    type World = W;
+
+    fn now(&self) -> SimTime {
+        Sim::now(self)
+    }
+
+    fn world(&self) -> &W {
+        Sim::world(self)
+    }
+
+    fn world_mut(&mut self) -> &mut W {
+        Sim::world_mut(self)
+    }
+
+    fn schedule_at<F>(&mut self, at: SimTime, f: F)
+    where
+        F: FnOnce(&mut Self) + 'static,
+    {
+        Sim::schedule_at(self, at, f);
     }
 }
 
@@ -400,6 +514,24 @@ mod tests {
         }
         sim.schedule_now(again);
         sim.run();
+    }
+
+    #[test]
+    fn scheduler_generic_logic_drives_the_flat_engine() {
+        // System logic written against the Scheduler trait (the way
+        // jitsu::concurrent is) must run unchanged on Sim — the flat
+        // engine is the 1-shard special case of the sharded engine.
+        fn chain<S: Scheduler<World = Vec<u64>>>(s: &mut S, n: u64) {
+            let t = s.now().as_millis();
+            s.world_mut().push(t);
+            if n > 0 {
+                s.schedule_in(SimDuration::from_millis(2), move |s| chain(s, n - 1));
+            }
+        }
+        let mut sim = Sim::new(Vec::new());
+        sim.schedule_now(|s| chain(s, 3));
+        sim.run();
+        assert_eq!(sim.world(), &vec![0, 2, 4, 6]);
     }
 
     #[test]

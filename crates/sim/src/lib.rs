@@ -43,14 +43,16 @@ pub mod metrics;
 pub mod report;
 pub mod rng;
 pub mod series;
+pub mod shard;
 pub mod time;
 pub mod trace;
 
 pub use dist::Distribution;
-pub use engine::Sim;
+pub use engine::{Scheduler, Sim};
 pub use metrics::{Cdf, Histogram, LatencyRecorder, SummaryStats};
 pub use report::{Figure, Table};
 pub use rng::SimRng;
 pub use series::{DataPoint, Series};
+pub use shard::{Domain, DomainCtx, DomainId, ShardedSim};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, Tracer};

@@ -64,7 +64,9 @@ pub mod prelude {
     pub use crate::platform::{
         Board, BoardKind, PowerComponent, PowerModel, PowerState, StorageKind,
     };
-    pub use crate::sim::{Sim, SimDuration, SimRng, SimTime};
+    pub use crate::sim::{
+        Domain, DomainCtx, DomainId, Scheduler, ShardedSim, Sim, SimDuration, SimRng, SimTime,
+    };
     pub use crate::unikernel::appliance::{QueueAppliance, StaticSiteAppliance};
     pub use crate::unikernel::image::UnikernelImage;
     pub use crate::xen::toolstack::{BootOptimisations, Toolstack};

@@ -68,6 +68,7 @@ fn golden_schema_every_metric_carries_the_full_field_set() {
         .collect();
     for suite in [
         "sim_engine",
+        "sharded_engine",
         "xenstore_commit",
         "xenstore_snapshot",
         "vchan",

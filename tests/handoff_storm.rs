@@ -144,6 +144,87 @@ fn storm_counters_match_the_pre_zero_copy_golden_values() {
     );
 }
 
+/// Run the identical storm as a one-board fleet on the sharded engine.
+///
+/// `board_seed(seed, 0) == seed` and a lone board keeps fail-over off, so
+/// at *any* shard count this must reproduce [`run_storm`]'s world
+/// bit-for-bit — the flat `Sim` is literally the 1-shard special case.
+fn run_storm_sharded(shards: u32) -> Outcome {
+    let mut sim: ShardedSim<ConcurrentJitsud> =
+        ShardedSim::new(shards, SimDuration::from_millis(50));
+    let world = ConcurrentJitsud::world(storm_config(), BoardKind::Cubieboard2.board(), SEED);
+    let board = sim.add_domain(world, SEED);
+    let mut rng = SimRng::seed_from_u64(SEED ^ 0x4A0D_0FF5);
+    let mut t = 0.0;
+    loop {
+        t += rng.exponential(1.0 / RATE_PER_SEC);
+        if t >= WINDOW_SECS as f64 {
+            break;
+        }
+        let service = rng.index(SERVICES);
+        let name = format!("svc{service:02}.handoff.example");
+        jitsu_repro::jitsu::fleet::inject_query(
+            &mut sim,
+            board,
+            SimTime::ZERO + SimDuration::from_secs_f64(t),
+            &name,
+        );
+    }
+    sim.run();
+    let events = sim.events_executed();
+    let m = sim.domain(board).metrics();
+    Outcome {
+        queries: m.queries,
+        cold_served: m.cold_served,
+        warm_hits: m.warm_hits,
+        servfails: m.servfails,
+        migrated: m.handoff.migrated,
+        queued_prepare: m.handoff.queued_during_prepare,
+        replayed: m.handoff.replayed_after_commit,
+        completed: m.handoff.completed,
+        dropped_bytes: m.handoff.dropped_bytes,
+        duplicated_bytes: m.handoff.duplicated_bytes,
+        latency_count: m.handoff.request_latency.count(),
+        p50_bits: m.handoff.request_latency.p50_ms().to_bits(),
+        p99_bits: m.handoff.request_latency.p99_ms().to_bits(),
+        events,
+    }
+}
+
+/// The PR's acceptance anchor: the sharded engine at 4 shards reproduces
+/// the 1-shard (and flat-engine) golden counters for seed `0x4A0D`
+/// bit-exactly — 462 queries, 146 migrated, 0 dropped, 0 duplicated.
+#[test]
+fn four_shard_storm_reproduces_the_flat_engine_golden_counters() {
+    for shards in [1u32, 4] {
+        let a = run_storm_sharded(shards);
+        let golden = (
+            a.queries,
+            a.cold_served,
+            a.warm_hits,
+            a.migrated,
+            a.queued_prepare,
+            a.replayed,
+            a.completed,
+            a.dropped_bytes,
+            a.duplicated_bytes,
+            a.events,
+        );
+        assert_eq!(
+            golden,
+            (462, 147, 315, 146, 0, 0, 147, 0, 0, 1407),
+            "sharded storm counters moved for seed {SEED:#x} at {shards} shards"
+        );
+    }
+    // And the latency tail, down to the bit, against the flat engine.
+    let flat = run_storm();
+    let sharded = run_storm_sharded(4);
+    assert_eq!(sharded.p50_bits, flat.p50_bits);
+    assert_eq!(sharded.p99_bits, flat.p99_bits);
+    assert_eq!(sharded.latency_count, flat.latency_count);
+    assert_eq!(sharded.servfails, flat.servfails);
+}
+
 #[test]
 fn handoff_storm_is_deterministic_under_a_fixed_seed() {
     let a = run_storm();

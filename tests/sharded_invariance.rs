@@ -1,0 +1,105 @@
+//! Property-based shard-count invariance: for random workloads, domain
+//! counts and shard counts, a [`ShardedSim`] run is bit-for-bit identical
+//! to the 1-shard run — same per-domain event order, same RNG draws, same
+//! final world state, same engine counters.
+//!
+//! This is the tentpole guarantee of the sharded engine stated as a
+//! property over *arbitrary* workloads, complementing the golden-counter
+//! anchor in `tests/handoff_storm.rs` (one real workload, exact values).
+
+use jitsu_repro::prelude::*;
+use proptest::prelude::*;
+
+/// A domain that records everything observable about its execution: the
+/// virtual time, a workload tag and a fresh RNG draw per event, in order.
+/// Two runs are indistinguishable iff these logs are equal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Probe {
+    log: Vec<(u64, u64, u64)>,
+}
+
+impl Domain for Probe {
+    type Msg = (u64, u64);
+
+    fn on_message(ctx: &mut DomainCtx<Probe>, (tag, ttl): (u64, u64)) {
+        let draw = ctx.rng().uniform_u64(0, 1 << 30);
+        let now = ctx.now().as_nanos();
+        ctx.world_mut().log.push((now, tag, draw));
+        if ttl > 0 {
+            // Hop to a tag-dependent peer so message routing itself is
+            // part of the randomized workload.
+            let next =
+                DomainId(((u64::from(ctx.id().0) + tag) % u64::from(ctx.domain_count())) as u32);
+            ctx.send(next, (tag.wrapping_mul(31).wrapping_add(7), ttl - 1));
+        }
+    }
+}
+
+/// One injected stimulus: which domain, when, and a message seed.
+#[derive(Debug, Clone)]
+struct Op {
+    dom: usize,
+    at_ms: u64,
+    tag: u64,
+    ttl: u64,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    any::<[u64; 4]>().prop_map(|[a, b, c, d]| Op {
+        dom: (a % 8) as usize,
+        at_ms: b % 400,
+        tag: c % 1024,
+        ttl: d % 4,
+    })
+}
+
+/// One event as the probe observed it: (virtual time ns, tag, RNG draw).
+type LogEntry = (u64, u64, u64);
+
+/// Run the workload at the given shard count and return everything
+/// observable: per-domain logs, events executed, barrier count.
+fn run(domains: usize, shards: u32, ops: &[Op]) -> (Vec<Vec<LogEntry>>, u64, u64) {
+    let mut sim: ShardedSim<Probe> = ShardedSim::new(shards, SimDuration::from_millis(10));
+    let ids: Vec<DomainId> = (0..domains)
+        .map(|d| sim.add_domain(Probe::default(), 0x5A4D ^ (d as u64) << 8))
+        .collect();
+    for op in ops {
+        let id = ids[op.dom % domains];
+        let (tag, ttl) = (op.tag, op.ttl);
+        sim.schedule_at(id, SimTime::from_millis(op.at_ms), move |ctx| {
+            Probe::on_message(ctx, (tag, ttl));
+        });
+    }
+    sim.run();
+    let events = sim.events_executed();
+    let barriers = sim.barriers();
+    let logs = sim.into_worlds().into_iter().map(|w| w.log).collect();
+    (logs, events, barriers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_workload_is_invariant_across_shard_counts(
+        domains in 1usize..8,
+        ops in proptest::collection::vec(arb_op(), 1..40),
+    ) {
+        let one = run(domains, 1, &ops);
+        for shards in [2u32, 4, 8] {
+            let n = run(domains, shards, &ops);
+            prop_assert_eq!(&n, &one);
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible_at_every_shard_count(
+        domains in 1usize..6,
+        ops in proptest::collection::vec(arb_op(), 1..24),
+        shards in prop_oneof![Just(1u32), Just(2u32), Just(4u32), Just(8u32)],
+    ) {
+        let a = run(domains, shards, &ops);
+        let b = run(domains, shards, &ops);
+        prop_assert_eq!(a, b);
+    }
+}
